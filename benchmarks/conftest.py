@@ -1,0 +1,65 @@
+"""Shared fixtures for the per-table/figure benchmark harness.
+
+Everything expensive (dataset generation, RecMG training) is built once
+per session at reduced scale; each bench prints the paper-formatted
+rows/series and asserts the qualitative *shape* of the result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import capacity_from_fraction
+from repro.core import RecMG, RecMGConfig
+from repro.traces import load_dataset
+
+#: Datasets used by multi-dataset figures (3 of the paper's 5 to bound
+#: runtime; pass --all-datasets in your head: presets exist for all 5).
+BENCH_DATASETS = ["dataset0", "dataset1", "dataset2"]
+BENCH_SCALE = 0.15
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    return {name: load_dataset(name, scale=BENCH_SCALE)
+            for name in BENCH_DATASETS}
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return RecMGConfig(
+        hidden=32,
+        hash_buckets=1024,
+        caching_epochs=3,
+        prefetch_epochs=4,
+        max_train_chunks=700,
+    )
+
+
+@pytest.fixture(scope="session")
+def dataset0_full():
+    return load_dataset("dataset0", scale=0.3)
+
+
+@pytest.fixture(scope="session")
+def trained_system(dataset0_full, bench_config):
+    """RecMG trained on dataset0's first 60%; shared across benches."""
+    train, _ = dataset0_full.split(0.6)
+    capacity = capacity_from_fraction(dataset0_full, 0.20)
+    system = RecMG(bench_config)
+    system.fit(train, buffer_capacity=capacity)
+    return system, capacity
+
+
+@pytest.fixture(scope="session")
+def per_dataset_systems(datasets, bench_config):
+    """A RecMG system per dataset (lighter training)."""
+    systems = {}
+    for name, trace in datasets.items():
+        train, _ = trace.split(0.6)
+        capacity = capacity_from_fraction(trace, 0.20)
+        system = RecMG(bench_config)
+        system.fit(train, buffer_capacity=capacity)
+        systems[name] = (system, capacity)
+    return systems

@@ -1,0 +1,46 @@
+"""Extra ablation: naive O(n) vs heap-based O(log n) priority buffer.
+
+Same semantics (property-tested in tests/test_buffer.py); this bench
+measures the speedup of the production-oriented implementation.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cache import FastPriorityBuffer, PriorityBuffer
+
+
+def drive(buffer_cls, keys, capacity):
+    buffer = buffer_cls(capacity)
+    for key in keys:
+        key = int(key)
+        if key in buffer:
+            buffer.set_priority(key, 5)
+        else:
+            if buffer.is_full:
+                buffer.evict_one()
+            buffer.insert(key, 4)
+    return buffer
+
+
+def test_buffer_impl(benchmark, dataset0_full):
+    keys = dataset0_full.keys()[:8000]
+    capacity = 1500
+
+    start = time.perf_counter()
+    drive(PriorityBuffer, keys, capacity)
+    naive_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    drive(FastPriorityBuffer, keys, capacity)
+    fast_s = time.perf_counter() - start
+
+    print(f"\nnaive O(n) buffer:  {naive_s:.3f}s")
+    print(f"heap-based buffer:  {fast_s:.3f}s "
+          f"({naive_s / fast_s:.1f}x faster)")
+    # The heap implementation must win by a wide margin at this size.
+    assert fast_s < naive_s
+    benchmark.pedantic(drive, args=(FastPriorityBuffer, keys[:2000], capacity),
+                       rounds=1, iterations=1)

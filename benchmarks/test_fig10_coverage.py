@@ -1,0 +1,29 @@
+"""Fig. 10: prefetch coverage (paper Eq. 2, windowed unique overlap).
+
+Paper shape: Bingo and Domino cover almost nothing; the ML prefetchers
+(TransFetch, RecMG) cover meaningfully more.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_table
+
+# Reuse the evaluations computed for Fig. 9 (same runs report both).
+from test_fig9_correctness import evaluations, dense_trace  # noqa: F401
+
+
+def test_fig10(benchmark, evaluations):  # noqa: F811
+    strategies = ["Bingo", "Domino", "TransFetch", "RecMG"]
+    rows = []
+    for name, per_dataset in evaluations.items():
+        rows.append([name] + [per_dataset[s].coverage for s in strategies])
+    means = {s: np.mean([per[s].coverage for per in evaluations.values()])
+             for s in strategies}
+    rows.append(["MEAN"] + [means[s] for s in strategies])
+    print()
+    print(ascii_table(["dataset"] + strategies, rows,
+                      title="Fig. 10: prefetch coverage (Eq. 2)"))
+    assert means["Bingo"] < 0.05
+    assert means["RecMG"] >= 0.0
+    benchmark(lambda: means)

@@ -1,0 +1,47 @@
+"""Fig. 13: hit rate vs GPU buffer size.
+
+Paper shape: RecMG above LRU once the buffer is not minuscule, tracking
+the optimal curve; the prefetch model's contribution shrinks as the
+caching model saturates the buffer.
+"""
+
+import pytest
+
+from repro.analysis import ascii_table
+from repro.cache import LRUCache, simulate, simulate_belady
+
+FRACTIONS = [0.05, 0.10, 0.20, 0.30]
+
+
+def test_fig13(benchmark, dataset0_full, trained_system):
+    system, _ = trained_system
+    _, test = dataset0_full.split(0.6)
+    rows = []
+    series = {"LRU": [], "RecMG": [], "RecMG w/o prefetch": [], "Optimal": []}
+    for fraction in FRACTIONS:
+        capacity = max(1, int(dataset0_full.num_unique * fraction))
+        lru = LRUCache(capacity)
+        simulate(lru, test)
+        full = system.evaluate(test, capacity=capacity)
+        cm_only = system.evaluate(test, capacity=capacity,
+                                  use_prefetch_model=False)
+        opt, _ = simulate_belady(test, capacity)
+        series["LRU"].append(lru.stats.hit_rate)
+        series["RecMG"].append(full.hit_rate)
+        series["RecMG w/o prefetch"].append(cm_only.hit_rate)
+        series["Optimal"].append(opt.hit_rate)
+        rows.append([f"{fraction:.0%}", lru.stats.hit_rate, full.hit_rate,
+                     cm_only.hit_rate, opt.hit_rate])
+    print()
+    print(ascii_table(
+        ["buffer size", "LRU", "RecMG", "RecMG w/o PF", "Optimal"],
+        rows, title="Fig. 13: hit rate vs buffer size",
+    ))
+    # Shape: optimal dominates; RecMG >= LRU at the buffer size its
+    # OPTgen labels were generated for (20%; the paper retrains per
+    # deployment size, we train once).
+    for i in range(len(FRACTIONS)):
+        assert series["Optimal"][i] >= series["RecMG"][i] - 1e-9
+    trained_idx = FRACTIONS.index(0.20)
+    assert series["RecMG"][trained_idx] >= series["LRU"][trained_idx] - 0.02
+    benchmark(lambda: series)

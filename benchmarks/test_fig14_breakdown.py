@@ -1,0 +1,64 @@
+"""Fig. 14: access breakdown — cache hit / prefetch hit / on-demand.
+
+Paper shape: RecMG's on-demand fraction is well below Domino's, Bingo's
+and TransFetch's; the caching model provides most of the hits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import stacked_fractions
+from repro.cache import capacity_from_fraction
+from repro.core import ModelPrefetcher
+from repro.prefetch import (
+    BingoPrefetcher, DominoPrefetcher, TransFetchPrefetcher, run_breakdown,
+)
+
+
+def test_fig14(benchmark, datasets, per_dataset_systems):
+    labels = []
+    parts = []
+    on_demand = {}
+    for name, trace in datasets.items():
+        system, capacity = per_dataset_systems[name]
+        train, test = trace.split(0.6)
+        capacity = capacity_from_fraction(trace, 0.20)
+
+        transfetch = TransFetchPrefetcher(predict_every=4)
+        transfetch.train(train, epochs=1, max_samples=500)
+        pm_adapter = ModelPrefetcher(system.prefetch_model, system.encoder,
+                                     system.config)
+        configs = {
+            # Domino pays its metadata tax out of the buffer (paper VII-E).
+            "Domino": run_breakdown(test, capacity,
+                                    DominoPrefetcher(metadata_fraction=0.1),
+                                    metadata_fraction=0.10),
+            "Bingo": run_breakdown(test, capacity, BingoPrefetcher()),
+            "TransFetch": run_breakdown(test, capacity, transfetch),
+            "LRU+PF": run_breakdown(test, capacity, pm_adapter),
+        }
+        recmg = system.evaluate(test, capacity=capacity)
+        for strategy, breakdown in configs.items():
+            labels.append(f"{name}/{strategy}")
+            parts.append(breakdown.fractions())
+            on_demand.setdefault(strategy, []).append(
+                breakdown.fractions()["on_demand"])
+        labels.append(f"{name}/RecMG")
+        parts.append(recmg.breakdown.fractions())
+        on_demand.setdefault("RecMG", []).append(
+            recmg.breakdown.fractions()["on_demand"])
+    print()
+    print(stacked_fractions(labels, parts,
+                            title="Fig. 14: access breakdown"))
+    means = {s: float(np.mean(v)) for s, v in on_demand.items()}
+    print("mean on-demand fraction:", {k: round(v, 3)
+                                       for k, v in means.items()})
+    # Shape: RecMG's on-demand fetches below the temporal baseline and
+    # the single-model variant.  Bingo/TransFetch are excluded from the
+    # hard assertion at bench scale: the dense-id remapping makes our
+    # synthetic cluster blocks *contiguous*, handing the spatial
+    # prefetchers locality the paper's production traces do not have
+    # (see EXPERIMENTS.md, Fig. 14 note).
+    assert means["RecMG"] < means["Domino"]
+    assert means["RecMG"] <= means["LRU+PF"] + 1e-9
+    benchmark(lambda: means)

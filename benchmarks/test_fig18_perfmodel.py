@@ -1,0 +1,49 @@
+"""Fig. 18: linear performance model — inference time vs hit rate.
+
+Paper shape: inference time is linear in the hit rate (RMSE < 1.7% of
+the mean); validation points from actual LRU and RecMG runs land near
+the fitted line.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_table
+from repro.cache import LRUCache, capacity_from_fraction
+from repro.dlrm import InferenceEngine, ManagerClassifier, calibrate
+
+
+def test_fig18(benchmark, dataset0_full, trained_system):
+    system, capacity = trained_system
+    _, test = dataset0_full.split(0.6)
+    engine = InferenceEngine(accesses_per_batch=2048)
+
+    model, reports = benchmark.pedantic(
+        calibrate, args=(engine, test),
+        kwargs={"hit_rates": (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)},
+        rounds=1, iterations=1,
+    )
+    rows = [[f"{r.hit_rate:.0%}", r.mean_batch_ms,
+             model.predict(r.hit_rate)] for r in reports]
+    print()
+    print(ascii_table(
+        ["hit rate", "measured (ms)", "model (ms)"],
+        rows, title="Fig. 18: performance model calibration",
+    ))
+    mean_time = float(np.mean([r.mean_batch_ms for r in reports]))
+    print(f"slope={model.slope:.2f} ms/hit-rate  "
+          f"RMSE={model.rmse_ms:.3f} ms ({model.rmse_ms / mean_time:.2%})")
+
+    # Validation with real policies (paper: < 3.6% deviation).
+    lru_report = engine.run(test, LRUCache(capacity))
+    recmg_report = engine.run(test, ManagerClassifier(
+        system.deploy(capacity), test))
+    for label, report in (("LRU", lru_report), ("RecMG", recmg_report)):
+        predicted = model.predict(report.hit_rate)
+        deviation = abs(predicted - report.mean_batch_ms) / report.mean_batch_ms
+        print(f"validation {label}: measured {report.mean_batch_ms:.2f} ms, "
+              f"model {predicted:.2f} ms, deviation {deviation:.2%}")
+        assert deviation < 0.10
+
+    assert model.slope < 0
+    assert model.rmse_ms / mean_time < 0.05

@@ -1,0 +1,28 @@
+"""Fig. 7: caching/prefetch model serving throughput vs CPU threads.
+
+Paper shape: near-linear scaling from 1 to 64 threads.
+"""
+
+import pytest
+
+from repro.analysis import ascii_table
+from repro.core import simulate_thread_throughput
+
+THREADS = [1, 4, 8, 16, 32, 48, 64]
+
+
+def test_fig7(benchmark):
+    throughputs = benchmark(
+        lambda: [simulate_thread_throughput(t) for t in THREADS]
+    )
+    print()
+    print(ascii_table(
+        ["threads", "throughput (idx/s)", "scaling efficiency"],
+        [[t, round(v), f"{v / (throughputs[0] * t):.0%}"]
+         for t, v in zip(THREADS, throughputs)],
+        title="Fig. 7: model throughput vs threads",
+    ))
+    # Monotone increase, near-linear early, sublinear at 64.
+    assert all(b > a for a, b in zip(throughputs, throughputs[1:]))
+    assert throughputs[3] / throughputs[0] > 12     # 16 threads
+    assert throughputs[-1] / throughputs[0] < 64    # roll-off

@@ -1,0 +1,58 @@
+"""Compare prefetcher baselines on an embedding-access stream (§VII-B).
+
+Runs Bingo (spatial), Domino (temporal), BOP, Berti, MAB, Stride and a
+trained TransFetch over the same dense index stream and reports
+correctness / coverage / volume / cost — the paper's Fig. 9-10 metrics.
+
+Run:  python examples/compare_prefetchers.py
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.prefetch import (
+    BertiPrefetcher, BestOffsetPrefetcher, BingoPrefetcher,
+    DominoPrefetcher, MicroArmedBanditPrefetcher, StridePrefetcher,
+    TransFetchPrefetcher, evaluate_prefetcher,
+)
+from repro.traces import Trace, load_dataset
+from repro.traces.access import remap_to_dense
+
+
+def main() -> None:
+    trace = load_dataset("dataset3", scale=0.2)
+    train, test = trace.split(0.5)
+    dense, _ = remap_to_dense(test)
+    stream = Trace(np.zeros(len(dense), np.int64), dense)
+    stream.table_ids = test.table_ids
+
+    transfetch = TransFetchPrefetcher(predict_every=4)
+    print("training TransFetch ...")
+    transfetch.train(train, epochs=1, max_samples=600)
+
+    prefetchers = [
+        BingoPrefetcher(),
+        DominoPrefetcher(metadata_fraction=0.10, degree=2),
+        BestOffsetPrefetcher(),
+        BertiPrefetcher(),
+        StridePrefetcher(),
+        MicroArmedBanditPrefetcher(),
+        transfetch,
+    ]
+    rows = []
+    for prefetcher in prefetchers:
+        ev = evaluate_prefetcher(prefetcher, stream.head(5000), window=15)
+        rows.append([prefetcher.name, ev.correctness, ev.coverage,
+                     ev.total_prefetches, ev.cost_per_prediction_us])
+    print()
+    print(ascii_table(
+        ["prefetcher", "correctness", "coverage", "#prefetches",
+         "cost (us/access)"],
+        rows, title="prefetcher comparison on embedding accesses",
+    ))
+    print("\nNote: spatial prefetching (Bingo) fails on embedding streams "
+          "— the paper's core observation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Quickstart: train RecMG on a synthetic trace and beat LRU.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cache import LRUCache, capacity_from_fraction, simulate, simulate_belady
+from repro.core import RecMG, RecMGConfig
+from repro.traces import load_dataset, summarize
+
+
+def main() -> None:
+    # 1. A production-like embedding-access trace (synthetic stand-in
+    #    for Meta's dlrm_datasets; see DESIGN.md for the substitution).
+    trace = load_dataset("dataset0", scale=0.3)
+    print("trace:", summarize(trace))
+
+    train, test = trace.split(0.6)
+    capacity = capacity_from_fraction(trace, 0.20)  # 20% of unique vectors
+    print(f"GPU buffer capacity: {capacity} vectors")
+
+    # 2. Offline training: OPTgen labels -> caching + prefetch models.
+    system = RecMG(RecMGConfig(caching_epochs=3, prefetch_epochs=3,
+                               max_train_chunks=600))
+    report = system.fit(train, buffer_capacity=capacity)
+    print(f"caching-model accuracy vs OPT: {report.caching_accuracy:.1%}")
+    print(f"prefetch-model correctness:    {report.prefetch_correctness:.1%}")
+
+    # 3. Online deployment on the held-out traffic.
+    stats = system.evaluate(test, capacity=capacity)
+    print(f"RecMG hit rate: {stats.hit_rate:.1%}  "
+          f"(breakdown: {stats.breakdown.fractions()})")
+
+    # 4. Baselines.
+    lru = LRUCache(capacity)
+    simulate(lru, test)
+    opt_stats, _ = simulate_belady(test, capacity)
+    print(f"LRU hit rate:   {lru.stats.hit_rate:.1%}")
+    print(f"Belady optimal: {opt_stats.hit_rate:.1%}")
+    gain = stats.hit_rate / max(lru.stats.hit_rate, 1e-9) - 1.0
+    print(f"RecMG vs LRU:   {gain:+.1%} hits")
+
+
+if __name__ == "__main__":
+    main()

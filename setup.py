@@ -1,0 +1,16 @@
+"""Setup shim so legacy (non-PEP 517) editable installs work offline."""
+
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "RecMG: ML-guided memory optimization for DLRM inference on "
+        "tiered memory (HPCA 2025 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy"],
+)

@@ -1,0 +1,52 @@
+"""ASCII renderers so each bench prints the paper's rows/series."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence],
+                title: str = "") -> str:
+    """Render a fixed-width table; floats shown with 4 significant digits."""
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_bars(labels: Sequence[str], values: Sequence[float],
+               width: int = 40, title: str = "") -> str:
+    """Horizontal bar chart for figure-style series."""
+    values = list(values)
+    peak = max(values) if len(values) else 1.0
+    peak = peak if peak > 0 else 1.0
+    label_w = max((len(l) for l in labels), default=0)
+    lines: List[str] = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(value / peak * width)))
+        lines.append(f"{label.ljust(label_w)} |{bar} {value:.4g}")
+    return "\n".join(lines)
+
+
+def stacked_fractions(labels: Sequence[str],
+                      parts: Sequence[Dict[str, float]],
+                      title: str = "") -> str:
+    """Render per-label stacked fractions (Fig. 14-style breakdowns)."""
+    keys = list(parts[0].keys()) if parts else []
+    rows = [[label] + [part[k] for k in keys]
+            for label, part in zip(labels, parts)]
+    return ascii_table(["strategy"] + keys, rows, title=title)

@@ -1,0 +1,72 @@
+"""Cache-policy interface and trace-driven simulation loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..traces.access import Trace
+
+
+@dataclass
+class CacheStats:
+    """Counters shared by every cache policy."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def record(self, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+
+class CachePolicy(Protocol):
+    """A demand cache: ``access`` returns True on hit and handles fills."""
+
+    stats: CacheStats
+
+    def access(self, key: int, pc: int = 0) -> bool: ...
+    def __contains__(self, key: int) -> bool: ...
+    def __len__(self) -> int: ...
+
+
+def simulate(policy: CachePolicy, trace: Trace,
+             record_decisions: bool = False) -> np.ndarray:
+    """Drive ``policy`` with every access of ``trace``.
+
+    Uses the access's table id as the PC proxy (the paper maps embedding
+    table IDs to PC/IP for PC-based policies).  Returns the per-access
+    hit/miss boolean array when ``record_decisions`` else an empty array;
+    aggregate counts land in ``policy.stats``.
+    """
+    keys = trace.keys()
+    tables = trace.table_ids
+    decisions = np.zeros(len(keys), dtype=bool) if record_decisions else None
+    for i in range(len(keys)):
+        hit = policy.access(int(keys[i]), pc=int(tables[i]))
+        if decisions is not None:
+            decisions[i] = hit
+    return decisions if decisions is not None else np.empty(0, dtype=bool)
+
+
+def capacity_from_fraction(trace: Trace, fraction: float) -> int:
+    """Buffer capacity as a fraction of the trace's unique vectors.
+
+    The paper sizes GPU buffers as "X% of the unique embedding vectors".
+    Always at least 1 entry.
+    """
+    if fraction <= 0:
+        raise ValueError("fraction must be positive")
+    return max(1, int(round(trace.num_unique * fraction)))

@@ -1,0 +1,89 @@
+"""Exact Belady MIN simulation (clairvoyant optimal replacement).
+
+Belady's algorithm evicts the cached key whose next use is farthest in
+the future.  This implementation additionally *bypasses* on insertion:
+a missing key whose next use lies beyond every cached key's next use is
+not cached at all.  A software-managed GPU buffer can always bypass, so
+this is the correct optimum for the paper's setting and it coincides
+with OPTgen's feasibility argument (see :mod:`repro.cache.optgen`).
+
+With the whole trace known in advance, next-use indices are precomputed,
+and a lazy max-heap yields O(n log n) total time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..traces.access import Trace
+from .base import CacheStats
+
+#: Sentinel meaning "never used again".
+NEVER = np.iinfo(np.int64).max
+
+
+def next_use_indices(keys: np.ndarray) -> np.ndarray:
+    """``next_use[i]`` = next index at which ``keys[i]`` recurs (or NEVER)."""
+    n = len(keys)
+    next_use = np.full(n, NEVER, dtype=np.int64)
+    last_seen: Dict[int, int] = {}
+    for i in range(n - 1, -1, -1):
+        key = int(keys[i])
+        nxt = last_seen.get(key)
+        if nxt is not None:
+            next_use[i] = nxt
+        last_seen[key] = i
+    return next_use
+
+
+def simulate_belady(trace: Trace, capacity: int,
+                    record_decisions: bool = False
+                    ) -> Tuple[CacheStats, np.ndarray]:
+    """Run exact MIN over ``trace`` with a fully associative cache.
+
+    Returns (stats, decisions) where decisions is the per-access hit
+    array if requested (else empty).
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    keys = trace.keys()
+    next_use = next_use_indices(keys)
+    stats = CacheStats()
+    cached_next: Dict[int, int] = {}
+    # Max-heap via negated next-use, lazily invalidated.
+    heap: List[Tuple[int, int]] = []
+    decisions = np.zeros(len(keys), dtype=bool) if record_decisions else np.empty(0, bool)
+
+    for i in range(len(keys)):
+        key = int(keys[i])
+        hit = key in cached_next
+        stats.record(hit)
+        if record_decisions:
+            decisions[i] = hit
+        if not hit and len(cached_next) >= capacity:
+            # Find the farthest-next-use cached key (lazy invalidation).
+            while heap:
+                neg_nxt, victim = heapq.heappop(heap)
+                if cached_next.get(victim) == -neg_nxt:
+                    if int(next_use[i]) >= -neg_nxt:
+                        # Bypass: the incoming key is reused no sooner
+                        # than every cached key; keep the cache as is.
+                        heapq.heappush(heap, (neg_nxt, victim))
+                        break
+                    del cached_next[victim]
+                    break
+            else:
+                raise RuntimeError("Belady heap drained without victim")
+            if key not in cached_next and len(cached_next) >= capacity:
+                continue  # bypassed
+        cached_next[key] = int(next_use[i])
+        heapq.heappush(heap, (-int(next_use[i]), key))
+    return stats, decisions
+
+
+def belady_hit_rate(trace: Trace, capacity: int) -> float:
+    stats, _ = simulate_belady(trace, capacity)
+    return stats.hit_rate

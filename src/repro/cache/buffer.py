@@ -1,0 +1,203 @@
+"""Priority-managed GPU buffer (paper Algorithms 1 and 2).
+
+RecMG co-manages the GPU buffer with two models: the caching model
+assigns each recently accessed vector a 1-bit priority (added to
+``eviction_speed``), and the prefetch model inserts vectors at priority
+``eviction_speed``.  Eviction (Algorithm 2) selects the entry with the
+lowest priority and then *ages* every entry by decrementing its priority
+(floored at zero), mimicking RRIP.
+
+Two implementations are provided:
+
+* :class:`PriorityBuffer` — the literal O(n)-per-eviction transcription
+  of Algorithm 2; easy to audit, used as the reference in tests.
+* :class:`FastPriorityBuffer` — O(log n) eviction.  Aging by a global
+  decrement is represented implicitly: each entry stores the *age at
+  which its priority reaches zero* (``expiry = age_now + priority``),
+  so ``effective_priority = max(0, expiry - age_now)``.  A lazy min-heap
+  ordered by (expiry, seqno) plus a lazy min-heap of expired entries
+  ordered by seqno reproduce exactly the reference victim choice
+  (lowest effective priority, oldest insertion wins ties).
+
+A property-based test asserts trace-level equivalence of the two.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class PriorityBuffer:
+    """Reference implementation of Algorithms 1–2 (O(n) eviction)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._priority: Dict[int, int] = {}
+        self._seqno: Dict[int, int] = {}
+        self._next_seq = 0
+        self._min_seq = 0
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._priority
+
+    def __len__(self) -> int:
+        return len(self._priority)
+
+    def keys(self) -> Iterator[int]:
+        return iter(self._priority)
+
+    def priority_of(self, key: int) -> int:
+        return self._priority[key]
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._priority) >= self.capacity
+
+    def insert(self, key: int, priority: int) -> None:
+        """Insert (or refresh) ``key``; caller must ensure space."""
+        if key not in self._priority and self.is_full:
+            raise RuntimeError("buffer full; evict first")
+        self._priority[key] = priority
+        self._seqno[key] = self._next_seq
+        self._next_seq += 1
+
+    def set_priority(self, key: int, priority: int) -> None:
+        """Update priority; also refreshes recency (LRU tie-breaking)."""
+        if key not in self._priority:
+            raise KeyError(key)
+        self._priority[key] = priority
+        self._seqno[key] = self._next_seq
+        self._next_seq += 1
+
+    def demote(self, key: int) -> None:
+        """Mark ``key`` as evict-next: priority 0, older than everything.
+
+        Used for cache-averse vectors (caching-model bit 0) — the
+        fully-associative analogue of Hawkeye's distant insertion.
+        """
+        if key not in self._priority:
+            raise KeyError(key)
+        self._priority[key] = 0
+        self._min_seq -= 1
+        self._seqno[key] = self._min_seq
+
+    def evict_one(self) -> int:
+        """Algorithm 2: evict min-(priority, seqno) entry, age the rest."""
+        if not self._priority:
+            raise RuntimeError("cannot evict from an empty buffer")
+        victim = min(self._priority,
+                     key=lambda k: (self._priority[k], self._seqno[k]))
+        for key in self._priority:
+            self._priority[key] = max(0, self._priority[key] - 1)
+        del self._priority[victim]
+        del self._seqno[victim]
+        return victim
+
+
+class FastPriorityBuffer:
+    """Heap-based buffer equivalent to :class:`PriorityBuffer`.
+
+    ``_age`` is the count of evictions so far; an entry set to priority
+    ``p`` at age ``a`` has effective priority ``max(0, (a + p) - _age)``.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        # key -> (expiry, seqno, version)
+        self._entries: Dict[int, Tuple[int, int, int]] = {}
+        self._live_heap: List[Tuple[int, int, int, int]] = []  # (expiry, seq, ver, key)
+        self._zero_heap: List[Tuple[int, int, int, int]] = []  # (seq, ver, expiry, key)
+        self._age = 0
+        self._next_seq = 0
+        self._min_seq = 0
+        self._version = 0
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> Iterator[int]:
+        return iter(self._entries)
+
+    def priority_of(self, key: int) -> int:
+        expiry, _, _ = self._entries[key]
+        return max(0, expiry - self._age)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def insert(self, key: int, priority: int) -> None:
+        if key in self._entries:
+            self.set_priority(key, priority)
+            return
+        if self.is_full:
+            raise RuntimeError("buffer full; evict first")
+        seq = self._next_seq
+        self._next_seq += 1
+        self._store(key, priority, seq)
+
+    def set_priority(self, key: int, priority: int) -> None:
+        """Update priority; also refreshes recency (LRU tie-breaking)."""
+        if key not in self._entries:
+            raise KeyError(key)
+        seq = self._next_seq
+        self._next_seq += 1
+        self._store(key, priority, seq)
+
+    def demote(self, key: int) -> None:
+        """Mark ``key`` as evict-next: priority 0, older than everything."""
+        if key not in self._entries:
+            raise KeyError(key)
+        self._min_seq -= 1
+        self._store(key, 0, self._min_seq)
+
+    def _store(self, key: int, priority: int, seq: int) -> None:
+        self._version += 1
+        expiry = self._age + priority
+        self._entries[key] = (expiry, seq, self._version)
+        if priority <= 0:
+            heapq.heappush(self._zero_heap, (seq, self._version, expiry, key))
+        else:
+            heapq.heappush(self._live_heap, (expiry, seq, self._version, key))
+
+    def evict_one(self) -> int:
+        if not self._entries:
+            raise RuntimeError("cannot evict from an empty buffer")
+        # Migrate entries whose priority has decayed to zero.
+        while self._live_heap and self._live_heap[0][0] <= self._age:
+            expiry, seq, ver, key = heapq.heappop(self._live_heap)
+            entry = self._entries.get(key)
+            if entry is not None and entry == (expiry, seq, ver):
+                heapq.heappush(self._zero_heap, (seq, ver, expiry, key))
+
+        victim = self._pop_valid(self._zero_heap, zero=True)
+        if victim is None:
+            victim = self._pop_valid(self._live_heap, zero=False)
+        if victim is None:
+            raise RuntimeError("heap inconsistency: no valid victim found")
+        del self._entries[victim]
+        self._age += 1  # global aging: everyone's effective priority -1
+        return victim
+
+    def _pop_valid(self, heap: List[Tuple[int, int, int, int]],
+                   zero: bool) -> Optional[int]:
+        while heap:
+            if zero:
+                seq, ver, expiry, key = heap[0]
+            else:
+                expiry, seq, ver, key = heap[0]
+            entry = self._entries.get(key)
+            if entry is not None and entry == (expiry, seq, ver):
+                heapq.heappop(heap)
+                return key
+            heapq.heappop(heap)  # stale
+        return None

@@ -1,0 +1,55 @@
+"""Fully associative LFU cache with oldest-entry tie-breaking."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from .base import CacheStats
+
+
+class LFUCache:
+    """Least-frequently-used eviction; ties evict the least recently used.
+
+    Uses a lazy heap of (frequency, recency, key) tuples: stale tuples
+    (whose frequency/recency no longer match) are skipped on pop.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._freq: Dict[int, int] = {}
+        self._recency: Dict[int, int] = {}
+        self._heap: List[Tuple[int, int, int]] = []
+        self._clock = 0
+        self.stats = CacheStats()
+
+    def access(self, key: int, pc: int = 0) -> bool:
+        self._clock += 1
+        hit = key in self._freq
+        if hit:
+            self._freq[key] += 1
+        else:
+            if len(self._freq) >= self.capacity:
+                self._evict()
+            self._freq[key] = 1
+        self._recency[key] = self._clock
+        heapq.heappush(self._heap, (self._freq[key], self._clock, key))
+        self.stats.record(hit)
+        return hit
+
+    def _evict(self) -> None:
+        while self._heap:
+            freq, recency, key = heapq.heappop(self._heap)
+            if self._freq.get(key) == freq and self._recency.get(key) == recency:
+                del self._freq[key]
+                del self._recency[key]
+                return
+        raise RuntimeError("LFU heap drained without finding a victim")
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._freq
+
+    def __len__(self) -> int:
+        return len(self._freq)

@@ -1,0 +1,36 @@
+"""Fully associative LRU cache (the production baseline in the paper)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from .base import CacheStats
+
+
+class LRUCache:
+    """Classic fully associative LRU over integer keys."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, None]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def access(self, key: int, pc: int = 0) -> bool:
+        hit = key in self._entries
+        if hit:
+            self._entries.move_to_end(key)
+        else:
+            if len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+            self._entries[key] = None
+        self.stats.record(hit)
+        return hit
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

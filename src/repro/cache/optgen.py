@@ -1,0 +1,145 @@
+"""OPTgen: per-access optimal caching decisions and training labels.
+
+OPTgen (Jain & Lin, "Back to the Future", ISCA'16) decides, for each
+access, whether Belady's OPT *would have cached* the referenced line.
+It maintains an *occupancy vector* over time: a reuse interval
+``(prev_use, now)`` can be cached iff occupancy is below capacity at
+every time slot in the interval; if so the line hits and the interval's
+occupancy increments.
+
+RecMG uses OPTgen offline to label its training data (paper §VI-A):
+
+* **caching trace** — per-access binary "should this vector stay in the
+  buffer" (we label an access cache-friendly when its *next* reuse would
+  hit under OPT — the Hawkeye training signal);
+* **prefetch trace** — the subsequence of accesses that still miss under
+  OPT, which the prefetch model learns to predict.
+
+The occupancy vector is a lazy segment tree (range max / range add), so
+the whole pass is O(n log n).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..traces.access import Trace
+from .base import CacheStats
+
+
+class _MaxSegmentTree:
+    """Iterative lazy segment tree: range add, range max."""
+
+    def __init__(self, size: int) -> None:
+        self.n = max(1, size)
+        self._max = np.zeros(4 * self.n, dtype=np.int64)
+        self._lazy = np.zeros(4 * self.n, dtype=np.int64)
+
+    def _push(self, node: int) -> None:
+        lazy = self._lazy[node]
+        if lazy:
+            for child in (2 * node, 2 * node + 1):
+                self._max[child] += lazy
+                self._lazy[child] += lazy
+            self._lazy[node] = 0
+
+    def add(self, lo: int, hi: int, value: int) -> None:
+        """Add ``value`` over [lo, hi] inclusive."""
+        self._add(1, 0, self.n - 1, lo, hi, value)
+
+    def _add(self, node: int, nlo: int, nhi: int, lo: int, hi: int, value: int) -> None:
+        if hi < nlo or nhi < lo:
+            return
+        if lo <= nlo and nhi <= hi:
+            self._max[node] += value
+            self._lazy[node] += value
+            return
+        self._push(node)
+        mid = (nlo + nhi) // 2
+        self._add(2 * node, nlo, mid, lo, hi, value)
+        self._add(2 * node + 1, mid + 1, nhi, lo, hi, value)
+        self._max[node] = max(self._max[2 * node], self._max[2 * node + 1])
+
+    def range_max(self, lo: int, hi: int) -> int:
+        return self._range_max(1, 0, self.n - 1, lo, hi)
+
+    def _range_max(self, node: int, nlo: int, nhi: int, lo: int, hi: int) -> int:
+        if hi < nlo or nhi < lo:
+            return np.iinfo(np.int64).min
+        if lo <= nlo and nhi <= hi:
+            return int(self._max[node])
+        self._push(node)
+        mid = (nlo + nhi) // 2
+        return max(
+            self._range_max(2 * node, nlo, mid, lo, hi),
+            self._range_max(2 * node + 1, mid + 1, nhi, lo, hi),
+        )
+
+
+@dataclass
+class OptgenResult:
+    """Output of an OPTgen pass over one trace."""
+
+    #: Per-access: would this access hit under OPT?
+    opt_hits: np.ndarray
+    #: Per-access: cache-friendly label ("1" = keep in buffer) — true
+    #: when the next reuse of this vector is an OPT hit.
+    cache_friendly: np.ndarray
+    stats: CacheStats
+
+    @property
+    def hit_rate(self) -> float:
+        return self.stats.hit_rate
+
+
+def run_optgen(trace: Trace, capacity: int) -> OptgenResult:
+    """Run OPTgen over ``trace`` with a fully associative budget.
+
+    The paper sets the OPTgen budget to 80% of the physical GPU buffer,
+    reserving headroom for prefetched vectors; callers apply that scaling.
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    keys = trace.keys()
+    n = len(keys)
+    tree = _MaxSegmentTree(n)
+    opt_hits = np.zeros(n, dtype=bool)
+    last_pos: Dict[int, int] = {}
+    stats = CacheStats()
+
+    for i in range(n):
+        key = int(keys[i])
+        prev = last_pos.get(key)
+        if prev is None:
+            stats.record(False)
+        else:
+            # Interval [prev, i) must have spare occupancy everywhere.
+            if tree.range_max(prev, i - 1) < capacity:
+                opt_hits[i] = True
+                tree.add(prev, i - 1, 1)
+                stats.record(True)
+            else:
+                stats.record(False)
+        last_pos[key] = i
+
+    # cache_friendly[i]: does the *next* access to the same key hit?
+    cache_friendly = np.zeros(n, dtype=bool)
+    next_hit: Dict[int, bool] = {}
+    for i in range(n - 1, -1, -1):
+        key = int(keys[i])
+        cache_friendly[i] = next_hit.get(key, False)
+        next_hit[key] = bool(opt_hits[i])
+    return OptgenResult(opt_hits=opt_hits, cache_friendly=cache_friendly,
+                        stats=stats)
+
+
+def prefetch_trace_from(result: OptgenResult, trace: Trace) -> np.ndarray:
+    """Indices (into ``trace``) of accesses that miss under OPT.
+
+    Per the paper: "The prefetch trace, derived from the caching trace,
+    consists of embedding vectors leading to cache misses".
+    """
+    return np.nonzero(~result.opt_hits)[0]

@@ -1,0 +1,319 @@
+"""Replacement policies for the set-associative cache (ChampSim stand-in).
+
+Implements the baselines of paper Fig. 15: set-LRU, SRRIP, BRRIP, DRRIP
+(set dueling), Hawkeye and Mockingjay.  Hawkeye/Mockingjay are faithful
+simplifications: they keep the PC-based prediction structure (with
+embedding-table id as the PC proxy, as the paper prescribes) but use a
+compact sampler.  ``PredictorReplacement`` plugs RecMG's caching model
+into the same slot ("CM" bars in Fig. 15/19).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+
+class ReplacementPolicy:
+    """Per-set replacement state; subclasses override the three hooks."""
+
+    name = "base"
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        self.num_sets = num_sets
+        self.ways = ways
+
+    def on_hit(self, set_idx: int, way: int, pc: int, key: int) -> None:
+        raise NotImplementedError
+
+    def on_fill(self, set_idx: int, way: int, pc: int, key: int,
+                is_prefetch: bool) -> None:
+        raise NotImplementedError
+
+    def victim(self, set_idx: int, pc: int, key: int) -> int:
+        """Choose a way to evict (all ways are valid/occupied)."""
+        raise NotImplementedError
+
+    def on_evict(self, set_idx: int, way: int, key: int) -> None:
+        """Optional notification before a line leaves the cache."""
+
+
+class LRUReplacement(ReplacementPolicy):
+    """Per-set least-recently-used."""
+
+    name = "LRU"
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        super().__init__(num_sets, ways)
+        self._stamp = np.zeros((num_sets, ways), dtype=np.int64)
+        self._clock = 0
+
+    def _touch(self, set_idx: int, way: int) -> None:
+        self._clock += 1
+        self._stamp[set_idx, way] = self._clock
+
+    def on_hit(self, set_idx: int, way: int, pc: int, key: int) -> None:
+        self._touch(set_idx, way)
+
+    def on_fill(self, set_idx: int, way: int, pc: int, key: int,
+                is_prefetch: bool) -> None:
+        self._touch(set_idx, way)
+
+    def victim(self, set_idx: int, pc: int, key: int) -> int:
+        return int(np.argmin(self._stamp[set_idx]))
+
+
+class SRRIPReplacement(ReplacementPolicy):
+    """Static RRIP (Jaleel et al.): 2-bit re-reference prediction values."""
+
+    name = "SRRIP"
+    MAX_RRPV = 3
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        super().__init__(num_sets, ways)
+        self._rrpv = np.full((num_sets, ways), self.MAX_RRPV, dtype=np.int8)
+
+    def on_hit(self, set_idx: int, way: int, pc: int, key: int) -> None:
+        self._rrpv[set_idx, way] = 0
+
+    def on_fill(self, set_idx: int, way: int, pc: int, key: int,
+                is_prefetch: bool) -> None:
+        # Long re-reference interval on insert; prefetches inserted as
+        # distant so useless prefetches leave quickly.
+        self._rrpv[set_idx, way] = self.MAX_RRPV if is_prefetch else self.MAX_RRPV - 1
+
+    def victim(self, set_idx: int, pc: int, key: int) -> int:
+        row = self._rrpv[set_idx]
+        while True:
+            candidates = np.nonzero(row == self.MAX_RRPV)[0]
+            if candidates.size:
+                return int(candidates[0])
+            row += 1
+
+
+class BRRIPReplacement(SRRIPReplacement):
+    """Bimodal RRIP: mostly-distant insertion to resist thrashing."""
+
+    name = "BRRIP"
+
+    def __init__(self, num_sets: int, ways: int, seed: int = 0) -> None:
+        super().__init__(num_sets, ways)
+        self._rng = np.random.default_rng(seed)
+
+    def on_fill(self, set_idx: int, way: int, pc: int, key: int,
+                is_prefetch: bool) -> None:
+        if self._rng.random() < 1.0 / 32.0:
+            self._rrpv[set_idx, way] = self.MAX_RRPV - 1
+        else:
+            self._rrpv[set_idx, way] = self.MAX_RRPV
+
+
+class DRRIPReplacement(ReplacementPolicy):
+    """Dynamic RRIP via set dueling between SRRIP and BRRIP."""
+
+    name = "DRRIP"
+    PSEL_MAX = 1023
+
+    def __init__(self, num_sets: int, ways: int, duel_sets: int = 32,
+                 seed: int = 0) -> None:
+        super().__init__(num_sets, ways)
+        self._srrip = SRRIPReplacement(num_sets, ways)
+        self._brrip = BRRIPReplacement(num_sets, ways, seed=seed)
+        # RRPV state must be shared: delegate storage to one array.
+        self._brrip._rrpv = self._srrip._rrpv
+        duel_sets = min(duel_sets, max(1, num_sets // 2))
+        stride = max(1, num_sets // (2 * duel_sets))
+        self._leader_srrip = set(list(range(0, num_sets, 2 * stride))[:duel_sets])
+        self._leader_brrip = set(list(range(stride, num_sets, 2 * stride))[:duel_sets])
+        self._psel = self.PSEL_MAX // 2
+
+    def _policy_for(self, set_idx: int) -> ReplacementPolicy:
+        if set_idx in self._leader_srrip:
+            return self._srrip
+        if set_idx in self._leader_brrip:
+            return self._brrip
+        return self._srrip if self._psel >= self.PSEL_MAX // 2 else self._brrip
+
+    def on_hit(self, set_idx: int, way: int, pc: int, key: int) -> None:
+        self._srrip.on_hit(set_idx, way, pc, key)
+
+    def on_fill(self, set_idx: int, way: int, pc: int, key: int,
+                is_prefetch: bool) -> None:
+        # Leader-set misses steer PSEL toward the other policy.
+        if set_idx in self._leader_srrip:
+            self._psel = max(0, self._psel - 1)
+        elif set_idx in self._leader_brrip:
+            self._psel = min(self.PSEL_MAX, self._psel + 1)
+        self._policy_for(set_idx).on_fill(set_idx, way, pc, key, is_prefetch)
+
+    def victim(self, set_idx: int, pc: int, key: int) -> int:
+        return self._srrip.victim(set_idx, pc, key)
+
+
+class HawkeyeReplacement(ReplacementPolicy):
+    """Hawkeye (simplified): OPTgen-trained PC-binary predictor + RRIP.
+
+    A compact per-set sampler replays recent reuse intervals through a
+    windowed occupancy check; the resulting OPT decision trains a
+    saturating counter for the *previous* PC that touched the line.
+    Friendly insertions get RRPV 0, averse insertions RRPV 7.
+    """
+
+    name = "Hawkeye"
+    MAX_RRPV = 7
+
+    def __init__(self, num_sets: int, ways: int, history: int = 8) -> None:
+        super().__init__(num_sets, ways)
+        self._rrpv = np.full((num_sets, ways), self.MAX_RRPV, dtype=np.int8)
+        self._counters: Dict[int, int] = defaultdict(lambda: 4)  # 3-bit, init mid
+        self._history_window = history * ways
+        # Per-set: time cursor + last access (time, pc) per key + occupancy.
+        self._set_clock = np.zeros(num_sets, dtype=np.int64)
+        self._last_access: List[Dict[int, tuple]] = [dict() for _ in range(num_sets)]
+        self._occupancy: List[Dict[int, int]] = [defaultdict(int) for _ in range(num_sets)]
+
+    def _train(self, set_idx: int, pc: int, key: int) -> None:
+        clock = int(self._set_clock[set_idx])
+        last = self._last_access[set_idx].get(key)
+        if last is not None:
+            prev_time, prev_pc = last
+            if clock - prev_time <= self._history_window:
+                occ = self._occupancy[set_idx]
+                window = range(prev_time, clock)
+                if all(occ[t] < self.ways for t in window):
+                    for t in window:
+                        occ[t] += 1
+                    self._counters[prev_pc] = min(7, self._counters[prev_pc] + 1)
+                else:
+                    self._counters[prev_pc] = max(0, self._counters[prev_pc] - 1)
+        self._last_access[set_idx][key] = (clock, pc)
+        self._set_clock[set_idx] += 1
+        # Bound sampler memory.
+        if len(self._last_access[set_idx]) > 4 * self._history_window:
+            horizon = clock - self._history_window
+            self._last_access[set_idx] = {
+                k: v for k, v in self._last_access[set_idx].items()
+                if v[0] >= horizon
+            }
+            self._occupancy[set_idx] = defaultdict(
+                int, {t: c for t, c in self._occupancy[set_idx].items()
+                      if t >= horizon}
+            )
+
+    def _friendly(self, pc: int) -> bool:
+        return self._counters[pc] >= 4
+
+    def on_hit(self, set_idx: int, way: int, pc: int, key: int) -> None:
+        self._train(set_idx, pc, key)
+        self._rrpv[set_idx, way] = 0 if self._friendly(pc) else self.MAX_RRPV
+
+    def on_fill(self, set_idx: int, way: int, pc: int, key: int,
+                is_prefetch: bool) -> None:
+        self._train(set_idx, pc, key)
+        if self._friendly(pc) and not is_prefetch:
+            # Age friendly peers so old friendly lines remain evictable.
+            row = self._rrpv[set_idx]
+            row[(row < self.MAX_RRPV - 1)] += 1
+            self._rrpv[set_idx, way] = 0
+        else:
+            self._rrpv[set_idx, way] = self.MAX_RRPV
+
+    def victim(self, set_idx: int, pc: int, key: int) -> int:
+        row = self._rrpv[set_idx]
+        averse = np.nonzero(row == self.MAX_RRPV)[0]
+        if averse.size:
+            return int(averse[0])
+        return int(np.argmax(row))
+
+
+class MockingjayReplacement(ReplacementPolicy):
+    """Mockingjay (simplified): predicted estimated-time-to-reuse eviction.
+
+    Learns an EWMA of reuse distances per PC from observed reuses and
+    evicts the line with the largest remaining predicted time to reuse.
+    """
+
+    name = "Mockingjay"
+
+    def __init__(self, num_sets: int, ways: int, ewma: float = 0.3) -> None:
+        super().__init__(num_sets, ways)
+        self._ewma = ewma
+        self._pred_rd: Dict[int, float] = {}
+        self._fill_time = np.zeros((num_sets, ways), dtype=np.int64)
+        self._line_pred = np.full((num_sets, ways), 1e9, dtype=np.float64)
+        self._last_seen: Dict[int, int] = {}
+        self._clock = 0
+
+    def _observe(self, pc: int, key: int) -> None:
+        self._clock += 1
+        prev = self._last_seen.get(key)
+        if prev is not None:
+            distance = self._clock - prev
+            old = self._pred_rd.get(pc)
+            self._pred_rd[pc] = (
+                distance if old is None
+                else (1 - self._ewma) * old + self._ewma * distance
+            )
+        self._last_seen[key] = self._clock
+        if len(self._last_seen) > 100_000:
+            horizon = self._clock - 50_000
+            self._last_seen = {k: t for k, t in self._last_seen.items()
+                               if t >= horizon}
+
+    def _predict(self, pc: int) -> float:
+        return self._pred_rd.get(pc, 1e9)
+
+    def on_hit(self, set_idx: int, way: int, pc: int, key: int) -> None:
+        self._observe(pc, key)
+        self._fill_time[set_idx, way] = self._clock
+        self._line_pred[set_idx, way] = self._predict(pc)
+
+    def on_fill(self, set_idx: int, way: int, pc: int, key: int,
+                is_prefetch: bool) -> None:
+        self._observe(pc, key)
+        self._fill_time[set_idx, way] = self._clock
+        self._line_pred[set_idx, way] = self._predict(pc)
+
+    def victim(self, set_idx: int, pc: int, key: int) -> int:
+        age = self._clock - self._fill_time[set_idx]
+        remaining = self._line_pred[set_idx] - age
+        return int(np.argmax(remaining))
+
+
+class PredictorReplacement(ReplacementPolicy):
+    """Hawkeye-style insertion driven by an external friendliness oracle.
+
+    ``predict(key, pc)`` returns True when the line is cache-friendly.
+    This is how RecMG's caching model participates in the set-associative
+    comparison (the "CM" strategy of Fig. 15 and 19).
+    """
+
+    name = "CM"
+    MAX_RRPV = 7
+
+    def __init__(self, num_sets: int, ways: int,
+                 predict: Callable[[int, int], bool]) -> None:
+        super().__init__(num_sets, ways)
+        self._predict = predict
+        self._rrpv = np.full((num_sets, ways), self.MAX_RRPV, dtype=np.int8)
+
+    def on_hit(self, set_idx: int, way: int, pc: int, key: int) -> None:
+        self._rrpv[set_idx, way] = 0 if self._predict(key, pc) else self.MAX_RRPV
+
+    def on_fill(self, set_idx: int, way: int, pc: int, key: int,
+                is_prefetch: bool) -> None:
+        if self._predict(key, pc):
+            row = self._rrpv[set_idx]
+            row[(row < self.MAX_RRPV - 1)] += 1
+            self._rrpv[set_idx, way] = 0
+        else:
+            self._rrpv[set_idx, way] = self.MAX_RRPV
+
+    def victim(self, set_idx: int, pc: int, key: int) -> int:
+        row = self._rrpv[set_idx]
+        averse = np.nonzero(row == self.MAX_RRPV)[0]
+        if averse.size:
+            return int(averse[0])
+        return int(np.argmax(row))

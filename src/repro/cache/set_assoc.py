@@ -1,0 +1,124 @@
+"""Set-associative cache simulator with prefetch support (ChampSim stand-in).
+
+The paper's Fig. 15 / Table IV experiments run ChampSim with a 32-way
+set-associative cache, treating each embedding-vector index as an
+address and the embedding-table id as the PC.  This module provides the
+equivalent simulator: pluggable replacement (see
+:mod:`repro.cache.replacement`), prefetch fills with per-line useful-bit
+tracking, and the statistics the paper reports (hit rate, prefetch
+accuracy, total prefetches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .base import CacheStats
+from .replacement import ReplacementPolicy
+
+
+def mix64(key: int) -> int:
+    """SplitMix64 finalizer — spreads packed keys across sets."""
+    key = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+    key = (key ^ (key >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+    return key ^ (key >> 31)
+
+
+@dataclass
+class PrefetchStats:
+    """Prefetch effectiveness counters (paper Table IV)."""
+
+    issued: int = 0
+    filled: int = 0
+    useful: int = 0
+    evicted_unused: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Useful prefetches over prefetches issued."""
+        return self.useful / self.issued if self.issued else 0.0
+
+
+class SetAssociativeCache:
+    """N-way set-associative cache over integer keys.
+
+    ``capacity`` is in lines; ``ways`` defaults to the paper's 32.  The
+    replacement policy is constructed by the caller so that its state
+    dimensions match.
+    """
+
+    def __init__(self, capacity: int, ways: int = 32,
+                 policy: Optional[ReplacementPolicy] = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.ways = min(ways, capacity)
+        self.num_sets = max(1, capacity // self.ways)
+        self.capacity = self.num_sets * self.ways
+        if policy is None:
+            from .replacement import LRUReplacement
+            policy = LRUReplacement(self.num_sets, self.ways)
+        if policy.num_sets != self.num_sets or policy.ways != self.ways:
+            raise ValueError("policy dimensions do not match cache geometry")
+        self.policy = policy
+        # tags[set][way] = key or -1; prefetch bit marks unused prefetches.
+        self._tags = np.full((self.num_sets, self.ways), -1, dtype=np.int64)
+        self._prefetch_bit = np.zeros((self.num_sets, self.ways), dtype=bool)
+        self._lookup: Dict[int, int] = {}  # key -> set*ways + way
+        self.stats = CacheStats()
+        self.prefetch_stats = PrefetchStats()
+
+    # ------------------------------------------------------------------
+    def _set_of(self, key: int) -> int:
+        return mix64(key) % self.num_sets
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._lookup
+
+    def __len__(self) -> int:
+        return len(self._lookup)
+
+    # ------------------------------------------------------------------
+    def access(self, key: int, pc: int = 0) -> bool:
+        """Demand access; fills on miss. Returns hit."""
+        slot = self._lookup.get(key)
+        if slot is not None:
+            set_idx, way = divmod(slot, self.ways)
+            if self._prefetch_bit[set_idx, way]:
+                self.prefetch_stats.useful += 1
+                self._prefetch_bit[set_idx, way] = False
+            self.policy.on_hit(set_idx, way, pc, key)
+            self.stats.record(True)
+            return True
+        self.stats.record(False)
+        self._fill(key, pc, is_prefetch=False)
+        return False
+
+    def prefetch(self, key: int, pc: int = 0) -> bool:
+        """Prefetch fill; no-op if already cached. Returns True if filled."""
+        self.prefetch_stats.issued += 1
+        if key in self._lookup:
+            return False
+        self._fill(key, pc, is_prefetch=True)
+        self.prefetch_stats.filled += 1
+        return True
+
+    def _fill(self, key: int, pc: int, is_prefetch: bool) -> None:
+        set_idx = self._set_of(key)
+        row = self._tags[set_idx]
+        empty = np.nonzero(row == -1)[0]
+        if empty.size:
+            way = int(empty[0])
+        else:
+            way = self.policy.victim(set_idx, pc, key)
+            old_key = int(row[way])
+            if self._prefetch_bit[set_idx, way]:
+                self.prefetch_stats.evicted_unused += 1
+            self.policy.on_evict(set_idx, way, old_key)
+            del self._lookup[old_key]
+        row[way] = key
+        self._prefetch_bit[set_idx, way] = is_prefetch
+        self._lookup[key] = set_idx * self.ways + way
+        self.policy.on_fill(set_idx, way, pc, key, is_prefetch)

@@ -1,0 +1,45 @@
+"""RecMG core: the paper's primary contribution.
+
+Two small seq2seq LSTM models with attention co-manage a priority GPU
+buffer: the caching model marks cache-friendly vectors (trained on
+OPTgen's optimal decisions), the prefetch model regresses the indices of
+upcoming hard misses (trained with the bidirectional Chamfer loss).
+"""
+
+from .config import RecMGConfig
+from .features import FeatureEncoder, EncodedChunks
+from .caching_model import CachingModel
+from .prefetch_model import PrefetchModel
+from .labeling import (
+    TrainingLabels,
+    build_labels,
+    caching_targets,
+    prefetch_targets,
+)
+from .training import (
+    TrainResult,
+    train_caching_model,
+    train_prefetch_model,
+    caching_accuracy,
+    prefetch_metrics,
+    output_collapse_ratio,
+)
+from .manager import RecMGManager, ManagerStats, ModelPrefetcher
+from .pipeline import (
+    simulate_thread_throughput,
+    PipelineSimulator,
+    PipelineResult,
+)
+from .recmg import RecMG, FitReport
+from .persistence import save_recmg, load_recmg
+
+__all__ = [
+    "RecMGConfig", "FeatureEncoder", "EncodedChunks",
+    "CachingModel", "PrefetchModel",
+    "TrainingLabels", "build_labels", "caching_targets", "prefetch_targets",
+    "TrainResult", "train_caching_model", "train_prefetch_model",
+    "caching_accuracy", "prefetch_metrics", "output_collapse_ratio",
+    "RecMGManager", "ManagerStats", "ModelPrefetcher",
+    "simulate_thread_throughput", "PipelineSimulator", "PipelineResult",
+    "RecMG", "FitReport", "save_recmg", "load_recmg",
+]

@@ -1,0 +1,105 @@
+"""RecMG caching model (paper §V-A, Fig. 5a).
+
+An LSTM encoder with attention reads a chunk of accesses and emits, per
+input position, a 1-bit priority: should this vector stay in the GPU
+buffer?  The output sequence has the same length as the input, so each
+position classifies *its own* access — we therefore align outputs with
+encoder states by construction (position ``t``'s logit is computed from
+encoder state ``t`` attending over the whole chunk), instead of asking
+a free-running decoder to learn the alignment.  Trained as binary
+classification (cross-entropy / sigmoid) against OPTgen's cache-friendly
+labels, which lets the model approximate Belady's policy online.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import Embedding, LSTM, Linear, Module, Tensor, concat, softmax
+from .. import nn as _nn
+from .config import RecMGConfig
+from .features import EncodedChunks
+
+
+class CachingModel(Module):
+    """Binary keep-in-buffer classifier over access chunks."""
+
+    def __init__(self, config: RecMGConfig, num_tables: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        rng = rng or np.random.default_rng(config.seed)
+        self.config = config
+        self.table_embedding = Embedding(max(1, num_tables), config.embed_dim,
+                                         rng=rng)
+        self.row_embedding = Embedding(config.hash_buckets, config.embed_dim,
+                                       rng=rng)
+        input_size = 2 * config.embed_dim + 2
+        self.lstm_layers = [
+            LSTM(input_size if i == 0 else config.hidden, config.hidden,
+                 rng=rng)
+            for i in range(config.caching_stacks)
+        ]
+        from ..nn import init as initializers
+
+        self.att_weight = Tensor(
+            initializers.xavier_uniform((config.hidden, config.hidden), rng),
+            requires_grad=True,
+        )
+        self.combine = Linear(2 * config.hidden, config.hidden, rng=rng)
+        self.head = Linear(config.hidden, 1, rng=rng)
+
+    # ------------------------------------------------------------------
+    def _inputs(self, chunks: EncodedChunks, sel: np.ndarray) -> Tensor:
+        batch = len(sel)
+        length = self.config.input_len
+        tables = self.table_embedding(chunks.table_ids[sel].reshape(-1))
+        rows = self.row_embedding(chunks.hashed_rows[sel].reshape(-1))
+        dim = self.config.embed_dim
+        scalars = Tensor(np.stack([
+            chunks.norm_index[sel].reshape(-1),
+            chunks.freq[sel].reshape(-1),
+        ], axis=1))
+        features = concat([tables, rows, scalars], axis=1)
+        return features.reshape(batch, length, 2 * dim + 2)
+
+    def forward(self, chunks: EncodedChunks,
+                sel: Optional[np.ndarray] = None) -> Tensor:
+        """Logits of shape (batch, input_len)."""
+        if sel is None:
+            sel = np.arange(len(chunks))
+        states = self._inputs(chunks, sel)
+        for layer in self.lstm_layers:
+            states, _ = layer(states)                 # (B, L, H)
+        batch, length, hidden = states.shape
+        # Position-aligned attention: every position attends over the
+        # full chunk ("even when accesses ... are far apart", §V).
+        projected = states @ self.att_weight          # (B, L, H)
+        scores = projected @ states.transpose(0, 2, 1)  # (B, L, L)
+        weights = softmax(scores, axis=-1)
+        context = weights @ states                    # (B, L, H)
+        combined = concat([states, context], axis=2)  # (B, L, 2H)
+        combined = combined.reshape(batch * length, 2 * hidden)
+        hidden_out = self.combine(combined).tanh()
+        logits = self.head(hidden_out)
+        return logits.reshape(batch, length)
+
+    # ------------------------------------------------------------------
+    def predict(self, chunks: EncodedChunks,
+                sel: Optional[np.ndarray] = None) -> np.ndarray:
+        """Binary keep/evict decisions, shape (batch, input_len)."""
+        logits = self.forward(chunks, sel=sel)
+        return (logits.data > 0.0).astype(np.int8)
+
+    def predict_single(self, table_ids: np.ndarray, hashed_rows: np.ndarray,
+                       norm_index: np.ndarray, freq: np.ndarray) -> np.ndarray:
+        """Decision bits for one raw chunk (used by the online manager)."""
+        chunk = EncodedChunks(
+            table_ids=table_ids.reshape(1, -1),
+            hashed_rows=hashed_rows.reshape(1, -1),
+            norm_index=norm_index.reshape(1, -1),
+            freq=freq.reshape(1, -1),
+            dense_ids=np.zeros_like(table_ids).reshape(1, -1),
+            starts=np.zeros(1, dtype=np.int64),
+        )
+        return self.predict(chunk)[0]

@@ -1,0 +1,69 @@
+"""RecMG configuration (paper §VII-A default configuration)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RecMGConfig:
+    """Hyperparameters for the RecMG caching + prefetch models.
+
+    Defaults follow the paper: input sequences of 15 accesses, prefetch
+    output sequences of 5, evaluation window 15 (3x the output length),
+    one LSTM stack for the caching model, two for the prefetch model,
+    Chamfer alpha 0.7, ``eviction_speed`` 4.
+    """
+
+    # Sequence geometry.
+    input_len: int = 15
+    output_len: int = 5
+    window_ratio: int = 3
+
+    # Model sizes (kept small: the paper's models are 37K/74K params and
+    # must run on spare CPU cycles).
+    embed_dim: int = 16
+    hidden: int = 48
+    hash_buckets: int = 2048
+    caching_stacks: int = 1
+    prefetch_stacks: int = 2
+
+    # Training.
+    alpha: float = 0.7
+    learning_rate: float = 1e-2
+    caching_epochs: int = 3
+    prefetch_epochs: int = 6
+    batch_size: int = 32
+    max_train_chunks: int = 1500
+    grad_clip: float = 5.0
+    seed: int = 0
+
+    # Deployment.
+    eviction_speed: int = 4
+    #: Fraction of the GPU buffer given to optgen when labeling, leaving
+    #: headroom for prefetched vectors (paper: 80%).
+    optgen_fraction: float = 0.8
+    #: Cap on prefetch insertions per chunk.
+    max_prefetch_per_chunk: int = 5
+    #: Snapping radius of the index decoder, as a fraction of the dense
+    #: vocabulary (see :class:`repro.core.prefetch_model.IndexDecoder`).
+    decode_radius_frac: float = 0.005
+
+    @property
+    def eval_window(self) -> int:
+        """Evaluation window length |W| = ratio x |PO| (paper Fig. 12)."""
+        return self.window_ratio * self.output_len
+
+    def __post_init__(self) -> None:
+        if self.input_len < 1 or self.output_len < 1:
+            raise ValueError("sequence lengths must be positive")
+        if self.output_len > self.input_len:
+            raise ValueError("output length must not exceed input length")
+        if self.window_ratio < 1:
+            raise ValueError("window_ratio must be >= 1")
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError("alpha must lie in (0, 1)")
+        if not 0.0 < self.optgen_fraction <= 1.0:
+            raise ValueError("optgen_fraction must lie in (0, 1]")
+        if self.eviction_speed < 1:
+            raise ValueError("eviction_speed must be >= 1")

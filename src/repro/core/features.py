@@ -1,0 +1,162 @@
+"""Feature encoding for the RecMG models (paper Fig. 5, left side).
+
+Both models consume chunks of ``input_len`` consecutive accesses, each
+represented by its (table id, row id).  Following the paper, sequences
+are truncated into fixed-size chunks regardless of query boundaries —
+"an input sequence may come from the same or multiple inference
+queries" — so cross-query correlations remain visible.
+
+Per access we build three channels:
+
+* an embedding of the **table id**,
+* an embedding of the **hashed row id** (the paper's "Hashing" box:
+  the raw row vocabulary is too large to embed directly),
+* the **normalized dense index** as a scalar — the continuous value the
+  prefetch model regresses and the Chamfer loss scores.
+
+The dense vocabulary comes from :func:`repro.traces.access.remap_to_dense`,
+which keeps same-table rows contiguous so nearby dense ids are
+semantically related (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..traces.access import Trace, remap_to_dense
+from .config import RecMGConfig
+
+
+@dataclass
+class EncodedChunks:
+    """Fixed-size chunks ready for model consumption.
+
+    All arrays have shape (num_chunks, input_len) except ``starts``
+    which records each chunk's starting offset in the source trace.
+    ``freq`` is the normalized log access frequency of each vector —
+    popularity is the strongest predictor of cache-friendliness, and an
+    access counter is cheaply available online.
+    """
+
+    table_ids: np.ndarray
+    hashed_rows: np.ndarray
+    norm_index: np.ndarray
+    freq: np.ndarray
+    dense_ids: np.ndarray
+    starts: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.table_ids.shape[0])
+
+
+class FeatureEncoder:
+    """Maps traces to model inputs over a fixed dense vocabulary."""
+
+    def __init__(self, config: RecMGConfig) -> None:
+        self.config = config
+        self._key_to_dense: Optional[Dict[int, int]] = None
+        self._table_to_id: Optional[Dict[int, int]] = None
+        self._freq_table: Optional[np.ndarray] = None
+        self.vocab_size = 0
+        self.num_tables = 0
+
+    @property
+    def fitted(self) -> bool:
+        return self._key_to_dense is not None
+
+    def fit(self, trace: Trace) -> "FeatureEncoder":
+        """Learn the dense vocabulary, table universe and per-vector
+        access frequencies from ``trace``."""
+        dense, mapping = remap_to_dense(trace)
+        self._key_to_dense = mapping
+        self.vocab_size = len(mapping)
+        tables = np.unique(trace.table_ids)
+        self._table_to_id = {int(t): i for i, t in enumerate(tables)}
+        self.num_tables = len(tables)
+        counts = np.bincount(dense, minlength=self.vocab_size).astype(np.float64)
+        log_counts = np.log1p(counts)
+        peak = log_counts.max() if log_counts.size else 1.0
+        self._freq_table = log_counts / max(peak, 1e-9)
+        return self
+
+    def freq_values(self, dense: np.ndarray) -> np.ndarray:
+        """Normalized log-frequency per dense id (0 for unseen ids)."""
+        if self._freq_table is None:
+            raise RuntimeError("encoder not fitted")
+        dense = np.asarray(dense, dtype=np.int64)
+        clipped = np.clip(dense, 0, self.vocab_size - 1)
+        values = self._freq_table[clipped]
+        return np.where(dense < self.vocab_size, values, 0.0)
+
+    # ------------------------------------------------------------------
+    def dense_ids(self, trace: Trace) -> np.ndarray:
+        """Dense id per access.
+
+        Keys unseen at fit time receive *unique* ids above the
+        vocabulary (``vocab_size + packed_key``): they still flow
+        through hashing/normalization for the models, but they can never
+        alias a trained vector — aliasing would fabricate buffer hits.
+        """
+        if not self.fitted:
+            raise RuntimeError("encoder not fitted")
+        keys = trace.keys()
+        out = np.empty(len(keys), dtype=np.int64)
+        mapping = self._key_to_dense
+        vocab = self.vocab_size
+        for i, key in enumerate(keys):
+            dense = mapping.get(int(key))
+            out[i] = dense if dense is not None else vocab + int(key)
+        return out
+
+    def table_indices(self, trace: Trace) -> np.ndarray:
+        lookup = self._table_to_id
+        num = self.num_tables
+        return np.array(
+            [lookup.get(int(t), int(t) % max(1, num)) for t in trace.table_ids],
+            dtype=np.int64,
+        )
+
+    def normalize(self, dense: np.ndarray) -> np.ndarray:
+        """Dense ids -> [0, 1] scalars (the regression target space).
+
+        Unseen ids (>= vocab_size) clip to 1.0.
+        """
+        values = dense.astype(np.float64) / max(1, self.vocab_size - 1)
+        return np.clip(values, 0.0, 1.0)
+
+    def denormalize(self, values: np.ndarray) -> np.ndarray:
+        """Model outputs back to dense ids (rounded, clipped)."""
+        scaled = np.clip(values, 0.0, 1.0) * max(1, self.vocab_size - 1)
+        return np.rint(scaled).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def encode_chunks(self, trace: Trace, stride: Optional[int] = None
+                      ) -> EncodedChunks:
+        """Cut the trace into ``input_len`` chunks (stride defaults to
+        the chunk length, i.e. non-overlapping)."""
+        if not self.fitted:
+            raise RuntimeError("encoder not fitted")
+        length = self.config.input_len
+        stride = stride or length
+        dense = self.dense_ids(trace)
+        tables = self.table_indices(trace)
+        hashed = dense % self.config.hash_buckets
+        norm = self.normalize(dense)
+        starts = np.arange(0, len(dense) - length + 1, stride)
+        if len(starts) == 0:
+            raise ValueError(
+                f"trace shorter ({len(dense)}) than one chunk ({length})"
+            )
+        idx = starts[:, None] + np.arange(length)[None, :]
+        freq = self.freq_values(dense)
+        return EncodedChunks(
+            table_ids=tables[idx],
+            hashed_rows=hashed[idx],
+            norm_index=norm[idx],
+            freq=freq[idx],
+            dense_ids=dense[idx],
+            starts=starts,
+        )

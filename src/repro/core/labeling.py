@@ -1,0 +1,94 @@
+"""Ground-truth generation for RecMG training (paper §VI-A).
+
+Pipeline: trace -> OPTgen (at ``optgen_fraction`` of the GPU buffer, the
+paper's 80% headroom rule) -> *caching trace* of per-access keep bits ->
+*prefetch trace* of the accesses that still miss under OPT.
+
+The caching model trains on (chunk -> keep bits); the prefetch model
+trains on (chunk -> window of upcoming OPT misses), with the window
+longer than the model output (paper Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..cache.optgen import OptgenResult, run_optgen
+from ..traces.access import Trace
+from .config import RecMGConfig
+from .features import EncodedChunks, FeatureEncoder
+
+
+@dataclass
+class TrainingLabels:
+    """Everything derived from one OPTgen pass over a training trace."""
+
+    #: Per-access keep-in-buffer bit (the caching trace).
+    cache_friendly: np.ndarray
+    #: Per-access OPT hit bit.
+    opt_hits: np.ndarray
+    #: Sorted positions (into the trace) of OPT misses (the prefetch trace).
+    miss_positions: np.ndarray
+    #: Dense id of every access (aligned with the trace).
+    dense_ids: np.ndarray
+    #: OPT hit rate achieved by the labeling pass.
+    opt_hit_rate: float
+
+
+def build_labels(trace: Trace, buffer_capacity: int, config: RecMGConfig,
+                 encoder: FeatureEncoder) -> TrainingLabels:
+    """Run OPTgen and derive caching + prefetch ground truth."""
+    budget = max(1, int(buffer_capacity * config.optgen_fraction))
+    result = run_optgen(trace, budget)
+    miss_positions = np.nonzero(~result.opt_hits)[0]
+    return TrainingLabels(
+        cache_friendly=result.cache_friendly.astype(np.float64),
+        opt_hits=result.opt_hits,
+        miss_positions=miss_positions,
+        dense_ids=encoder.dense_ids(trace),
+        opt_hit_rate=result.hit_rate,
+    )
+
+
+def caching_targets(chunks: EncodedChunks,
+                    labels: TrainingLabels) -> np.ndarray:
+    """Per-chunk binary targets, shape (num_chunks, input_len)."""
+    length = chunks.table_ids.shape[1]
+    idx = chunks.starts[:, None] + np.arange(length)[None, :]
+    return labels.cache_friendly[idx]
+
+
+def prefetch_targets(chunks: EncodedChunks, labels: TrainingLabels,
+                     config: RecMGConfig, encoder: FeatureEncoder,
+                     window: Optional[int] = None
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Evaluation windows of upcoming OPT misses per chunk.
+
+    Returns ``(sel, windows_norm, windows_dense)`` where ``sel`` indexes
+    chunks that have a full window of future misses, ``windows_norm`` is
+    (len(sel), window) of normalized targets for the Chamfer loss, and
+    ``windows_dense`` holds the raw dense ids for metric computation.
+    """
+    window = window or config.eval_window
+    length = chunks.table_ids.shape[1]
+    miss_positions = labels.miss_positions
+    sel = []
+    dense_windows = []
+    for chunk_idx, start in enumerate(chunks.starts):
+        chunk_end = start + length  # first position after the chunk
+        lo = np.searchsorted(miss_positions, chunk_end)
+        hi = lo + window
+        if hi > len(miss_positions):
+            continue
+        future = miss_positions[lo:hi]
+        sel.append(chunk_idx)
+        dense_windows.append(labels.dense_ids[future])
+    if not sel:
+        raise ValueError("no chunk has a full window of future misses; "
+                         "use a longer trace or a smaller window")
+    sel_arr = np.asarray(sel, dtype=np.int64)
+    dense_arr = np.stack(dense_windows)
+    return sel_arr, encoder.normalize(dense_arr), dense_arr

@@ -1,0 +1,179 @@
+"""RecMG prefetch model (paper §V-B, Fig. 5b).
+
+Two seq2seq LSTM stacks with attention followed by a fully connected
+projection.  The encoder/decoder "naturally generates a dense
+representation of embedding vectors in a continuous space" (paper §V);
+we exploit that directly: the model emits ``output_len`` *vectors* in
+the row-embedding space, the bidirectional Chamfer loss (Eq. 5) matches
+the emitted set against the embeddings of the evaluation window, and
+decoding maps each emitted vector to the nearest row-embedding bucket
+and then to the hottest miss candidate hashed into that bucket.
+
+This sidesteps the precision wall of regressing a raw scalar index over
+a large vocabulary while preserving the paper's structure: sequence
+output, Chamfer training with a decoupled (longer) evaluation window,
+and an index-producing projection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Embedding, Linear, Module, StackedSeq2Seq, Tensor, concat
+from .config import RecMGConfig
+from .features import EncodedChunks
+
+
+class BucketDecoder:
+    """Maps emitted vectors to embedding-vector ids.
+
+    ``bucket_hot[b]`` is the dense id of the most frequently *missing*
+    vector whose hash bucket is ``b`` (or -1 when no miss candidate
+    hashes there).  Decoding = nearest bucket embedding (L1), then the
+    bucket's hot candidate; bucketless outputs fall back to the global
+    hottest miss candidate.
+    """
+
+    def __init__(self, bucket_hot: np.ndarray, fallback: int) -> None:
+        self.bucket_hot = np.asarray(bucket_hot, dtype=np.int64)
+        self.fallback = int(fallback)
+
+    @classmethod
+    def from_miss_ids(cls, miss_dense_ids: np.ndarray,
+                      hash_buckets: int) -> "BucketDecoder":
+        ids, counts = np.unique(miss_dense_ids, return_counts=True)
+        bucket_hot = np.full(hash_buckets, -1, dtype=np.int64)
+        best_count = np.zeros(hash_buckets, dtype=np.int64)
+        for dense_id, count in zip(ids, counts):
+            bucket = int(dense_id) % hash_buckets
+            if count > best_count[bucket]:
+                best_count[bucket] = count
+                bucket_hot[bucket] = dense_id
+        fallback = int(ids[np.argmax(counts)]) if len(ids) else 0
+        return cls(bucket_hot, fallback)
+
+    def decode(self, vectors: np.ndarray, bucket_embeddings: np.ndarray
+               ) -> np.ndarray:
+        """``vectors``: (..., d) emitted points; returns dense ids."""
+        flat = vectors.reshape(-1, vectors.shape[-1])
+        # L1 nearest bucket; restrict to buckets that have a candidate.
+        valid = np.nonzero(self.bucket_hot >= 0)[0]
+        if len(valid) == 0:
+            return np.full(vectors.shape[:-1], self.fallback, dtype=np.int64)
+        candidates = bucket_embeddings[valid]                 # (V, d)
+        dists = np.abs(flat[:, None, :] - candidates[None, :, :]).sum(axis=2)
+        nearest = valid[np.argmin(dists, axis=1)]
+        return self.bucket_hot[nearest].reshape(vectors.shape[:-1])
+
+    def decode_buckets(self, logits: np.ndarray) -> np.ndarray:
+        """``logits``: (..., num_buckets) scores; returns dense ids of
+        the highest-scoring bucket that has a miss candidate."""
+        flat = logits.reshape(-1, logits.shape[-1])
+        masked = np.where(self.bucket_hot >= 0, flat, -np.inf)
+        best = np.argmax(masked, axis=1)
+        ids = self.bucket_hot[best]
+        ids = np.where(ids >= 0, ids, self.fallback)
+        return ids.reshape(logits.shape[:-1])
+
+
+class PrefetchModel(Module):
+    """Sequence model: chunk of accesses -> vectors -> indices to prefetch."""
+
+    def __init__(self, config: RecMGConfig, num_tables: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        rng = rng or np.random.default_rng(config.seed + 1)
+        self.config = config
+        self.decoder: Optional[BucketDecoder] = None
+        self.table_embedding = Embedding(max(1, num_tables), config.embed_dim,
+                                         rng=rng)
+        self.row_embedding = Embedding(config.hash_buckets, config.embed_dim,
+                                       rng=rng)
+        self.backbone = StackedSeq2Seq(
+            input_size=2 * config.embed_dim + 2,
+            hidden_size=config.hidden,
+            out_steps=config.output_len,
+            num_stacks=config.prefetch_stacks,
+            rng=rng,
+        )
+        # "Fully Connected & Projection" (Fig. 5b): attention vectors ->
+        # scores over index buckets; the emitted *point* scored by the
+        # Chamfer loss is the probability-weighted codeword.
+        self.projection = Linear(config.hidden, config.hidden, rng=rng)
+        self.head = Linear(config.hidden, config.hash_buckets, rng=rng)
+        # Fixed random codebook defining the target space: one point per
+        # hash bucket.  Keeping it frozen makes the Chamfer objective
+        # stationary (trainable targets would drift under the encoder's
+        # own updates); soft bucket scores are differentiable through
+        # the expected codeword.
+        self.target_table = Tensor(
+            rng.normal(0.0, 1.0, size=(config.hash_buckets, config.embed_dim))
+        )
+
+    def _inputs(self, chunks: EncodedChunks, sel: np.ndarray) -> Tensor:
+        batch = len(sel)
+        length = self.config.input_len
+        tables = self.table_embedding(chunks.table_ids[sel].reshape(-1))
+        rows = self.row_embedding(chunks.hashed_rows[sel].reshape(-1))
+        dim = self.config.embed_dim
+        scalars = Tensor(np.stack([
+            chunks.norm_index[sel].reshape(-1),
+            chunks.freq[sel].reshape(-1),
+        ], axis=1))
+        features = concat([tables, rows, scalars], axis=1)
+        return features.reshape(batch, length, 2 * dim + 2)
+
+    def forward_logits(self, chunks: EncodedChunks,
+                       sel: Optional[np.ndarray] = None) -> Tensor:
+        """Bucket scores, shape (batch, output_len, hash_buckets)."""
+        if sel is None:
+            sel = np.arange(len(chunks))
+        inputs = self._inputs(chunks, sel)
+        states = self.backbone(inputs)                  # (B, P, H)
+        batch, steps, hidden = states.shape
+        hidden_flat = states.reshape(batch * steps, hidden)
+        projected = self.projection(hidden_flat).tanh()
+        logits = self.head(projected)
+        return logits.reshape(batch, steps, self.config.hash_buckets)
+
+    def forward(self, chunks: EncodedChunks,
+                sel: Optional[np.ndarray] = None) -> Tensor:
+        """Emitted points (expected codewords), (batch, output_len, dim)."""
+        from ..nn import softmax as _softmax
+
+        logits = self.forward_logits(chunks, sel=sel)
+        probs = _softmax(logits, axis=-1)               # (B, P, K)
+        return probs @ self.target_table                # (B, P, D)
+
+    # ------------------------------------------------------------------
+    def target_points(self, hashed_window: np.ndarray) -> Tensor:
+        """Codebook points of the evaluation-window ids (constants)."""
+        batch, window = hashed_window.shape
+        points = self.target_table.data[hashed_window.reshape(-1)]
+        return Tensor(points.reshape(batch, window, self.config.embed_dim))
+
+    def set_decoder(self, decoder: BucketDecoder) -> None:
+        """Attach the bucket decoder (built during fit from miss ids)."""
+        self.decoder = decoder
+
+    def predict_indices(self, chunks: EncodedChunks, encoder,
+                        sel: Optional[np.ndarray] = None) -> np.ndarray:
+        """Dense embedding-vector ids to prefetch, (batch, output_len)."""
+        if self.decoder is None:
+            raise RuntimeError("no decoder attached; call set_decoder()")
+        logits = self.forward_logits(chunks, sel=sel).data
+        return self.decoder.decode_buckets(logits)
+
+    def predict_single(self, table_ids: np.ndarray, hashed_rows: np.ndarray,
+                       norm_index: np.ndarray, freq: np.ndarray,
+                       encoder) -> np.ndarray:
+        chunk = EncodedChunks(
+            table_ids=table_ids.reshape(1, -1),
+            hashed_rows=hashed_rows.reshape(1, -1),
+            norm_index=norm_index.reshape(1, -1),
+            freq=freq.reshape(1, -1),
+            dense_ids=np.zeros_like(table_ids).reshape(1, -1),
+            starts=np.zeros(1, dtype=np.int64),
+        )
+        return self.predict_indices(chunk, encoder)[0]

@@ -1,0 +1,26 @@
+"""DLRM substrate: model, queries, tiered memory, inference timing."""
+
+from .embedding import EmbeddingTable, EmbeddingBagCollection
+from .model import DLRM, DLRMConfig
+from .query import InferenceQuery, queries_from_trace, batched
+from .tiered import TieredMemoryConfig
+from .inference import (
+    BatchTiming,
+    InferenceReport,
+    InferenceEngine,
+    ManagerClassifier,
+)
+from .perfmodel import (
+    ControlledHitRateCache,
+    LinearPerformanceModel,
+    calibrate,
+)
+
+__all__ = [
+    "EmbeddingTable", "EmbeddingBagCollection",
+    "DLRM", "DLRMConfig",
+    "InferenceQuery", "queries_from_trace", "batched",
+    "TieredMemoryConfig",
+    "BatchTiming", "InferenceReport", "InferenceEngine", "ManagerClassifier",
+    "ControlledHitRateCache", "LinearPerformanceModel", "calibrate",
+]

@@ -1,0 +1,96 @@
+"""Pure-numpy DLRM (Naumov et al.) for inference (paper Fig. 1).
+
+Bottom MLP projects continuous features into the latent space; embedding
+bags handle categorical features; the interaction layer takes pairwise
+dot products; the top MLP produces the click-through-rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn import MLP, Tensor
+from .embedding import EmbeddingBagCollection
+
+
+@dataclass
+class DLRMConfig:
+    """Shape of the DLRM used by the inference experiments."""
+
+    num_tables: int = 12
+    rows_per_table: int = 4096
+    embedding_dim: int = 16
+    num_dense_features: int = 8
+    bottom_mlp: Sequence[int] = (32, 16)
+    top_mlp: Sequence[int] = (64, 32, 1)
+    seed: int = 0
+
+
+class DLRM:
+    """Inference-only DLRM over numpy arrays."""
+
+    def __init__(self, config: Optional[DLRMConfig] = None) -> None:
+        self.config = config or DLRMConfig()
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self.embeddings = EmbeddingBagCollection(
+            cfg.num_tables, cfg.rows_per_table, cfg.embedding_dim,
+            seed=cfg.seed,
+        )
+        self.bottom_mlp = MLP(
+            [cfg.num_dense_features, *cfg.bottom_mlp, cfg.embedding_dim],
+            rng=rng,
+        )
+        num_features = cfg.num_tables + 1  # pooled tables + bottom output
+        num_interactions = num_features * (num_features - 1) // 2
+        self.top_mlp = MLP(
+            [num_interactions + cfg.embedding_dim, *cfg.top_mlp],
+            rng=rng, final_activation="sigmoid",
+        )
+
+    # ------------------------------------------------------------------
+    def interact(self, features: np.ndarray) -> np.ndarray:
+        """Pairwise dot-product interaction; features (F, dim)."""
+        gram = features @ features.T
+        upper = gram[np.triu_indices(features.shape[0], k=1)]
+        return upper
+
+    def forward_one(self, dense: np.ndarray,
+                    per_table_rows: Dict[int, np.ndarray]) -> float:
+        """CTR for one query."""
+        dense_latent = self.bottom_mlp(Tensor(dense.reshape(1, -1))).data[0]
+        pooled = self.embeddings.pooled_lookup(per_table_rows)
+        features = np.vstack([dense_latent, pooled])
+        interactions = self.interact(features)
+        top_in = np.concatenate([interactions, dense_latent])
+        ctr = self.top_mlp(Tensor(top_in.reshape(1, -1))).data[0, 0]
+        return float(ctr)
+
+    def forward_batch(self, dense_batch: np.ndarray,
+                      sparse_batch: List[Dict[int, np.ndarray]]
+                      ) -> np.ndarray:
+        """CTRs for a batch of queries."""
+        if len(dense_batch) != len(sparse_batch):
+            raise ValueError("dense and sparse batch sizes differ")
+        return np.array([
+            self.forward_one(dense_batch[i], sparse_batch[i])
+            for i in range(len(sparse_batch))
+        ])
+
+    # ------------------------------------------------------------------
+    @property
+    def flops_per_query(self) -> int:
+        """Rough MAC count (used by the GPU-compute latency model)."""
+        cfg = self.config
+        total = 0
+        sizes = [cfg.num_dense_features, *cfg.bottom_mlp, cfg.embedding_dim]
+        total += sum(a * b for a, b in zip(sizes[:-1], sizes[1:]))
+        num_features = cfg.num_tables + 1
+        total += num_features * num_features * cfg.embedding_dim
+        inter = num_features * (num_features - 1) // 2
+        sizes = [inter + cfg.embedding_dim, *cfg.top_mlp]
+        total += sum(a * b for a, b in zip(sizes[:-1], sizes[1:]))
+        return total

@@ -1,0 +1,80 @@
+"""Linear performance model: inference time vs cache hit rate (Fig. 18).
+
+The paper fits ``time = a - b * hit_rate`` on synthetic traces with
+controlled hit rates (RMSE < 3.75 ms, < 1.7%), then uses the model to
+estimate inference latency for strategies given only their measured hit
+rates (Fig. 19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..traces.access import Trace
+from .inference import InferenceEngine, InferenceReport
+from .tiered import TieredMemoryConfig
+
+
+class ControlledHitRateCache:
+    """A classifier that produces a target hit rate deterministically.
+
+    Hits are spread evenly through the stream (Bresenham-style), so a
+    run over N accesses yields ``round(N * hit_rate)`` hits.
+    """
+
+    def __init__(self, hit_rate: float) -> None:
+        if not 0.0 <= hit_rate <= 1.0:
+            raise ValueError("hit_rate must lie in [0, 1]")
+        self.hit_rate = hit_rate
+        self._accumulator = 0.0
+
+    def access(self, key: int, pc: int = 0) -> bool:
+        self._accumulator += self.hit_rate
+        if self._accumulator >= 1.0:
+            self._accumulator -= 1.0
+            return True
+        return False
+
+
+@dataclass
+class LinearPerformanceModel:
+    """``predict(hit_rate) = intercept + slope * hit_rate`` (slope < 0)."""
+
+    slope: float
+    intercept: float
+    rmse_ms: float
+
+    def predict(self, hit_rate: float) -> float:
+        return self.intercept + self.slope * hit_rate
+
+    @classmethod
+    def fit(cls, hit_rates: Sequence[float], times_ms: Sequence[float]
+            ) -> "LinearPerformanceModel":
+        x = np.asarray(hit_rates, dtype=np.float64)
+        y = np.asarray(times_ms, dtype=np.float64)
+        if len(x) < 2:
+            raise ValueError("need at least two calibration points")
+        slope, intercept = np.polyfit(x, y, deg=1)
+        residual = y - (intercept + slope * x)
+        return cls(slope=float(slope), intercept=float(intercept),
+                   rmse_ms=float(np.sqrt(np.mean(residual ** 2))))
+
+
+def calibrate(engine: InferenceEngine, trace: Trace,
+              hit_rates: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+              batch_queries: int = 512
+              ) -> Tuple[LinearPerformanceModel, List[InferenceReport]]:
+    """Measure inference time under controlled hit rates and fit the
+    linear model (the Fig. 18 procedure)."""
+    reports: List[InferenceReport] = []
+    times: List[float] = []
+    for rate in hit_rates:
+        report = engine.run(trace, ControlledHitRateCache(rate),
+                            batch_queries=batch_queries)
+        reports.append(report)
+        times.append(report.mean_batch_ms)
+    model = LinearPerformanceModel.fit(list(hit_rates), times)
+    return model, reports

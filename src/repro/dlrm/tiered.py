@@ -1,0 +1,48 @@
+"""Tiered-memory latency model (GPU HBM + host DRAM over PCIe).
+
+The paper's platform keeps a small GPU buffer of embedding vectors and
+fetches misses from host memory, with on-demand fetches costing
+O(10 us) each (paper §I).  This module charges those costs to hit/miss
+streams so the inference engine can produce the paper's time breakdowns
+without the hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TieredMemoryConfig:
+    """Latency/bandwidth parameters (defaults sized for an A100-class
+    GPU and PCIe 4.0 host link, per the paper's O(10 us) fetch cost)."""
+
+    #: Per-vector on-demand fetch latency from host memory (us).
+    host_fetch_us: float = 10.0
+    #: Per-vector access cost inside the GPU buffer (us).
+    gpu_hit_us: float = 0.05
+    #: PCIe bulk-copy bandwidth for batched embedding upload (GB/s).
+    pcie_bandwidth_gbs: float = 20.0
+    #: Fixed per-batch kernel/sync overhead (ms) ("Others" in Fig. 16).
+    batch_overhead_ms: float = 2.0
+    #: GPU throughput for the dense part (GFLOP/s effective).
+    gpu_gflops: float = 2000.0
+    #: Bytes per embedding vector element.
+    element_bytes: int = 4
+
+    def copy_time_ms(self, num_vectors: int, dim: int) -> float:
+        """Batched embedding + metadata upload over PCIe (ms)."""
+        payload = num_vectors * dim * self.element_bytes
+        metadata = num_vectors / 8.0  # 1-bit priority per vector
+        seconds = (payload + metadata) / (self.pcie_bandwidth_gbs * 1e9)
+        return seconds * 1e3
+
+    def on_demand_time_ms(self, num_misses: int) -> float:
+        """Serialized on-demand fetches from host memory (ms)."""
+        return num_misses * self.host_fetch_us * 1e-3
+
+    def hit_time_ms(self, num_hits: int) -> float:
+        return num_hits * self.gpu_hit_us * 1e-3
+
+    def compute_time_ms(self, flops: float) -> float:
+        return flops / (self.gpu_gflops * 1e9) * 1e3

@@ -1,0 +1,79 @@
+"""Attention mechanisms for the RecMG sequence models.
+
+The paper uses attention so the models can "capture long-range
+dependencies" between embedding-vector accesses that are far apart in the
+input sequence (Section V).  We implement Luong-style (multiplicative)
+attention, which is cheap on CPU — matching the paper's constraint that
+the models run on spare CPU cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import init as initializers
+from .functional import softmax
+from .modules import Linear, Module
+from .tensor import Tensor, concat
+
+
+class LuongAttention(Module):
+    """General Luong attention.
+
+    Given a decoder state ``h`` (batch, hidden) and encoder states
+    ``states`` (batch, time, hidden), computes scores
+    ``h W states_t``, a softmax over time, a context vector, and returns
+    ``tanh(W_c [h; context])``.
+    """
+
+    def __init__(self, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.score_weight = Tensor(
+            initializers.xavier_uniform((hidden_size, hidden_size), rng),
+            requires_grad=True,
+        )
+        self.combine = Linear(2 * hidden_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+        self.last_weights: Optional[np.ndarray] = None
+
+    def forward(self, h: Tensor, states: Tensor) -> Tensor:
+        # scores: (batch, time) = sum_k (h W)[b, k] * states[b, t, k]
+        projected = h @ self.score_weight                       # (B, H)
+        batch, time, hidden = states.shape
+        # (B, T, H) @ (B, H, 1) -> (B, T, 1)
+        scores = states @ projected.reshape(batch, hidden, 1)
+        scores = scores.reshape(batch, time)
+        weights = softmax(scores, axis=-1)                      # (B, T)
+        self.last_weights = weights.data.copy()
+        # context: (B, H) = sum_t weights[b, t] * states[b, t, :]
+        context = (states * weights.reshape(batch, time, 1)).sum(axis=1)
+        combined = concat([h, context], axis=1)                 # (B, 2H)
+        return self.combine(combined).tanh()
+
+
+class SelfAttention(Module):
+    """Single-head scaled dot-product self-attention.
+
+    Used by the TransFetch-style baseline prefetcher
+    (:mod:`repro.prefetch.transfetch`).
+    """
+
+    def __init__(self, dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.query = Linear(dim, dim, rng=rng, bias=False)
+        self.key = Linear(dim, dim, rng=rng, bias=False)
+        self.value = Linear(dim, dim, rng=rng, bias=False)
+        self.dim = dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        # x: (B, T, D)
+        batch, time, dim = x.shape
+        q = self.query(x.reshape(batch * time, dim)).reshape(batch, time, dim)
+        k = self.key(x.reshape(batch * time, dim)).reshape(batch, time, dim)
+        v = self.value(x.reshape(batch * time, dim)).reshape(batch, time, dim)
+        scores = (q @ k.transpose(0, 2, 1)) * (1.0 / np.sqrt(dim))  # (B, T, T)
+        weights = softmax(scores, axis=-1)
+        return weights @ v

@@ -1,0 +1,54 @@
+"""Functional operations built on :class:`repro.nn.tensor.Tensor`."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def dropout(x: Tensor, rate: float, rng: Optional[np.random.Generator] = None,
+            training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or ``rate == 0``."""
+    if not training or rate <= 0.0:
+        return x
+    if rng is None:
+        rng = np.random.default_rng()
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    return x * Tensor(mask)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """``x @ weight + bias`` with weight of shape (in, out)."""
+    out = x @ weight
+    if bias is not None:
+        out = out + bias
+    return out

@@ -1,0 +1,23 @@
+"""Save and load module parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from .modules import Module
+
+import numpy as np
+
+
+def save_module(module: Module, path: Union[str, os.PathLike]) -> None:
+    """Serialize all named parameters of ``module`` into an ``.npz`` file."""
+    state = module.state_dict()
+    np.savez(path, **state)
+
+
+def load_module(module: Module, path: Union[str, os.PathLike]) -> None:
+    """Restore parameters previously written by :func:`save_module`."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

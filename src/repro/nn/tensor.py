@@ -1,0 +1,472 @@
+"""Reverse-mode autograd over numpy arrays.
+
+This module is the foundation of the ``repro.nn`` substrate: a small,
+well-tested ``Tensor`` type supporting the operations needed by the RecMG
+caching and prefetch models (seq2seq LSTMs with attention and custom
+losses).  The design follows the classic tape-based approach: every
+operation records a backward closure, and :meth:`Tensor.backward` walks
+the graph in reverse topological order.
+
+Broadcasting follows numpy semantics; gradients are "unbroadcast" (summed
+over the broadcast axes) so shapes always round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+
+def _as_array(data: ArrayLike) -> np.ndarray:
+    if isinstance(data, Tensor):
+        return data.data
+    arr = np.asarray(data, dtype=np.float64)
+    return arr
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over axes that were broadcast to reach ``grad.shape``.
+
+    This is the adjoint of numpy broadcasting: if a tensor of ``shape``
+    was broadcast to ``grad.shape`` in the forward pass, the gradient of
+    the original tensor is the sum over the broadcast dimensions.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum leading extra dims.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum dims that were size-1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autograd."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _prev: Sequence["Tensor"] = (),
+        name: str = "",
+    ) -> None:
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[], None]] = None
+        self._prev: Tuple["Tensor", ...] = tuple(_prev)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        grad = ", grad" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad})"
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    def _make_child(self, data: np.ndarray, parents: Sequence["Tensor"]) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        return Tensor(data, requires_grad=requires, _prev=parents if requires else ())
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make_child(self.data + other_t.data, (self, other_t))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(out.grad, self.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(unbroadcast(out.grad, other_t.shape))
+
+        out._backward = backward
+        return out
+
+    __radd__ = __add__
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make_child(self.data * other_t.data, (self, other_t))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(out.grad * other_t.data, self.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(unbroadcast(out.grad * self.data, other_t.shape))
+
+        out._backward = backward
+        return out
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        return self + (-other_t)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) + (-self)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        return self * other_t.pow(-1.0)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) * self.pow(-1.0)
+
+    def pow(self, exponent: float) -> "Tensor":
+        out = self._make_child(np.power(self.data, exponent), (self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                grad = exponent * np.power(self.data, exponent - 1.0) * out.grad
+                self._accumulate(grad)
+
+        out._backward = backward
+        return out
+
+    __pow__ = pow
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make_child(self.data @ other_t.data, (self, other_t))
+
+        def backward() -> None:
+            a, b = self.data, other_t.data
+            g = out.grad
+            if self.requires_grad:
+                if a.ndim == 1:
+                    # (n,) @ (n, m) -> (m,); gA = B @ g
+                    ga = b @ g
+                elif b.ndim == 1:
+                    # (..., n, k) @ (k,) -> (..., n); gA = g[..., None] * b
+                    ga = g[..., None] * b
+                else:
+                    ga = g @ np.swapaxes(b, -1, -2)
+                if ga.shape != a.shape:
+                    ga = unbroadcast(ga, a.shape)
+                self._accumulate(ga)
+            if other_t.requires_grad:
+                if b.ndim == 1:
+                    # (..., n, k) @ (k,) -> (..., n); gB = sum over batch of A^T g
+                    gb = (a * g[..., None]).reshape(-1, b.shape[0]).sum(axis=0)
+                elif a.ndim == 1:
+                    gb = np.outer(a, g)
+                else:
+                    gb = np.swapaxes(a, -1, -2) @ g
+                if gb.shape != b.shape:
+                    gb = unbroadcast(gb, b.shape)
+                other_t._accumulate(gb)
+
+        out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Elementwise non-linearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out = self._make_child(np.exp(self.data), (self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.data * out.grad)
+
+        out._backward = backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = self._make_child(np.log(self.data), (self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad / self.data)
+
+        out._backward = backward
+        return out
+
+    def tanh(self) -> "Tensor":
+        out = self._make_child(np.tanh(self.data), (self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate((1.0 - out.data ** 2) * out.grad)
+
+        out._backward = backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        sig = 1.0 / (1.0 + np.exp(-self.data))
+        out = self._make_child(sig, (self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(sig * (1.0 - sig) * out.grad)
+
+        out._backward = backward
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = self._make_child(self.data * mask, (self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(mask * out.grad)
+
+        out._backward = backward
+        return out
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out = self._make_child(np.abs(self.data), (self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(sign * out.grad)
+
+        out._backward = backward
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data >= low) & (self.data <= high)
+        out = self._make_child(np.clip(self.data, low, high), (self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(mask * out.grad)
+
+        out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
+            keepdims: bool = False) -> "Tensor":
+        out = self._make_child(self.data.sum(axis=axis, keepdims=keepdims), (self,))
+
+        def backward() -> None:
+            if not self.requires_grad:
+                return
+            grad = out.grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                for ax in sorted(a % self.ndim for a in axes):
+                    grad = np.expand_dims(grad, ax)
+            self._accumulate(np.broadcast_to(grad, self.shape).copy())
+
+        out._backward = backward
+        return out
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
+             keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=True)
+        out_data = data if keepdims else np.squeeze(data, axis=axis)
+        out = self._make_child(out_data, (self,))
+
+        def backward() -> None:
+            if not self.requires_grad:
+                return
+            grad = out.grad if keepdims else np.expand_dims(out.grad, axis)
+            mask = self.data == data
+            # Split gradient among ties (matches subgradient convention).
+            counts = mask.sum(axis=axis, keepdims=True)
+            self._accumulate(mask * grad / counts)
+
+        out._backward = backward
+        return out
+
+    def min(self, axis: int, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = self._make_child(self.data.reshape(shape), (self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad.reshape(self.shape))
+
+        out._backward = backward
+        return out
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_t = tuple(axes) if axes else tuple(reversed(range(self.ndim)))
+        out = self._make_child(self.data.transpose(axes_t), (self,))
+        inverse = np.argsort(axes_t)
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad.transpose(tuple(inverse)))
+
+        out._backward = backward
+        return out
+
+    def __getitem__(self, idx) -> "Tensor":
+        out = self._make_child(self.data[idx], (self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, idx, out.grad)
+                self._accumulate(grad)
+
+        out._backward = backward
+        return out
+
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Row gather used by embedding lookup: ``out[i] = self[indices[i]]``.
+
+        Gradients accumulate back with ``np.add.at`` so repeated indices
+        sum correctly.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        out = self._make_child(self.data[idx], (self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, idx, out.grad)
+                self._accumulate(grad)
+
+        out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        ``grad`` defaults to ones (scalar outputs only need ``backward()``).
+        """
+        if grad is None:
+            if self.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a scalar"
+                )
+            grad = np.ones_like(self.data)
+        self.grad = np.asarray(grad, dtype=np.float64).reshape(self.shape)
+
+        topo: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    datas = [t.data for t in tensors]
+    out_data = np.concatenate(datas, axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(out_data, requires_grad=requires, _prev=tuple(tensors) if requires else ())
+    sizes = [d.shape[axis] for d in datas]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward() -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * out_data.ndim
+                slicer[axis] = slice(int(start), int(stop))
+                tensor._accumulate(out.grad[tuple(slicer)])
+
+    out._backward = backward
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient routing."""
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(out_data, requires_grad=requires, _prev=tuple(tensors) if requires else ())
+
+    def backward() -> None:
+        for i, tensor in enumerate(tensors):
+            if tensor.requires_grad:
+                tensor._accumulate(np.take(out.grad, i, axis=axis))
+
+    out._backward = backward
+    return out
+
+
+def zeros(shape: Union[int, Tuple[int, ...]], requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(shape: Union[int, Tuple[int, ...]], requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=requires_grad)

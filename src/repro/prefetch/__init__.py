@@ -1,0 +1,26 @@
+"""Prefetcher substrate: baselines and evaluation harnesses."""
+
+from .base import (
+    Prefetcher,
+    NullPrefetcher,
+    PrefetchEvaluation,
+    evaluate_prefetcher,
+)
+from .bingo import BingoPrefetcher
+from .domino import DominoPrefetcher
+from .bop import BestOffsetPrefetcher
+from .berti import BertiPrefetcher
+from .mab import MicroArmedBanditPrefetcher
+from .stream import StridePrefetcher
+from .transfetch import TransFetchPrefetcher
+from .voyager import VoyagerPrefetcher, VoyagerScaleError, estimate_memory_bytes
+from .harness import AccessBreakdown, LRUBufferWithPrefetch, run_breakdown
+
+__all__ = [
+    "Prefetcher", "NullPrefetcher", "PrefetchEvaluation", "evaluate_prefetcher",
+    "BingoPrefetcher", "DominoPrefetcher", "BestOffsetPrefetcher",
+    "BertiPrefetcher", "MicroArmedBanditPrefetcher", "StridePrefetcher",
+    "TransFetchPrefetcher", "VoyagerPrefetcher", "VoyagerScaleError",
+    "estimate_memory_bytes",
+    "AccessBreakdown", "LRUBufferWithPrefetch", "run_breakdown",
+]

@@ -1,0 +1,133 @@
+"""Prefetcher interface and the paper's evaluation metrics.
+
+A prefetcher consumes the access stream one key at a time via
+:meth:`Prefetcher.observe` and returns the keys it wants prefetched.
+Metrics implemented here (paper §IV and §VII-B):
+
+* **sequence prediction correctness** — fraction of prefetched keys that
+  are accessed within the next ``window`` accesses (Fig. 9);
+* **coverage** (Eq. 2) — |unique predicted ∩ unique future| / |unique
+  future| (Fig. 10);
+* **prediction cost** — wall-clock time per prediction (Table II).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..traces.access import Trace
+
+
+class Prefetcher:
+    """Base prefetcher; subclasses override :meth:`observe`."""
+
+    name = "base"
+
+    def observe(self, key: int, pc: int = 0, hit: bool = True) -> List[int]:
+        """Feed one demand access; return keys to prefetch (may be [])."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear online state between evaluation runs (optional)."""
+
+
+@dataclass
+class PrefetchEvaluation:
+    """Aggregate prefetch-quality metrics over one trace."""
+
+    correctness: float
+    coverage: float
+    total_prefetches: int
+    cost_per_prediction_us: float
+    useful_prefetches: int
+
+    @property
+    def accuracy(self) -> float:
+        """Useful / issued (paper Table IV definition)."""
+        if self.total_prefetches == 0:
+            return 0.0
+        return self.useful_prefetches / self.total_prefetches
+
+
+def evaluate_prefetcher(prefetcher: Prefetcher, trace: Trace,
+                        window: int = 15,
+                        warmup_fraction: float = 0.1) -> PrefetchEvaluation:
+    """Drive ``prefetcher`` over ``trace`` and score its predictions.
+
+    A prediction made at position ``i`` is *correct* if the key appears
+    in accesses ``(i, i + window]``.  Predictions during the warmup
+    prefix train the prefetcher but are not scored.
+    """
+    keys = trace.keys()
+    tables = trace.table_ids
+    n = len(keys)
+    warmup = int(n * warmup_fraction)
+
+    # Precompute, for every position, a rolling membership structure:
+    # future_positions[key] = sorted positions of each key.
+    positions: Dict[int, np.ndarray] = {}
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    boundaries = np.nonzero(np.diff(sorted_keys))[0] + 1
+    for chunk in np.split(order, boundaries):
+        positions[int(keys[chunk[0]])] = np.sort(chunk)
+
+    def hits_within(key: int, pos: int) -> bool:
+        arr = positions.get(key)
+        if arr is None:
+            return False
+        j = np.searchsorted(arr, pos + 1)
+        return j < len(arr) and arr[j] <= pos + window
+
+    scored = 0
+    correct = 0
+    total_prefetches = 0
+    useful = 0
+    coverage_sum = 0.0
+    coverage_steps = 0
+    elapsed = 0.0
+
+    for i in range(n):
+        t0 = time.perf_counter()
+        suggestions = prefetcher.observe(int(keys[i]), pc=int(tables[i]))
+        elapsed += time.perf_counter() - t0
+        if i < warmup:
+            continue
+        # Windowed coverage (Eq. 2): unique overlap between this step's
+        # output and the upcoming window of ground-truth accesses.
+        window_gt = set(int(k) for k in keys[i + 1: i + 1 + window])
+        if window_gt:
+            coverage_steps += 1
+            if suggestions:
+                coverage_sum += (
+                    len(set(suggestions) & window_gt) / len(window_gt)
+                )
+        for key in suggestions:
+            total_prefetches += 1
+            scored += 1
+            if hits_within(key, i):
+                correct += 1
+                useful += 1
+
+    coverage = coverage_sum / coverage_steps if coverage_steps else 0.0
+    return PrefetchEvaluation(
+        correctness=correct / scored if scored else 0.0,
+        coverage=coverage,
+        total_prefetches=total_prefetches,
+        cost_per_prediction_us=(elapsed / n * 1e6) if n else 0.0,
+        useful_prefetches=useful,
+    )
+
+
+class NullPrefetcher(Prefetcher):
+    """Never prefetches; the 'none' arm for the bandit coordinator."""
+
+    name = "none"
+
+    def observe(self, key: int, pc: int = 0, hit: bool = True) -> List[int]:
+        return []

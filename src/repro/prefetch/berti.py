@@ -1,0 +1,78 @@
+"""Berti local-delta prefetcher (Navarro-Torres et al., MICRO'22), adapted.
+
+Berti learns the best *timely* deltas per PC: for each access it checks
+which deltas from the recent per-PC history would have predicted the
+current key early enough (a fixed "fetch latency" in accesses), keeps a
+coverage counter per (pc, delta), and issues the highest-confidence
+deltas.  The PC proxy is the embedding-table id, which — as the paper
+argues — carries little information for DLRM traces, so Berti's accuracy
+collapses here; reproducing that is the point.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Deque, Dict, List, Tuple
+
+from .base import Prefetcher
+
+
+class BertiPrefetcher(Prefetcher):
+    name = "Berti"
+
+    def __init__(self, history_per_pc: int = 16, latency: int = 4,
+                 max_deltas: int = 16, confidence_threshold: float = 0.35,
+                 degree: int = 2) -> None:
+        self.history_per_pc = history_per_pc
+        self.latency = latency
+        self.max_deltas = max_deltas
+        self.confidence_threshold = confidence_threshold
+        self.degree = degree
+        # Per PC: deque of (position, key).
+        self._history: Dict[int, Deque[Tuple[int, int]]] = defaultdict(
+            lambda: deque(maxlen=self.history_per_pc)
+        )
+        # Per PC: delta -> (covered, opportunities).
+        self._delta_stats: Dict[int, Dict[int, List[int]]] = defaultdict(dict)
+        self._clock = 0
+
+    def reset(self) -> None:
+        self._history.clear()
+        self._delta_stats.clear()
+        self._clock = 0
+
+    def observe(self, key: int, pc: int = 0, hit: bool = True) -> List[int]:
+        self._clock += 1
+        history = self._history[pc]
+        stats = self._delta_stats[pc]
+
+        # Train: deltas from sufficiently old history entries are timely.
+        for position, old_key in history:
+            delta = key - old_key
+            if delta == 0:
+                continue
+            timely = (self._clock - position) >= self.latency
+            entry = stats.get(delta)
+            if entry is None:
+                if len(stats) >= self.max_deltas:
+                    # Evict the lowest-coverage delta.
+                    worst = min(stats, key=lambda d: stats[d][0] / max(1, stats[d][1]))
+                    del stats[worst]
+                entry = stats.setdefault(delta, [0, 0])
+            entry[1] += 1
+            if timely:
+                entry[0] += 1
+
+        history.append((self._clock, key))
+
+        # Issue the highest-confidence deltas.
+        ranked = sorted(
+            ((covered / max(1, total), delta) for delta, (covered, total)
+             in stats.items() if total >= 4),
+            reverse=True,
+        )
+        prefetches: List[int] = []
+        for confidence, delta in ranked[: self.degree]:
+            if confidence >= self.confidence_threshold:
+                prefetches.append(key + delta)
+        return prefetches

@@ -1,0 +1,75 @@
+"""Best-Offset Prefetcher (Michaud, HPCA'16), adapted to index space.
+
+BOP learns a single global offset by scoring rounds: each candidate
+offset ``d`` earns a point when the current access ``x`` satisfies
+"``x - d`` was recently accessed" (meaning a prefetch at offset ``d``
+would have been issued in time).  The round ends when an offset reaches
+``SCORE_MAX`` or after ``ROUND_MAX`` updates; the winner becomes the
+active prefetch offset.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from .base import Prefetcher
+
+_DEFAULT_OFFSETS = [1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24,
+                    25, 27, 30, 32, 36, 40, 45, 48, 50, 54, 60, 64]
+
+
+class BestOffsetPrefetcher(Prefetcher):
+    name = "BOP"
+
+    SCORE_MAX = 31
+    ROUND_MAX = 100
+    BAD_SCORE = 1
+
+    def __init__(self, offsets: Optional[List[int]] = None,
+                 recent_size: int = 256, degree: int = 1) -> None:
+        self.offsets = list(offsets) if offsets else list(_DEFAULT_OFFSETS)
+        self.recent_size = recent_size
+        self.degree = degree
+        self._recent: "OrderedDict[int, None]" = OrderedDict()
+        self._scores = {d: 0 for d in self.offsets}
+        self._round = 0
+        self._test_idx = 0
+        self._best: Optional[int] = self.offsets[0]
+
+    def reset(self) -> None:
+        self._recent.clear()
+        self._scores = {d: 0 for d in self.offsets}
+        self._round = 0
+        self._test_idx = 0
+        self._best = self.offsets[0]
+
+    def _record_recent(self, key: int) -> None:
+        self._recent[key] = None
+        self._recent.move_to_end(key)
+        while len(self._recent) > self.recent_size:
+            self._recent.popitem(last=False)
+
+    def _end_round(self) -> None:
+        best = max(self._scores, key=self._scores.get)
+        self._best = best if self._scores[best] > self.BAD_SCORE else None
+        self._scores = {d: 0 for d in self.offsets}
+        self._round = 0
+        self._test_idx = 0
+
+    def observe(self, key: int, pc: int = 0, hit: bool = True) -> List[int]:
+        # Score one candidate offset per access (round-robin).
+        candidate = self.offsets[self._test_idx]
+        self._test_idx = (self._test_idx + 1) % len(self.offsets)
+        if key - candidate in self._recent:
+            self._scores[candidate] += 1
+            if self._scores[candidate] >= self.SCORE_MAX:
+                self._end_round()
+        self._round += 1
+        if self._round >= self.ROUND_MAX * len(self.offsets):
+            self._end_round()
+
+        self._record_recent(key)
+        if self._best is None:
+            return []
+        return [key + self._best * i for i in range(1, self.degree + 1)]

@@ -1,0 +1,84 @@
+"""Domino temporal prefetcher (Bakhshalipour et al., HPCA'18), adapted.
+
+Domino replays previously recorded miss streams: an index table maps the
+last one or two accessed keys to positions in a circular history buffer,
+and on a match the following ``degree`` keys are prefetched.  The
+metadata budget is expressed as a fraction of the unique keys observed,
+matching the paper's "10% of the unique indices accessed" setting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from .base import Prefetcher
+
+
+class DominoPrefetcher(Prefetcher):
+    name = "Domino"
+
+    def __init__(self, history_size: int = 65536, degree: int = 4,
+                 metadata_fraction: Optional[float] = None) -> None:
+        self.history_size = history_size
+        self.degree = degree
+        self.metadata_fraction = metadata_fraction
+        self._history: List[int] = []
+        # Index tables: last key and (prev, last) pair -> history position.
+        self._index1: "OrderedDict[int, int]" = OrderedDict()
+        self._index2: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
+        self._prev: Optional[int] = None
+        self._unique: set = set()
+
+    def reset(self) -> None:
+        self._history.clear()
+        self._index1.clear()
+        self._index2.clear()
+        self._prev = None
+        self._unique.clear()
+
+    def _budget(self) -> int:
+        if self.metadata_fraction is None:
+            return self.history_size
+        return max(16, int(len(self._unique) * self.metadata_fraction))
+
+    def observe(self, key: int, pc: int = 0, hit: bool = True) -> List[int]:
+        self._unique.add(key)
+        prefetches: List[int] = []
+
+        # Pair match is more precise; fall back to single-key match.
+        pos = None
+        if self._prev is not None:
+            pos = self._index2.get((self._prev, key))
+        if pos is None:
+            pos = self._index1.get(key)
+        if pos is not None:
+            stop = min(pos + 1 + self.degree, len(self._history))
+            prefetches = [k for k in self._history[pos + 1:stop] if k != key]
+
+        # Record.
+        position = len(self._history)
+        self._history.append(key)
+        self._index1[key] = position
+        self._index1.move_to_end(key)
+        if self._prev is not None:
+            self._index2[(self._prev, key)] = position
+            self._index2.move_to_end((self._prev, key))
+        self._prev = key
+
+        budget = self._budget()
+        while len(self._index1) > budget:
+            self._index1.popitem(last=False)
+        while len(self._index2) > budget:
+            self._index2.popitem(last=False)
+        if len(self._history) > 4 * self.history_size:
+            # Compact the history buffer, dropping stale index entries.
+            cut = len(self._history) - 2 * self.history_size
+            self._history = self._history[cut:]
+            self._index1 = OrderedDict(
+                (k, p - cut) for k, p in self._index1.items() if p >= cut
+            )
+            self._index2 = OrderedDict(
+                (k, p - cut) for k, p in self._index2.items() if p >= cut
+            )
+        return prefetches

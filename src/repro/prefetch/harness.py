@@ -1,0 +1,129 @@
+"""Buffer + prefetcher co-simulation and access breakdowns (Fig. 14).
+
+The paper breaks GPU-buffer accesses into three classes: hits produced
+by the caching policy, hits produced by the prefetcher (first demand
+touch of a prefetched line), and on-demand fetches from CPU memory.
+This harness runs a fully associative LRU buffer with an optional
+prefetcher feeding insertions and produces that breakdown for baseline
+configurations (Domino/Bingo/TransFetch/LRU+PF); the RecMG breakdown
+comes from :mod:`repro.core.manager`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..traces.access import Trace
+from .base import Prefetcher
+
+
+@dataclass
+class AccessBreakdown:
+    """Per-class access counts over a simulation run."""
+
+    cache_hits: int = 0
+    prefetch_hits: int = 0
+    on_demand: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.cache_hits + self.prefetch_hits + self.on_demand
+
+    @property
+    def hit_rate(self) -> float:
+        return (self.cache_hits + self.prefetch_hits) / self.total if self.total else 0.0
+
+    def fractions(self) -> Dict[str, float]:
+        total = max(1, self.total)
+        return {
+            "cache_hit": self.cache_hits / total,
+            "prefetch_hit": self.prefetch_hits / total,
+            "on_demand": self.on_demand / total,
+        }
+
+
+class LRUBufferWithPrefetch:
+    """Fully associative LRU buffer accepting prefetch insertions.
+
+    A line inserted by the prefetcher is tagged; its first demand hit is
+    counted as a *prefetch hit* (and the tag clears).  Demand misses
+    fetch on demand.  ``metadata_fraction`` reserves part of the buffer
+    capacity for prefetcher metadata (the paper notes Domino "consumes
+    excessive GPU buffer capacity for metadata recording").
+    """
+
+    def __init__(self, capacity: int, prefetcher: Optional[Prefetcher] = None,
+                 max_prefetches_per_access: int = 4,
+                 metadata_fraction: float = 0.0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        effective = max(1, int(capacity * (1.0 - metadata_fraction)))
+        self.capacity = effective
+        self.prefetcher = prefetcher
+        self.max_prefetches_per_access = max_prefetches_per_access
+        self._entries: "OrderedDict[int, bool]" = OrderedDict()  # key -> prefetched?
+        self.breakdown = AccessBreakdown()
+        self.prefetches_issued = 0
+        self.prefetches_useful = 0
+
+    def _insert(self, key: int, prefetched: bool) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        while len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[key] = prefetched
+
+    def access(self, key: int, pc: int = 0) -> str:
+        """Process one demand access; returns its class name."""
+        if key in self._entries:
+            was_prefetched = self._entries[key]
+            self._entries[key] = False
+            self._entries.move_to_end(key)
+            if was_prefetched:
+                self.breakdown.prefetch_hits += 1
+                self.prefetches_useful += 1
+                kind = "prefetch_hit"
+            else:
+                self.breakdown.cache_hits += 1
+                kind = "cache_hit"
+            hit = True
+        else:
+            self.breakdown.on_demand += 1
+            self._insert(key, prefetched=False)
+            kind = "on_demand"
+            hit = False
+
+        if self.prefetcher is not None:
+            suggestions = self.prefetcher.observe(key, pc=pc, hit=hit)
+            for suggestion in suggestions[: self.max_prefetches_per_access]:
+                if suggestion not in self._entries:
+                    self.prefetches_issued += 1
+                    self._insert(suggestion, prefetched=True)
+        return kind
+
+
+def run_breakdown(trace: Trace, capacity: int,
+                  prefetcher: Optional[Prefetcher] = None,
+                  metadata_fraction: float = 0.0,
+                  use_dense_keys: bool = True) -> AccessBreakdown:
+    """Simulate ``trace`` through an LRU buffer (+ optional prefetcher).
+
+    ``use_dense_keys`` remaps packed keys into a dense index space so
+    delta/offset prefetchers see meaningful arithmetic (this mirrors the
+    paper "treating each embedding-vector index as a memory address").
+    """
+    if use_dense_keys:
+        from ..traces.access import remap_to_dense
+
+        keys, _ = remap_to_dense(trace)
+    else:
+        keys = trace.keys()
+    tables = trace.table_ids
+    buffer = LRUBufferWithPrefetch(capacity, prefetcher=prefetcher,
+                                   metadata_fraction=metadata_fraction)
+    for i in range(len(keys)):
+        buffer.access(int(keys[i]), pc=int(tables[i]))
+    return buffer.breakdown

@@ -1,0 +1,97 @@
+"""Micro-Armed Bandit prefetch coordinator (Gerogiannis & Torrellas,
+MICRO'23), adapted.
+
+MAB treats a set of simple prefetchers as bandit arms and picks the arm
+per epoch with an epsilon-greedy rule; the reward is the number of the
+arm's predictions that were subsequently accessed, minus a penalty for
+useless prefetches (cache pollution proxy).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .base import NullPrefetcher, Prefetcher
+from .bop import BestOffsetPrefetcher
+from .domino import DominoPrefetcher
+
+
+class MicroArmedBanditPrefetcher(Prefetcher):
+    name = "MAB"
+
+    def __init__(self, arms: Optional[Sequence[Prefetcher]] = None,
+                 epoch: int = 256, epsilon: float = 0.1,
+                 pollution_penalty: float = 0.5, reward_window: int = 32,
+                 seed: int = 0) -> None:
+        self.arms: List[Prefetcher] = (
+            list(arms) if arms is not None
+            else [NullPrefetcher(), BestOffsetPrefetcher(),
+                  DominoPrefetcher(history_size=8192, degree=2)]
+        )
+        self.epoch = epoch
+        self.epsilon = epsilon
+        self.pollution_penalty = pollution_penalty
+        self.reward_window = reward_window
+        self._rng = np.random.default_rng(seed)
+        self._values = np.zeros(len(self.arms))
+        self._counts = np.zeros(len(self.arms), dtype=np.int64)
+        self._current = 0
+        self._step = 0
+        # Outstanding predictions of the current arm: (deadline, key).
+        self._outstanding: Deque[Tuple[int, int]] = deque()
+        self._reward = 0.0
+
+    def reset(self) -> None:
+        for arm in self.arms:
+            arm.reset()
+        self._values[:] = 0
+        self._counts[:] = 0
+        self._current = 0
+        self._step = 0
+        self._outstanding.clear()
+        self._reward = 0.0
+
+    def _select_arm(self) -> int:
+        if self._rng.random() < self.epsilon:
+            return int(self._rng.integers(0, len(self.arms)))
+        return int(np.argmax(self._values))
+
+    def observe(self, key: int, pc: int = 0, hit: bool = True) -> List[int]:
+        self._step += 1
+
+        # Settle outstanding predictions: a hit before the deadline is a
+        # reward; an expired prediction is pollution.
+        matched = False
+        still_waiting: Deque[Tuple[int, int]] = deque()
+        for deadline, predicted in self._outstanding:
+            if predicted == key and not matched:
+                self._reward += 1.0
+                matched = True
+            elif deadline >= self._step:
+                still_waiting.append((deadline, predicted))
+            else:
+                self._reward -= self.pollution_penalty
+        self._outstanding = still_waiting
+
+        # Every arm observes (so inactive arms stay trained); only the
+        # active arm's predictions are issued.
+        issued: List[int] = []
+        for i, arm in enumerate(self.arms):
+            suggestions = arm.observe(key, pc=pc, hit=hit)
+            if i == self._current:
+                issued = suggestions
+        for predicted in issued:
+            self._outstanding.append((self._step + self.reward_window, predicted))
+
+        if self._step % self.epoch == 0:
+            i = self._current
+            self._counts[i] += 1
+            step_size = 1.0 / self._counts[i]
+            self._values[i] += step_size * (self._reward - self._values[i])
+            self._reward = 0.0
+            self._outstanding.clear()
+            self._current = self._select_arm()
+        return issued

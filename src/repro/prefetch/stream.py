@@ -1,0 +1,39 @@
+"""Simple per-PC stride prefetcher (a classic baseline and a MAB arm)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .base import Prefetcher
+
+
+class StridePrefetcher(Prefetcher):
+    """Detects a repeated constant stride per PC and extrapolates it."""
+
+    name = "Stride"
+
+    def __init__(self, degree: int = 2, confirm: int = 2) -> None:
+        self.degree = degree
+        self.confirm = confirm
+        # pc -> (last_key, stride, confidence)
+        self._state: Dict[int, Tuple[int, int, int]] = {}
+
+    def reset(self) -> None:
+        self._state.clear()
+
+    def observe(self, key: int, pc: int = 0, hit: bool = True) -> List[int]:
+        last = self._state.get(pc)
+        prefetches: List[int] = []
+        if last is None:
+            self._state[pc] = (key, 0, 0)
+            return prefetches
+        last_key, stride, confidence = last
+        new_stride = key - last_key
+        if new_stride == stride and stride != 0:
+            confidence = min(confidence + 1, 8)
+        else:
+            confidence = 0
+        self._state[pc] = (key, new_stride, confidence)
+        if confidence >= self.confirm and new_stride != 0:
+            prefetches = [key + new_stride * i for i in range(1, self.degree + 1)]
+        return prefetches

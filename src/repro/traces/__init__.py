@@ -1,0 +1,42 @@
+"""Embedding-access trace substrate: datatypes, synthesis, analysis."""
+
+from .access import Access, Trace, pack_key, unpack_key, remap_to_dense, ROW_BITS
+from .synthetic import SyntheticTraceConfig, generate_trace
+from .datasets import (
+    DATASET_NAMES,
+    TABLE1_CONFIGS,
+    dataset_config,
+    load_dataset,
+    load_all_datasets,
+    table1_trace,
+)
+from .reuse import (
+    COLD_MISS,
+    FenwickTree,
+    reuse_distances,
+    reuse_histogram,
+    lru_hit_rate,
+    lru_hit_rate_curve,
+    long_reuse_fraction,
+)
+from .stats import (
+    TraceSummary,
+    access_frequencies,
+    top_fraction_share,
+    hot_set,
+    per_table_counts,
+    summarize,
+)
+from .io import save_trace, load_trace
+
+__all__ = [
+    "Access", "Trace", "pack_key", "unpack_key", "remap_to_dense", "ROW_BITS",
+    "SyntheticTraceConfig", "generate_trace",
+    "DATASET_NAMES", "TABLE1_CONFIGS", "dataset_config", "load_dataset",
+    "load_all_datasets", "table1_trace",
+    "COLD_MISS", "FenwickTree", "reuse_distances", "reuse_histogram",
+    "lru_hit_rate", "lru_hit_rate_curve", "long_reuse_fraction",
+    "TraceSummary", "access_frequencies", "top_fraction_share", "hot_set",
+    "per_table_counts", "summarize",
+    "save_trace", "load_trace",
+]

@@ -1,0 +1,32 @@
+"""Trace persistence as compressed ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from .access import Trace
+
+
+def save_trace(trace: Trace, path: Union[str, os.PathLike]) -> None:
+    payload = {
+        "table_ids": trace.table_ids,
+        "row_ids": trace.row_ids,
+        "name": np.array(trace.name),
+    }
+    if trace.query_offsets is not None:
+        payload["query_offsets"] = trace.query_offsets
+    np.savez_compressed(path, **payload)
+
+
+def load_trace(path: Union[str, os.PathLike]) -> Trace:
+    with np.load(path, allow_pickle=False) as archive:
+        offsets = archive["query_offsets"] if "query_offsets" in archive.files else None
+        return Trace(
+            archive["table_ids"],
+            archive["row_ids"],
+            query_offsets=offsets,
+            name=str(archive["name"]) if "name" in archive.files else "",
+        )

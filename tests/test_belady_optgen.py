@@ -1,0 +1,88 @@
+"""Belady MIN and OPTgen: optimality and label semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import (
+    LRUCache, NEVER, next_use_indices, prefetch_trace_from, run_optgen,
+    simulate, simulate_belady,
+)
+from repro.traces import Trace
+
+
+def trace_of(keys):
+    return Trace.from_pairs([(0, k) for k in keys])
+
+
+class TestNextUse:
+    def test_hand_example(self):
+        keys = np.array([1, 2, 1, 3])
+        nxt = next_use_indices(keys)
+        assert nxt[0] == 2
+        assert nxt[1] == NEVER
+        assert nxt[2] == NEVER
+
+
+class TestBelady:
+    def test_classic_example(self):
+        # With capacity 2, Belady on a,b,c,a,b keeps a and b; c misses.
+        stats, decisions = simulate_belady(trace_of([1, 2, 3, 1, 2]),
+                                           capacity=2,
+                                           record_decisions=True)
+        assert stats.hits == 2
+        assert decisions.tolist() == [False, False, False, True, True]
+
+    @given(st.lists(st.integers(0, 12), min_size=5, max_size=150),
+           st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_belady_at_least_lru(self, keys, capacity):
+        trace = trace_of(keys)
+        opt_stats, _ = simulate_belady(trace, capacity)
+        lru = LRUCache(capacity)
+        simulate(lru, trace)
+        assert opt_stats.hits >= lru.stats.hits
+
+    def test_infinite_capacity_only_cold_misses(self):
+        keys = [1, 2, 3, 1, 2, 3, 1]
+        stats, _ = simulate_belady(trace_of(keys), capacity=100)
+        assert stats.misses == 3
+
+
+class TestOptgen:
+    @given(st.lists(st.integers(0, 12), min_size=5, max_size=120),
+           st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_belady_hit_count(self, keys, capacity):
+        """For a fully associative cache OPTgen reproduces MIN exactly
+        (both implement the same feasibility argument)."""
+        trace = trace_of(keys)
+        belady_stats, _ = simulate_belady(trace, capacity)
+        result = run_optgen(trace, capacity)
+        assert result.stats.hits == belady_stats.hits
+
+    def test_cache_friendly_semantics(self):
+        # All reuses fit with capacity 2: every non-final access of a
+        # reused key is friendly; final accesses are not.
+        result = run_optgen(trace_of([1, 2, 1, 2]), capacity=2)
+        assert result.cache_friendly.tolist() == [True, True, False, False]
+
+    def test_last_access_never_friendly(self, tiny_trace):
+        result = run_optgen(tiny_trace.head(1500), capacity=100)
+        keys = tiny_trace.head(1500).keys()
+        last_positions = {}
+        for i, key in enumerate(keys):
+            last_positions[int(key)] = i
+        for position in last_positions.values():
+            assert not result.cache_friendly[position]
+
+    def test_prefetch_trace_is_miss_complement(self, tiny_trace):
+        trace = tiny_trace.head(1500)
+        result = run_optgen(trace, capacity=100)
+        misses = prefetch_trace_from(result, trace)
+        assert len(misses) == result.stats.misses
+        assert not result.opt_hits[misses].any()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            run_optgen(trace_of([1, 2]), capacity=0)

@@ -1,0 +1,114 @@
+"""Priority GPU buffer (Algorithms 1-2): semantics and fast/naive parity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import FastPriorityBuffer, PriorityBuffer
+
+
+class TestReferenceSemantics:
+    def test_evicts_lowest_priority(self):
+        buf = PriorityBuffer(3)
+        buf.insert(1, 5)
+        buf.insert(2, 1)
+        buf.insert(3, 4)
+        assert buf.evict_one() == 2
+
+    def test_aging_decrements(self):
+        buf = PriorityBuffer(3)
+        buf.insert(1, 2)
+        buf.insert(2, 0)
+        buf.evict_one()                 # evicts 2, ages 1 down to 1
+        assert buf.priority_of(1) == 1
+
+    def test_tie_breaks_by_recency(self):
+        buf = PriorityBuffer(3)
+        buf.insert(1, 1)
+        buf.insert(2, 1)
+        buf.set_priority(1, 1)          # touch 1 -> 2 is now oldest
+        assert buf.evict_one() == 2
+
+    def test_demote_evicted_first(self):
+        buf = PriorityBuffer(3)
+        buf.insert(1, 0)
+        buf.insert(2, 5)
+        buf.insert(3, 5)
+        buf.demote(3)
+        assert buf.evict_one() == 3
+
+    def test_full_insert_raises(self):
+        buf = PriorityBuffer(1)
+        buf.insert(1, 1)
+        with pytest.raises(RuntimeError):
+            buf.insert(2, 1)
+
+    def test_empty_evict_raises(self):
+        with pytest.raises(RuntimeError):
+            PriorityBuffer(1).evict_one()
+
+    def test_priority_floor_at_zero(self):
+        buf = PriorityBuffer(4)
+        buf.insert(1, 1)
+        buf.insert(2, 0)
+        buf.insert(3, 0)
+        assert buf.evict_one() == 2   # oldest zero-priority entry
+        assert buf.priority_of(1) == 0  # aged 1 -> 0, floored
+        assert buf.priority_of(3) == 0
+
+
+OPS = st.lists(
+    st.tuples(st.sampled_from(["insert", "set", "demote", "evict"]),
+              st.integers(0, 40), st.integers(0, 6)),
+    min_size=1, max_size=300,
+)
+
+
+class TestFastParity:
+    @given(OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_equivalent_to_reference(self, ops):
+        """Both implementations make identical victim choices under any
+        interleaving of inserts, priority updates, demotions, evictions."""
+        ref = PriorityBuffer(12)
+        fast = FastPriorityBuffer(12)
+        for op, key, priority in ops:
+            if op == "insert":
+                if key in ref:
+                    ref.set_priority(key, priority)
+                    fast.set_priority(key, priority)
+                elif not ref.is_full:
+                    ref.insert(key, priority)
+                    fast.insert(key, priority)
+            elif op == "set" and key in ref:
+                ref.set_priority(key, priority)
+                fast.set_priority(key, priority)
+            elif op == "demote" and key in ref:
+                ref.demote(key)
+                fast.demote(key)
+            elif op == "evict" and len(ref):
+                assert ref.evict_one() == fast.evict_one()
+            assert len(ref) == len(fast)
+        assert sorted(ref.keys()) == sorted(fast.keys())
+        for key in ref.keys():
+            assert ref.priority_of(key) == fast.priority_of(key)
+
+    def test_fast_basic_semantics(self):
+        buf = FastPriorityBuffer(3)
+        buf.insert(1, 5)
+        buf.insert(2, 1)
+        buf.insert(3, 4)
+        assert buf.evict_one() == 2
+        assert buf.priority_of(1) == 4  # aged
+
+    def test_fast_validations(self):
+        buf = FastPriorityBuffer(1)
+        with pytest.raises(RuntimeError):
+            buf.evict_one()
+        buf.insert(1, 1)
+        with pytest.raises(RuntimeError):
+            buf.insert(2, 1)
+        with pytest.raises(KeyError):
+            buf.set_priority(99, 1)
+        with pytest.raises(KeyError):
+            buf.demote(99)

@@ -1,0 +1,141 @@
+"""Cache policies: LRU/LFU semantics, set-associative engine, RRIP family."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    BRRIPReplacement, DRRIPReplacement, HawkeyeReplacement, LFUCache,
+    LRUCache, LRUReplacement, MockingjayReplacement, PredictorReplacement,
+    SetAssociativeCache, SRRIPReplacement, capacity_from_fraction, simulate,
+)
+from repro.traces import Trace
+
+
+def make_cache(capacity, policy_cls, **kwargs):
+    cache = SetAssociativeCache(capacity, ways=4)
+    cache.policy = policy_cls(cache.num_sets, cache.ways, **kwargs)
+    return cache
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        assert not cache.access(1)
+        assert not cache.access(2)
+        assert cache.access(1)       # 1 is now MRU
+        assert not cache.access(3)   # evicts 2
+        assert 2 not in cache
+        assert cache.access(1)
+
+    def test_capacity_respected(self, tiny_trace):
+        cache = LRUCache(50)
+        simulate(cache, tiny_trace.head(2000))
+        assert len(cache) <= 50
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        cache = LFUCache(2)
+        cache.access(1)
+        cache.access(1)
+        cache.access(2)
+        cache.access(3)   # evicts 2 (freq 1 < freq 2)
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_tie_breaks_by_recency(self):
+        cache = LFUCache(2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(3)   # 1 and 2 tie at freq 1; 1 is older
+        assert 1 not in cache and 2 in cache
+
+    def test_hit_rate_reasonable(self, tiny_trace, tiny_capacity):
+        cache = LFUCache(tiny_capacity)
+        simulate(cache, tiny_trace)
+        assert 0.0 < cache.stats.hit_rate < 1.0
+
+
+class TestSetAssociative:
+    def test_capacity_and_geometry(self):
+        cache = SetAssociativeCache(128, ways=32)
+        assert cache.capacity == cache.num_sets * cache.ways
+        assert cache.ways == 32
+
+    def test_fills_and_hits(self):
+        cache = SetAssociativeCache(64, ways=4)
+        assert not cache.access(7)
+        assert cache.access(7)
+        assert len(cache) == 1
+
+    def test_prefetch_tracking(self):
+        cache = SetAssociativeCache(64, ways=4)
+        assert cache.prefetch(9)
+        assert cache.prefetch(9) is False  # already cached
+        assert cache.access(9)              # first demand hit = useful
+        assert cache.prefetch_stats.useful == 1
+        assert cache.prefetch_stats.issued == 2
+        assert 0 < cache.prefetch_stats.accuracy <= 1
+
+    def test_policy_dimension_check(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(64, ways=4, policy=LRUReplacement(99, 4))
+
+    @pytest.mark.parametrize("policy_cls", [
+        LRUReplacement, SRRIPReplacement, BRRIPReplacement,
+        DRRIPReplacement, HawkeyeReplacement, MockingjayReplacement,
+    ])
+    def test_policies_run_and_bound_capacity(self, policy_cls, tiny_trace):
+        cache = make_cache(128, policy_cls)
+        simulate(cache, tiny_trace.head(3000))
+        assert len(cache) <= cache.capacity
+        assert cache.stats.accesses == 3000
+        assert 0 <= cache.stats.hit_rate < 1
+
+
+class TestSRRIPSemantics:
+    def test_hit_promotes(self):
+        policy = SRRIPReplacement(1, 4)
+        policy.on_fill(0, 0, pc=0, key=1, is_prefetch=False)
+        policy.on_hit(0, 0, pc=0, key=1)
+        assert policy._rrpv[0, 0] == 0
+
+    def test_victim_prefers_distant(self):
+        policy = SRRIPReplacement(1, 2)
+        policy.on_fill(0, 0, pc=0, key=1, is_prefetch=False)  # rrpv 2
+        policy.on_fill(0, 1, pc=0, key=2, is_prefetch=True)   # rrpv 3
+        assert policy.victim(0, pc=0, key=3) == 1
+
+
+class TestPredictorReplacement:
+    def test_oracle_beats_lru(self, tiny_trace, tiny_capacity):
+        """A friendliness oracle built from future popularity should beat
+        plain LRU — this is the 'CM' configuration of Fig. 15."""
+        trace = tiny_trace.head(4000)
+        keys, counts = np.unique(trace.keys(), return_counts=True)
+        popular = set(keys[counts >= 3].tolist())
+
+        cap = max(64, tiny_capacity // 2)
+        lru = SetAssociativeCache(cap, ways=4)
+        simulate(lru, trace)
+
+        oracle = SetAssociativeCache(cap, ways=4)
+        oracle.policy = PredictorReplacement(
+            oracle.num_sets, oracle.ways,
+            predict=lambda key, pc: key in popular,
+        )
+        simulate(oracle, trace)
+        assert oracle.stats.hit_rate > lru.stats.hit_rate
+
+
+class TestCapacityFromFraction:
+    def test_fraction(self, tiny_trace):
+        cap = capacity_from_fraction(tiny_trace, 0.5)
+        assert cap == int(round(tiny_trace.num_unique * 0.5))
+
+    def test_positive_required(self, tiny_trace):
+        with pytest.raises(ValueError):
+            capacity_from_fraction(tiny_trace, 0.0)

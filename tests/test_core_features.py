@@ -1,0 +1,102 @@
+"""Feature encoding for the RecMG models."""
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureEncoder, RecMGConfig
+from repro.traces import Trace
+
+
+@pytest.fixture(scope="module")
+def encoder(tiny_trace, tiny_recmg_config):
+    return FeatureEncoder(tiny_recmg_config).fit(tiny_trace)
+
+
+class TestEncoder:
+    def test_requires_fit(self, tiny_trace, tiny_recmg_config):
+        encoder = FeatureEncoder(tiny_recmg_config)
+        with pytest.raises(RuntimeError):
+            encoder.dense_ids(tiny_trace)
+        with pytest.raises(RuntimeError):
+            encoder.encode_chunks(tiny_trace)
+
+    def test_vocab_matches_unique(self, encoder, tiny_trace):
+        assert encoder.vocab_size == tiny_trace.num_unique
+        assert encoder.num_tables == tiny_trace.num_tables
+
+    def test_dense_ids_in_range(self, encoder, tiny_trace):
+        dense = encoder.dense_ids(tiny_trace)
+        assert dense.min() >= 0
+        assert dense.max() < encoder.vocab_size
+
+    def test_unseen_keys_get_unique_ids(self, encoder):
+        foreign = Trace.from_pairs([(999, 999999)])
+        dense = encoder.dense_ids(foreign)
+        # Unseen keys must not alias trained vectors (false buffer hits).
+        assert dense[0] >= encoder.vocab_size
+        assert encoder.freq_values(dense)[0] == 0.0
+        assert encoder.normalize(dense)[0] == 1.0
+
+    def test_normalize_roundtrip(self, encoder):
+        dense = np.array([0, encoder.vocab_size // 2, encoder.vocab_size - 1])
+        values = encoder.normalize(dense)
+        assert values.min() >= 0.0 and values.max() <= 1.0
+        assert np.array_equal(encoder.denormalize(values), dense)
+
+    def test_freq_reflects_popularity(self, encoder, tiny_trace):
+        dense = encoder.dense_ids(tiny_trace)
+        counts = np.bincount(dense, minlength=encoder.vocab_size)
+        hottest = int(np.argmax(counts))
+        coldest = int(np.argmin(counts))
+        freq = encoder.freq_values(np.array([hottest, coldest]))
+        assert freq[0] >= freq[1]
+        assert freq.max() <= 1.0
+
+
+class TestChunks:
+    def test_shapes(self, encoder, tiny_trace, tiny_recmg_config):
+        chunks = encoder.encode_chunks(tiny_trace.head(500))
+        length = tiny_recmg_config.input_len
+        assert chunks.table_ids.shape[1] == length
+        assert chunks.hashed_rows.shape == chunks.table_ids.shape
+        assert chunks.norm_index.shape == chunks.table_ids.shape
+        assert chunks.freq.shape == chunks.table_ids.shape
+        assert len(chunks.starts) == len(chunks)
+
+    def test_nonoverlapping_default(self, encoder, tiny_trace,
+                                    tiny_recmg_config):
+        chunks = encoder.encode_chunks(tiny_trace.head(500))
+        assert np.all(np.diff(chunks.starts) == tiny_recmg_config.input_len)
+
+    def test_custom_stride(self, encoder, tiny_trace):
+        chunks = encoder.encode_chunks(tiny_trace.head(500), stride=3)
+        assert np.all(np.diff(chunks.starts) == 3)
+
+    def test_too_short_trace_raises(self, encoder, tiny_trace):
+        with pytest.raises(ValueError):
+            encoder.encode_chunks(tiny_trace.head(3))
+
+    def test_hashed_rows_bounded(self, encoder, tiny_trace,
+                                 tiny_recmg_config):
+        chunks = encoder.encode_chunks(tiny_trace.head(500))
+        assert chunks.hashed_rows.max() < tiny_recmg_config.hash_buckets
+
+
+class TestConfigValidation:
+    def test_bad_lengths(self):
+        with pytest.raises(ValueError):
+            RecMGConfig(input_len=0)
+        with pytest.raises(ValueError):
+            RecMGConfig(input_len=5, output_len=6)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            RecMGConfig(alpha=1.0)
+
+    def test_bad_window_ratio(self):
+        with pytest.raises(ValueError):
+            RecMGConfig(window_ratio=0)
+
+    def test_eval_window(self):
+        config = RecMGConfig(output_len=5, window_ratio=3)
+        assert config.eval_window == 15

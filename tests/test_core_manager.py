@@ -1,0 +1,108 @@
+"""Online manager (Algorithms 1-2 runtime) and the model adapter."""
+
+import numpy as np
+import pytest
+
+from repro.cache import LRUCache, capacity_from_fraction, simulate
+from repro.core import ManagerStats, ModelPrefetcher, RecMGManager
+from repro.core.manager import RecMGManager as ManagerClass
+
+
+class TestManagerNoModels:
+    def test_access_conservation(self, trained_recmg, tiny_trace,
+                                 tiny_capacity):
+        _, test = tiny_trace.split(0.6)
+        manager = RecMGManager(tiny_capacity, trained_recmg.encoder,
+                               trained_recmg.config)
+        stats = manager.run(test)
+        assert stats.breakdown.total == len(test)
+        assert stats.prefetches_issued == 0
+
+    def test_buffer_capacity_respected(self, trained_recmg, tiny_trace,
+                                       tiny_capacity):
+        _, test = tiny_trace.split(0.6)
+        manager = RecMGManager(tiny_capacity, trained_recmg.encoder,
+                               trained_recmg.config)
+        manager.run(test)
+        assert len(manager.buffer) <= tiny_capacity
+
+    def test_rejects_bad_capacity(self, trained_recmg):
+        with pytest.raises(ValueError):
+            RecMGManager(0, trained_recmg.encoder, trained_recmg.config)
+
+
+class TestManagerWithModels:
+    def test_full_system_conserves(self, trained_recmg, tiny_trace,
+                                   tiny_capacity):
+        _, test = tiny_trace.split(0.6)
+        stats = trained_recmg.evaluate(test, capacity=tiny_capacity)
+        assert stats.breakdown.total == len(test)
+        assert stats.prefetches_useful <= stats.prefetches_issued
+        assert 0.0 <= stats.prefetch_accuracy <= 1.0
+
+    def test_prefetch_hits_only_with_prefetch_model(self, trained_recmg,
+                                                    tiny_trace,
+                                                    tiny_capacity):
+        _, test = tiny_trace.split(0.6)
+        cm_only = trained_recmg.evaluate(test, capacity=tiny_capacity,
+                                         use_prefetch_model=False)
+        assert cm_only.breakdown.prefetch_hits == 0
+        assert cm_only.prefetches_issued == 0
+
+    def test_oracle_caching_bits_beat_plain_buffer(self, trained_recmg,
+                                                   tiny_trace,
+                                                   tiny_capacity):
+        """Feeding OPTgen's own bits through Algorithm 1 must beat the
+        model-free buffer — validates the priority plumbing."""
+        from repro.core import build_labels
+
+        _, test = tiny_trace.split(0.6)
+        labels = build_labels(test, tiny_capacity, trained_recmg.config,
+                              trained_recmg.encoder)
+
+        class OracleCachingModel:
+            def __init__(self, bits, length):
+                self.bits = bits
+                self.length = length
+                self.cursor = 0
+
+            def predict(self, chunks, sel=None):
+                out = np.stack([
+                    self.bits[chunks.starts[i]:chunks.starts[i] + self.length]
+                    for i in sel
+                ])
+                return out.astype(np.int8)
+
+        manager = RecMGManager(
+            tiny_capacity, trained_recmg.encoder, trained_recmg.config,
+            caching_model=OracleCachingModel(
+                labels.cache_friendly, trained_recmg.config.input_len),
+        )
+        oracle_stats = manager.run(test)
+
+        plain = RecMGManager(tiny_capacity, trained_recmg.encoder,
+                             trained_recmg.config)
+        plain_stats = plain.run(test)
+        assert oracle_stats.hit_rate > plain_stats.hit_rate
+
+
+class TestModelPrefetcherAdapter:
+    def test_emits_on_chunk_boundary(self, trained_recmg):
+        config = trained_recmg.config
+        adapter = ModelPrefetcher(trained_recmg.prefetch_model,
+                                  trained_recmg.encoder, config)
+        outputs = []
+        for i in range(config.input_len * 3):
+            outputs.append(adapter.observe(i % 50, pc=0))
+        emitted = [o for o in outputs if o]
+        assert len(emitted) >= 2
+        assert all(len(o) <= config.max_prefetch_per_chunk for o in emitted)
+
+    def test_reset_clears_state(self, trained_recmg):
+        adapter = ModelPrefetcher(trained_recmg.prefetch_model,
+                                  trained_recmg.encoder, trained_recmg.config)
+        for i in range(5):
+            adapter.observe(i)
+        adapter.reset()
+        assert adapter._step == 0
+        assert len(adapter._dense) == 0

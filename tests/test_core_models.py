@@ -1,0 +1,107 @@
+"""Caching and prefetch model architecture."""
+
+import numpy as np
+import pytest
+
+from repro.core import CachingModel, FeatureEncoder, PrefetchModel, RecMGConfig
+from repro.core.prefetch_model import BucketDecoder
+
+
+@pytest.fixture(scope="module")
+def setup(tiny_trace, tiny_recmg_config):
+    encoder = FeatureEncoder(tiny_recmg_config).fit(tiny_trace)
+    chunks = encoder.encode_chunks(tiny_trace.head(600))
+    return tiny_recmg_config, encoder, chunks
+
+
+class TestCachingModel:
+    def test_logit_shape(self, setup, rng):
+        config, encoder, chunks = setup
+        model = CachingModel(config, encoder.num_tables, rng=rng)
+        logits = model(chunks, sel=np.arange(4))
+        assert logits.shape == (4, config.input_len)
+
+    def test_predict_binary(self, setup, rng):
+        config, encoder, chunks = setup
+        model = CachingModel(config, encoder.num_tables, rng=rng)
+        bits = model.predict(chunks, sel=np.arange(3))
+        assert set(np.unique(bits)).issubset({0, 1})
+
+    def test_predict_single_matches_batch(self, setup, rng):
+        config, encoder, chunks = setup
+        model = CachingModel(config, encoder.num_tables, rng=rng)
+        single = model.predict_single(
+            chunks.table_ids[0], chunks.hashed_rows[0],
+            chunks.norm_index[0], chunks.freq[0],
+        )
+        batch = model.predict(chunks, sel=np.arange(1))[0]
+        assert np.array_equal(single, batch)
+
+    def test_stacks_grow_parameters(self, setup, rng):
+        config, encoder, _ = setup
+        from dataclasses import replace
+        one = CachingModel(replace(config, caching_stacks=1),
+                           encoder.num_tables, rng=rng)
+        two = CachingModel(replace(config, caching_stacks=2),
+                           encoder.num_tables, rng=rng)
+        assert two.num_parameters() > one.num_parameters()
+
+
+class TestPrefetchModel:
+    def test_forward_shapes(self, setup, rng):
+        config, encoder, chunks = setup
+        model = PrefetchModel(config, encoder.num_tables, rng=rng)
+        logits = model.forward_logits(chunks, sel=np.arange(4))
+        assert logits.shape == (4, config.output_len, config.hash_buckets)
+        points = model(chunks, sel=np.arange(4))
+        assert points.shape == (4, config.output_len, config.embed_dim)
+
+    def test_predict_requires_decoder(self, setup, rng):
+        config, encoder, chunks = setup
+        model = PrefetchModel(config, encoder.num_tables, rng=rng)
+        with pytest.raises(RuntimeError):
+            model.predict_indices(chunks, encoder, sel=np.arange(1))
+
+    def test_predict_with_decoder(self, setup, rng):
+        config, encoder, chunks = setup
+        model = PrefetchModel(config, encoder.num_tables, rng=rng)
+        miss_ids = rng.integers(0, encoder.vocab_size, size=100)
+        model.set_decoder(BucketDecoder.from_miss_ids(miss_ids,
+                                                      config.hash_buckets))
+        predicted = model.predict_indices(chunks, encoder, sel=np.arange(3))
+        assert predicted.shape == (3, config.output_len)
+        assert predicted.min() >= 0
+        assert predicted.max() < encoder.vocab_size
+
+    def test_target_points_shape(self, setup, rng):
+        config, encoder, _ = setup
+        model = PrefetchModel(config, encoder.num_tables, rng=rng)
+        window = rng.integers(0, config.hash_buckets, size=(3, 7))
+        points = model.target_points(window)
+        assert points.shape == (3, 7, config.embed_dim)
+        assert not points.requires_grad
+
+
+class TestBucketDecoder:
+    def test_hot_candidate_wins_bucket(self):
+        # ids 5 and 5+K hash to the same bucket; 5 misses more often.
+        K = 64
+        miss_ids = np.array([5] * 4 + [5 + K] * 2 + [7])
+        decoder = BucketDecoder.from_miss_ids(miss_ids, K)
+        assert decoder.bucket_hot[5] == 5
+        assert decoder.bucket_hot[7] == 7
+
+    def test_decode_buckets_masks_empty(self):
+        K = 8
+        decoder = BucketDecoder.from_miss_ids(np.array([3]), K)
+        logits = np.zeros((2, K))
+        logits[:, 5] = 10.0  # highest score but bucket 5 has no candidate
+        out = decoder.decode_buckets(logits)
+        assert np.all(out == 3)
+
+    def test_decode_nearest_codeword(self, rng):
+        K, D = 8, 4
+        codebook = rng.normal(size=(K, D))
+        decoder = BucketDecoder.from_miss_ids(np.arange(K), K)
+        out = decoder.decode(codebook[2].reshape(1, D), codebook)
+        assert out[0] == 2

@@ -1,0 +1,49 @@
+"""Round-tripping a trained RecMG system through disk."""
+
+import numpy as np
+import pytest
+
+from repro.core import RecMG
+from repro.core.persistence import load_recmg, save_recmg
+
+
+class TestPersistence:
+    def test_save_requires_fitted(self, tiny_recmg_config, tmp_path):
+        with pytest.raises(RuntimeError):
+            save_recmg(RecMG(tiny_recmg_config), tmp_path / "x.npz")
+
+    def test_roundtrip_predictions_identical(self, trained_recmg, tiny_trace,
+                                             tmp_path):
+        path = tmp_path / "recmg.npz"
+        save_recmg(trained_recmg, path)
+        restored = load_recmg(path)
+
+        assert restored.fitted
+        assert restored.encoder.vocab_size == trained_recmg.encoder.vocab_size
+
+        chunks_a = trained_recmg.encoder.encode_chunks(tiny_trace.head(300))
+        chunks_b = restored.encoder.encode_chunks(tiny_trace.head(300))
+        sel = np.arange(min(8, len(chunks_a)))
+        assert np.array_equal(
+            trained_recmg.caching_model.predict(chunks_a, sel=sel),
+            restored.caching_model.predict(chunks_b, sel=sel),
+        )
+        assert np.array_equal(
+            trained_recmg.prefetch_model.predict_indices(
+                chunks_a, trained_recmg.encoder, sel=sel),
+            restored.prefetch_model.predict_indices(
+                chunks_b, restored.encoder, sel=sel),
+        )
+
+    def test_roundtrip_deployment_identical(self, trained_recmg, tiny_trace,
+                                            tiny_capacity, tmp_path):
+        path = tmp_path / "recmg.npz"
+        save_recmg(trained_recmg, path)
+        restored = load_recmg(path)
+        _, test = tiny_trace.split(0.6)
+        original = trained_recmg.evaluate(test.head(800),
+                                          capacity=tiny_capacity)
+        replayed = restored.evaluate(test.head(800), capacity=tiny_capacity)
+        assert original.hit_rate == pytest.approx(replayed.hit_rate)
+        assert (original.breakdown.fractions()
+                == replayed.breakdown.fractions())

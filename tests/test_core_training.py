@@ -1,0 +1,127 @@
+"""Training pipelines: labeling, losses, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.cache import capacity_from_fraction
+from repro.core import (
+    CachingModel, FeatureEncoder, PrefetchModel, RecMGConfig, build_labels,
+    caching_accuracy, caching_targets, prefetch_metrics, prefetch_targets,
+    train_caching_model, train_prefetch_model, output_collapse_ratio,
+)
+from repro.core.prefetch_model import BucketDecoder
+
+
+@pytest.fixture(scope="module")
+def pipeline(tiny_trace, tiny_recmg_config):
+    config = tiny_recmg_config
+    train, _ = tiny_trace.split(0.6)
+    capacity = capacity_from_fraction(tiny_trace, 0.2)
+    encoder = FeatureEncoder(config).fit(train)
+    labels = build_labels(train, capacity, config, encoder)
+    chunks = encoder.encode_chunks(train)
+    return config, encoder, labels, chunks
+
+
+class TestLabeling:
+    def test_labels_aligned(self, pipeline):
+        config, encoder, labels, chunks = pipeline
+        targets = caching_targets(chunks, labels)
+        assert targets.shape == (len(chunks), config.input_len)
+        assert set(np.unique(targets)).issubset({0.0, 1.0})
+
+    def test_miss_positions_sorted(self, pipeline):
+        _, _, labels, _ = pipeline
+        assert np.all(np.diff(labels.miss_positions) > 0)
+
+    def test_prefetch_windows(self, pipeline):
+        config, encoder, labels, chunks = pipeline
+        sel, norm, dense = prefetch_targets(chunks, labels, config, encoder)
+        assert norm.shape == (len(sel), config.eval_window)
+        assert dense.shape == norm.shape
+        assert norm.min() >= 0.0 and norm.max() <= 1.0
+
+    def test_windows_are_future_misses(self, pipeline):
+        config, encoder, labels, chunks = pipeline
+        sel, _, dense = prefetch_targets(chunks, labels, config, encoder)
+        # First window entry must be a miss occurring after the chunk.
+        first_chunk_end = chunks.starts[sel[0]] + config.input_len
+        miss_after = labels.miss_positions[
+            labels.miss_positions >= first_chunk_end
+        ][: config.eval_window]
+        assert np.array_equal(dense[0], labels.dense_ids[miss_after])
+
+
+class TestCachingTraining:
+    def test_loss_decreases_and_accuracy(self, pipeline, rng):
+        from dataclasses import replace
+
+        config, encoder, labels, chunks = pipeline
+        config = replace(config, caching_epochs=3)
+        model = CachingModel(config, encoder.num_tables, rng=rng)
+        targets = caching_targets(chunks, labels)
+        result = train_caching_model(model, chunks, targets, config)
+        third = max(1, len(result.losses) // 3)
+        assert (np.mean(result.losses[-third:])
+                < np.mean(result.losses[:third]))
+        assert 0.0 <= result.final_metric <= 1.0
+        assert result.num_parameters == model.num_parameters()
+
+    def test_accuracy_range(self, pipeline, rng):
+        config, encoder, labels, chunks = pipeline
+        model = CachingModel(config, encoder.num_tables, rng=rng)
+        value = caching_accuracy(model, chunks, caching_targets(chunks, labels),
+                                 sel=np.arange(10))
+        assert 0.0 <= value <= 1.0
+
+
+class TestPrefetchTraining:
+    @pytest.mark.parametrize("loss_kind", ["chamfer", "chamfer_forward", "l2"])
+    def test_all_losses_run(self, pipeline, rng, loss_kind):
+        config, encoder, labels, chunks = pipeline
+        model = PrefetchModel(config, encoder.num_tables, rng=rng)
+        miss_dense = labels.dense_ids[labels.miss_positions]
+        model.set_decoder(BucketDecoder.from_miss_ids(miss_dense,
+                                                      config.hash_buckets))
+        sel, norm, dense = prefetch_targets(chunks, labels, config, encoder)
+        result = train_prefetch_model(model, chunks, sel, norm, dense,
+                                      encoder, config, loss_kind=loss_kind)
+        assert len(result.losses) > 0
+        assert np.isfinite(result.losses).all()
+
+    def test_unknown_loss_rejected(self, pipeline, rng):
+        config, encoder, labels, chunks = pipeline
+        model = PrefetchModel(config, encoder.num_tables, rng=rng)
+        sel, norm, dense = prefetch_targets(chunks, labels, config, encoder)
+        with pytest.raises(ValueError):
+            train_prefetch_model(model, chunks, sel, norm, dense, encoder,
+                                 config, loss_kind="huber")
+
+
+class TestPrefetchMetrics:
+    def test_oracle_predictions_score_one(self, pipeline, rng):
+        config, encoder, labels, chunks = pipeline
+        sel, _, dense = prefetch_targets(chunks, labels, config, encoder)
+
+        class Oracle:
+            def predict_indices(self, chunks_, encoder_, sel=None):
+                rows = np.searchsorted(np.asarray(globals_sel), sel)
+                return dense[rows][:, : config.output_len]
+
+        globals_sel = sel
+        correctness, coverage = prefetch_metrics(
+            Oracle(), chunks, sel[:20], dense[:20], encoder
+        )
+        assert correctness == pytest.approx(1.0)
+        assert coverage > 0.0
+
+    def test_collapse_ratio_detects_constant(self, pipeline, rng):
+        config, encoder, labels, chunks = pipeline
+        sel, _, dense = prefetch_targets(chunks, labels, config, encoder)
+
+        class Constant:
+            def predict_indices(self, chunks_, encoder_, sel=None):
+                return np.full((len(sel), config.output_len), 7)
+
+        assert output_collapse_ratio(Constant(), chunks, sel[:10],
+                                     encoder) == 1.0

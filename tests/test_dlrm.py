@@ -1,0 +1,128 @@
+"""DLRM substrate: model, queries, tiered memory, inference timing."""
+
+import numpy as np
+import pytest
+
+from repro.cache import LRUCache
+from repro.core import RecMGManager
+from repro.dlrm import (
+    ControlledHitRateCache, DLRM, DLRMConfig, EmbeddingBagCollection,
+    EmbeddingTable, InferenceEngine, LinearPerformanceModel,
+    ManagerClassifier, TieredMemoryConfig, batched, calibrate,
+    queries_from_trace,
+)
+
+
+class TestEmbeddings:
+    def test_pooled_is_sum(self, rng):
+        table = EmbeddingTable(10, 4, rng=rng)
+        rows = np.array([1, 3])
+        assert np.allclose(table.pooled(rows),
+                           table.weights[1] + table.weights[3])
+
+    def test_empty_pool_is_zero(self, rng):
+        table = EmbeddingTable(10, 4, rng=rng)
+        assert np.allclose(table.pooled(np.array([], dtype=np.int64)), 0.0)
+
+    def test_out_of_range(self, rng):
+        with pytest.raises(IndexError):
+            EmbeddingTable(10, 4, rng=rng).lookup(np.array([10]))
+
+    def test_collection_memory(self):
+        bags = EmbeddingBagCollection(3, 100, 8)
+        assert bags.total_rows == 300
+        assert bags.memory_bytes == 3 * 100 * 8 * 8  # float64
+
+
+class TestDLRM:
+    def test_ctr_in_unit_interval(self, rng):
+        dlrm = DLRM(DLRMConfig(num_tables=4, rows_per_table=64,
+                               embedding_dim=8))
+        ctr = dlrm.forward_one(
+            rng.normal(size=8), {0: np.array([1, 2]), 2: np.array([5])}
+        )
+        assert 0.0 < ctr < 1.0
+
+    def test_batch_matches_single(self, rng):
+        dlrm = DLRM(DLRMConfig(num_tables=4, rows_per_table=64,
+                               embedding_dim=8))
+        dense = rng.normal(size=(2, 8))
+        sparse = [{0: np.array([1])}, {1: np.array([3, 4])}]
+        batch = dlrm.forward_batch(dense, sparse)
+        assert batch[0] == pytest.approx(dlrm.forward_one(dense[0], sparse[0]))
+
+    def test_flops_positive(self):
+        assert DLRM().flops_per_query > 0
+
+
+class TestQueries:
+    def test_reconstruction_matches_pooling(self, tiny_trace):
+        queries = queries_from_trace(tiny_trace)
+        assert len(queries) == tiny_trace.num_queries
+        total = sum(q.pooling_factor for q in queries)
+        assert total == len(tiny_trace)
+
+    def test_batched_covers_all(self, tiny_trace):
+        queries = queries_from_trace(tiny_trace)
+        batches = list(batched(queries, 32))
+        assert sum(len(b) for b in batches) == len(queries)
+
+
+class TestTieredMemory:
+    def test_on_demand_cost_dominates(self):
+        memory = TieredMemoryConfig()
+        assert memory.on_demand_time_ms(100) > memory.hit_time_ms(100)
+
+    def test_copy_time_scales(self):
+        memory = TieredMemoryConfig()
+        assert memory.copy_time_ms(2000, 16) > memory.copy_time_ms(100, 16)
+
+
+class TestInferenceEngine:
+    def test_breakdown_totals(self, tiny_trace):
+        engine = InferenceEngine(accesses_per_batch=512)
+        report = engine.run(tiny_trace.head(2000), LRUCache(300))
+        assert report.total_accesses == 2000
+        assert len(report.batches) == 4
+        breakdown = report.mean_breakdown()
+        assert breakdown.total_ms == pytest.approx(report.mean_batch_ms)
+
+    def test_higher_hit_rate_is_faster(self, tiny_trace):
+        engine = InferenceEngine(accesses_per_batch=512)
+        slow = engine.run(tiny_trace.head(2000), ControlledHitRateCache(0.1))
+        fast = engine.run(tiny_trace.head(2000), ControlledHitRateCache(0.9))
+        assert fast.mean_batch_ms < slow.mean_batch_ms
+        assert fast.hit_rate > slow.hit_rate
+
+    def test_manager_classifier_replays(self, trained_recmg, tiny_trace,
+                                        tiny_capacity):
+        _, test = tiny_trace.split(0.6)
+        manager = trained_recmg.deploy(tiny_capacity)
+        classifier = ManagerClassifier(manager, test)
+        engine = InferenceEngine(accesses_per_batch=512)
+        report = engine.run(test, classifier)
+        assert report.total_accesses == len(test)
+        assert report.hit_rate == pytest.approx(manager.breakdown.hit_rate)
+
+
+class TestPerformanceModel:
+    def test_controlled_cache_hits_target(self, tiny_trace):
+        cache = ControlledHitRateCache(0.25)
+        hits = sum(cache.access(int(k)) for k in tiny_trace.head(2000).keys())
+        assert hits == pytest.approx(500, abs=2)
+
+    def test_fit_slope_negative(self, tiny_trace):
+        engine = InferenceEngine(accesses_per_batch=512)
+        model, reports = calibrate(engine, tiny_trace.head(2000),
+                                   hit_rates=(0.0, 0.5, 1.0))
+        assert model.slope < 0
+        assert model.rmse_ms >= 0
+        assert len(reports) == 3
+
+    def test_predict_interpolates(self):
+        model = LinearPerformanceModel.fit([0.0, 1.0], [10.0, 2.0])
+        assert model.predict(0.5) == pytest.approx(6.0)
+
+    def test_fit_needs_points(self):
+        with pytest.raises(ValueError):
+            LinearPerformanceModel.fit([0.5], [3.0])

@@ -1,0 +1,154 @@
+"""Modules, optimizers and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam, Embedding, Linear, MLP, Module, SGD, Sequential, Tensor,
+    clip_grad_norm, dropout, load_module, save_module,
+)
+
+
+class TestLinearAndEmbedding:
+    def test_linear_shapes(self, rng):
+        layer = Linear(4, 7, rng=rng)
+        out = layer(Tensor(rng.normal(size=(5, 4))))
+        assert out.shape == (5, 7)
+
+    def test_linear_no_bias(self, rng):
+        layer = Linear(4, 7, rng=rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_embedding_lookup(self, rng):
+        emb = Embedding(10, 3, rng=rng)
+        out = emb(np.array([1, 1, 9]))
+        assert out.shape == (3, 3)
+        assert np.allclose(out.data[0], out.data[1])
+
+    def test_embedding_out_of_range(self, rng):
+        emb = Embedding(10, 3, rng=rng)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+
+    def test_mlp_final_activation(self, rng):
+        mlp = MLP([4, 8, 1], rng=rng, final_activation="sigmoid")
+        out = mlp(Tensor(rng.normal(size=(6, 4))))
+        assert np.all(out.data > 0) and np.all(out.data < 1)
+
+    def test_mlp_unknown_activation(self, rng):
+        mlp = MLP([2, 2], rng=rng, activation="bogus",
+                  final_activation="bogus")
+        with pytest.raises(ValueError):
+            mlp(Tensor(rng.normal(size=(1, 2))))
+
+    def test_sequential_chains(self, rng):
+        model = Sequential(Linear(3, 5, rng=rng), Linear(5, 2, rng=rng))
+        assert model(Tensor(rng.normal(size=(4, 3)))).shape == (4, 2)
+
+
+class TestModuleIntrospection:
+    def test_num_parameters(self, rng):
+        layer = Linear(4, 7, rng=rng)
+        assert layer.num_parameters() == 4 * 7 + 7
+
+    def test_named_parameters_nested(self, rng):
+        model = Sequential(Linear(3, 5, rng=rng), Linear(5, 2, rng=rng))
+        names = [name for name, _ in model.named_parameters()]
+        assert "layers.0.weight" in names
+        assert "layers.1.bias" in names
+
+    def test_state_dict_roundtrip(self, rng):
+        a = Linear(3, 4, rng=rng)
+        b = Linear(3, 4, rng=np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.weight.data, b.weight.data)
+
+    def test_load_state_dict_shape_mismatch(self, rng):
+        a = Linear(3, 4, rng=rng)
+        state = a.state_dict()
+        state["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_load_state_dict_missing_key(self, rng):
+        a = Linear(3, 4, rng=rng)
+        with pytest.raises(KeyError):
+            a.load_state_dict({})
+
+    def test_save_load_file(self, rng, tmp_path):
+        a = MLP([3, 5, 2], rng=rng)
+        path = tmp_path / "model.npz"
+        save_module(a, path)
+        b = MLP([3, 5, 2], rng=np.random.default_rng(1234))
+        load_module(b, path)
+        x = Tensor(rng.normal(size=(2, 3)))
+        assert np.allclose(a(x).data, b(x).data)
+
+
+class TestOptimizers:
+    def _loss(self, layer, x, y):
+        pred = layer(x)
+        return ((pred - y) ** 2.0).mean()
+
+    def test_sgd_decreases_loss(self, rng):
+        layer = Linear(3, 1, rng=rng)
+        x = Tensor(rng.normal(size=(16, 3)))
+        y = Tensor(rng.normal(size=(16, 1)))
+        opt = SGD(layer.parameters(), lr=0.05, momentum=0.9)
+        first = None
+        for _ in range(50):
+            loss = self._loss(layer, x, y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            first = first if first is not None else loss.item()
+        assert loss.item() < first * 0.5
+
+    def test_adam_decreases_loss(self, rng):
+        layer = Linear(3, 1, rng=rng)
+        x = Tensor(rng.normal(size=(16, 3)))
+        y = Tensor(rng.normal(size=(16, 1)))
+        opt = Adam(layer.parameters(), lr=0.05)
+        first = None
+        for _ in range(50):
+            loss = self._loss(layer, x, y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            first = first if first is not None else loss.item()
+        assert loss.item() < first * 0.5
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_negative_lr_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Adam(Linear(2, 2, rng=rng).parameters(), lr=-1.0)
+
+    def test_clip_grad_norm(self, rng):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm > 1.0
+        assert abs(np.linalg.norm(p.grad) - 1.0) < 1e-9
+
+    def test_clip_noop_under_limit(self, rng):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.full(4, 0.01)
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.allclose(p.grad, 0.01)
+
+
+class TestDropout:
+    def test_identity_when_not_training(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)))
+        assert np.allclose(dropout(x, 0.5, training=False).data, x.data)
+
+    def test_scales_when_training(self, rng):
+        x = Tensor(np.ones((1000,)))
+        out = dropout(x, 0.5, rng=rng, training=True)
+        kept = out.data[out.data > 0]
+        assert np.allclose(kept, 2.0)
+        assert 0.3 < (out.data > 0).mean() < 0.7

@@ -1,0 +1,208 @@
+"""Gradient checks and semantics of the autograd core."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Tensor, concat, stack, softmax, log_softmax, bce_with_logits,
+    cross_entropy, chamfer_loss, chamfer_directed, unbroadcast,
+)
+
+
+def numeric_gradient(fn, x0, eps=1e-6):
+    grad = np.zeros_like(x0)
+    flat = x0.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = fn(Tensor(x0)).item()
+        flat[i] = orig - eps
+        minus = fn(Tensor(x0)).item()
+        flat[i] = orig
+        grad.ravel()[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(fn, x0, tol=1e-4):
+    x = Tensor(x0.copy(), requires_grad=True)
+    fn(x).backward()
+    numeric = numeric_gradient(fn, x0)
+    assert np.max(np.abs(numeric - x.grad)) < tol
+
+
+class TestElementwiseGradients:
+    def test_tanh(self, rng):
+        check_gradient(lambda x: x.tanh().sum(), rng.normal(size=(3, 4)))
+
+    def test_sigmoid(self, rng):
+        check_gradient(lambda x: x.sigmoid().sum(), rng.normal(size=(3, 4)))
+
+    def test_exp_log(self, rng):
+        check_gradient(lambda x: (x.exp() + 1.0).log().sum(),
+                       rng.normal(size=(2, 3)))
+
+    def test_relu(self, rng):
+        # Avoid the kink at exactly zero.
+        x0 = rng.normal(size=(3, 4))
+        x0[np.abs(x0) < 0.1] = 0.5
+        check_gradient(lambda x: x.relu().sum(), x0)
+
+    def test_abs(self, rng):
+        x0 = rng.normal(size=(3, 4))
+        x0[np.abs(x0) < 0.1] = 0.5
+        check_gradient(lambda x: x.abs().sum(), x0)
+
+    def test_pow(self, rng):
+        check_gradient(lambda x: (x ** 3.0).sum(), rng.normal(size=(2, 2)))
+
+    def test_division(self, rng):
+        x0 = rng.normal(size=(2, 3)) + 3.0
+        check_gradient(lambda x: (1.0 / x).sum(), x0)
+
+
+class TestMatmulGradients:
+    def test_2d_2d(self, rng):
+        w = Tensor(rng.normal(size=(4, 5)))
+        check_gradient(lambda x: (x @ w).sum(), rng.normal(size=(3, 4)))
+
+    def test_2d_2d_right(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)))
+        check_gradient(lambda x: (a @ x).sum(), rng.normal(size=(4, 5)))
+
+    def test_batched_3d(self, rng):
+        b = Tensor(rng.normal(size=(2, 4, 5)))
+        check_gradient(lambda x: (x @ b).sum(), rng.normal(size=(2, 3, 4)))
+
+    def test_3d_with_shared_2d(self, rng):
+        w = rng.normal(size=(4, 4))
+        check_gradient(lambda x: ((x @ Tensor(w)).tanh()).sum(),
+                       rng.normal(size=(2, 3, 4)))
+
+    def test_shared_2d_weight_gradient(self, rng):
+        # Gradient wrt the broadcast weight must sum over the batch.
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+        check_gradient(lambda w: (x @ w).sum(), rng.normal(size=(4, 5)))
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis(self, rng):
+        check_gradient(lambda x: (x.sum(axis=1) ** 2.0).sum(),
+                       rng.normal(size=(3, 4)))
+
+    def test_mean_keepdims(self, rng):
+        check_gradient(lambda x: (x - x.mean(axis=1, keepdims=True)
+                                  ).pow(2.0).sum(),
+                       rng.normal(size=(3, 4)))
+
+    def test_max_axis(self, rng):
+        x0 = rng.normal(size=(3, 5))
+        check_gradient(lambda x: x.max(axis=1).sum(), x0)
+
+    def test_min_axis(self, rng):
+        x0 = rng.normal(size=(3, 5))
+        check_gradient(lambda x: x.min(axis=1).sum(), x0)
+
+    def test_reshape_transpose(self, rng):
+        check_gradient(
+            lambda x: (x.reshape(4, 3).transpose(1, 0) ** 2.0).sum(),
+            rng.normal(size=(2, 6)),
+        )
+
+    def test_getitem_fancy(self, rng):
+        rows = np.array([0, 1, 1])
+        cols = np.array([2, 0, 2])
+        check_gradient(lambda x: x[rows, cols].sum(), rng.normal(size=(2, 3)))
+
+    def test_take_rows_accumulates_duplicates(self, rng):
+        w = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        out = w.take_rows(np.array([1, 1, 3]))
+        out.sum().backward()
+        assert np.allclose(w.grad[1], [2.0, 2.0])
+        assert np.allclose(w.grad[3], [1.0, 1.0])
+        assert np.allclose(w.grad[0], 0.0)
+
+    def test_concat_gradient(self, rng):
+        a0 = rng.normal(size=(2, 3))
+        b = Tensor(rng.normal(size=(2, 2)))
+        check_gradient(lambda x: (concat([x, b], axis=1) ** 2.0).sum(), a0)
+
+    def test_stack_gradient(self, rng):
+        b = Tensor(rng.normal(size=(2, 3)))
+        check_gradient(lambda x: (stack([x, b], axis=1) ** 2.0).sum(),
+                       rng.normal(size=(2, 3)))
+
+
+class TestLossGradients:
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = softmax(Tensor(rng.normal(size=(5, 7))), axis=-1)
+        assert np.allclose(probs.data.sum(axis=-1), 1.0)
+
+    def test_log_softmax_gradient(self, rng):
+        mult = Tensor(rng.normal(size=(3, 4)))
+        check_gradient(lambda x: (log_softmax(x, axis=-1) * mult).sum(),
+                       rng.normal(size=(3, 4)))
+
+    def test_bce_gradient(self, rng):
+        targets = Tensor((rng.random((3, 4)) > 0.5).astype(float))
+        check_gradient(lambda x: bce_with_logits(x, targets),
+                       rng.normal(size=(3, 4)))
+
+    def test_bce_matches_naive_formula(self, rng):
+        logits = rng.normal(size=(4, 3))
+        targets = (rng.random((4, 3)) > 0.5).astype(float)
+        stable = bce_with_logits(Tensor(logits), Tensor(targets)).item()
+        probs = 1 / (1 + np.exp(-logits))
+        naive = -(targets * np.log(probs)
+                  + (1 - targets) * np.log(1 - probs)).mean()
+        assert abs(stable - naive) < 1e-9
+
+    def test_cross_entropy_gradient(self, rng):
+        labels = np.array([1, 0, 3])
+        check_gradient(lambda x: cross_entropy(x, labels),
+                       rng.normal(size=(3, 5)))
+
+    def test_chamfer_scalar_gradient(self, rng):
+        window = Tensor(rng.normal(size=(2, 8)))
+        check_gradient(lambda x: chamfer_loss(x, window),
+                       rng.normal(size=(2, 4)), tol=1e-3)
+
+    def test_chamfer_vector_gradient(self, rng):
+        window = Tensor(rng.normal(size=(2, 6, 3)))
+        check_gradient(lambda x: chamfer_loss(x, window),
+                       rng.normal(size=(2, 4, 3)), tol=1e-3)
+
+    def test_chamfer_zero_when_identical(self, rng):
+        points = rng.normal(size=(2, 4))
+        loss = chamfer_loss(Tensor(points), Tensor(points.copy()))
+        assert loss.item() < 1e-12
+
+    def test_chamfer_directed_matches_manual(self, rng):
+        a = np.array([[1.0, 5.0]])
+        b = np.array([[2.0, 7.0, 100.0]])
+        # 1->2 (1.0), 5->7 (2.0): sum = 3.0
+        value = chamfer_directed(Tensor(a), Tensor(b)).item()
+        assert abs(value - 3.0) < 1e-12
+
+
+class TestMechanics:
+    def test_backward_requires_scalar(self):
+        with pytest.raises(ValueError):
+            Tensor(np.ones(3), requires_grad=True).backward()
+
+    def test_gradient_accumulates_over_reuse(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0 + x * 4.0
+        y.backward()
+        assert np.allclose(x.grad, [7.0])
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = (x * 3.0).detach() * x
+        y.backward()
+        assert np.allclose(x.grad, [6.0])  # only the second factor
+
+    def test_unbroadcast_shapes(self):
+        grad = np.ones((4, 3, 5))
+        assert unbroadcast(grad, (3, 5)).shape == (3, 5)
+        assert unbroadcast(grad, (1, 5)).shape == (1, 5)
+        assert np.allclose(unbroadcast(grad, (3, 5)), 4.0)

@@ -1,0 +1,46 @@
+"""CPU serving simulation: thread scaling and the relaxed pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import PipelineSimulator, simulate_thread_throughput
+
+
+class TestThreadThroughput:
+    def test_monotone_increasing(self):
+        values = [simulate_thread_throughput(t) for t in (1, 4, 16, 64)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_near_linear_then_rolloff(self):
+        t1 = simulate_thread_throughput(1)
+        t16 = simulate_thread_throughput(16)
+        t64 = simulate_thread_throughput(64)
+        assert t16 / t1 > 10          # near-linear early
+        assert t64 / t1 < 64          # sublinear at scale (Fig. 7)
+
+    def test_validates_threads(self):
+        with pytest.raises(ValueError):
+            simulate_thread_throughput(0)
+
+
+class TestPipeline:
+    def test_gpu_never_waits(self):
+        sim = PipelineSimulator()
+        result = sim.run([10.0] * 5, [100.0] * 5)
+        assert result.total_time_ms == pytest.approx(50.0)
+        assert result.skipped_model_updates > 0
+
+    def test_fast_cpu_no_skips(self):
+        sim = PipelineSimulator()
+        result = sim.run([10.0] * 5, [1.0] * 5)
+        assert result.skipped_model_updates == 0
+
+    def test_pipelined_beats_serialized(self):
+        sim = PipelineSimulator()
+        result = sim.run([10.0] * 8, [8.0] * 8)
+        assert result.total_time_ms < result.serialized_time_ms
+        assert result.speedup > 1.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            PipelineSimulator().run([1.0], [1.0, 2.0])

@@ -1,0 +1,70 @@
+"""End-to-end RecMG: fit, deploy, evaluate, headline shape."""
+
+import numpy as np
+import pytest
+
+from repro.cache import LRUCache, simulate, simulate_belady
+from repro.core import RecMG, RecMGConfig
+
+
+class TestFit:
+    def test_report_populated(self, trained_recmg):
+        report = trained_recmg.report
+        assert report is not None
+        assert 0.0 <= report.caching_accuracy <= 1.0
+        assert 0.0 <= report.prefetch_correctness <= 1.0
+        assert 0.0 < report.opt_hit_rate < 1.0
+        assert report.caching.num_parameters > 0
+        assert report.prefetch.num_parameters > 0
+
+    def test_deploy_before_fit_raises(self, tiny_recmg_config):
+        system = RecMG(tiny_recmg_config)
+        with pytest.raises(RuntimeError):
+            system.deploy(capacity=100)
+
+    def test_fitted_flag(self, trained_recmg, tiny_recmg_config):
+        assert trained_recmg.fitted
+        assert not RecMG(tiny_recmg_config).fitted
+
+
+class TestHeadlineShape:
+    """The paper's qualitative claims at test scale."""
+
+    def test_caching_accuracy_beats_chance(self, trained_recmg):
+        # Paper reports 83%; at tiny scale with one epoch we only insist
+        # on being meaningfully above coin flipping.
+        assert trained_recmg.report.caching_accuracy > 0.55
+
+    def test_recmg_between_lru_and_opt(self, trained_recmg, tiny_trace,
+                                       tiny_capacity):
+        _, test = tiny_trace.split(0.6)
+        stats = trained_recmg.evaluate(test, capacity=tiny_capacity)
+        lru = LRUCache(tiny_capacity)
+        simulate(lru, test)
+        opt_stats, _ = simulate_belady(test, tiny_capacity)
+        # RecMG must not fall meaningfully below LRU and cannot beat OPT.
+        assert stats.hit_rate >= lru.stats.hit_rate - 0.05
+        assert stats.hit_rate <= opt_stats.hit_rate + 1e-9
+
+    def test_ablation_variants_run(self, trained_recmg, tiny_trace,
+                                   tiny_capacity):
+        _, test = tiny_trace.split(0.6)
+        full = trained_recmg.evaluate(test, capacity=tiny_capacity)
+        cm = trained_recmg.evaluate(test, capacity=tiny_capacity,
+                                    use_prefetch_model=False)
+        pf = trained_recmg.evaluate(test, capacity=tiny_capacity,
+                                    use_caching_model=False)
+        none = trained_recmg.evaluate(test, capacity=tiny_capacity,
+                                      use_caching_model=False,
+                                      use_prefetch_model=False)
+        for stats in (full, cm, pf, none):
+            assert stats.breakdown.total == len(test)
+
+    def test_loss_kinds_fit(self, tiny_trace, tiny_capacity,
+                            tiny_recmg_config):
+        train, _ = tiny_trace.split(0.6)
+        for kind in ("l2",):
+            system = RecMG(tiny_recmg_config)
+            report = system.fit(train, buffer_capacity=tiny_capacity,
+                                loss_kind=kind)
+            assert report.prefetch.losses

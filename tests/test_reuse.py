@@ -1,0 +1,86 @@
+"""Reuse-distance analysis: Fenwick tree, histograms, LRU curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import LRUCache, simulate
+from repro.traces import (
+    COLD_MISS, FenwickTree, Trace, lru_hit_rate, lru_hit_rate_curve,
+    reuse_distances, reuse_histogram,
+)
+
+
+def naive_reuse_distances(keys):
+    out = []
+    last = {}
+    for i, key in enumerate(keys):
+        if key in last:
+            out.append(len(set(keys[last[key] + 1:i])))
+        else:
+            out.append(COLD_MISS)
+        last[key] = i
+    return np.array(out)
+
+
+class TestFenwick:
+    def test_prefix_sums(self):
+        tree = FenwickTree(10)
+        tree.add(3, 5)
+        tree.add(7, 2)
+        assert tree.prefix_sum(2) == 0
+        assert tree.prefix_sum(3) == 5
+        assert tree.prefix_sum(9) == 7
+        assert tree.range_sum(4, 7) == 2
+        assert tree.range_sum(7, 4) == 0
+
+    @given(st.lists(st.tuples(st.integers(0, 19), st.integers(-5, 5)),
+                    max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_naive_array(self, updates):
+        tree = FenwickTree(20)
+        arr = np.zeros(20, dtype=np.int64)
+        for idx, delta in updates:
+            tree.add(idx, delta)
+            arr[idx] += delta
+        assert tree.prefix_sum(19) == arr.sum()
+        assert tree.range_sum(5, 12) == arr[5:13].sum()
+
+
+class TestReuseDistances:
+    def test_hand_example(self):
+        # a b c a b b -> distances: -,-,-,2,2,0
+        keys = [1, 2, 3, 1, 2, 2]
+        trace = Trace.from_pairs([(0, k) for k in keys])
+        expected = [COLD_MISS, COLD_MISS, COLD_MISS, 2, 2, 0]
+        assert reuse_distances(trace).tolist() == expected
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=120))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_naive(self, keys):
+        trace = Trace.from_pairs([(0, k) for k in keys])
+        assert np.array_equal(reuse_distances(trace),
+                              naive_reuse_distances(keys))
+
+    @given(st.lists(st.integers(0, 25), min_size=5, max_size=150),
+           st.integers(1, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_lru_hit_rate_matches_simulation(self, keys, capacity):
+        """Reuse distance < capacity iff fully associative LRU hits."""
+        trace = Trace.from_pairs([(0, k) for k in keys])
+        distances = reuse_distances(trace)
+        analytic = lru_hit_rate(distances, capacity)
+        cache = LRUCache(capacity)
+        simulate(cache, trace)
+        assert analytic == pytest.approx(cache.stats.hit_rate)
+
+    def test_curve_monotone(self, tiny_trace):
+        distances = reuse_distances(tiny_trace.head(3000))
+        caps = [1, 8, 64, 512, 4096]
+        curve = lru_hit_rate_curve(distances, caps)
+        assert np.all(np.diff(curve) >= 0)
+
+    def test_histogram_counts_warm_accesses(self, tiny_trace):
+        distances = reuse_distances(tiny_trace.head(2000))
+        _, counts = reuse_histogram(distances)
+        assert counts.sum() == (distances >= 0).sum()

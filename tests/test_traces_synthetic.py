@@ -1,0 +1,96 @@
+"""Synthetic generator: determinism, paper-motivated trace properties."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    DATASET_NAMES, SyntheticTraceConfig, dataset_config, generate_trace,
+    load_dataset, long_reuse_fraction, reuse_distances, table1_trace,
+    top_fraction_share,
+)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        config = SyntheticTraceConfig(num_accesses=2000, seed=5)
+        a = generate_trace(config)
+        b = generate_trace(config)
+        assert np.array_equal(a.keys(), b.keys())
+
+    def test_seed_changes_trace(self):
+        a = generate_trace(SyntheticTraceConfig(num_accesses=2000, seed=5))
+        b = generate_trace(SyntheticTraceConfig(num_accesses=2000, seed=6))
+        assert not np.array_equal(a.keys(), b.keys())
+
+    def test_exact_length(self):
+        trace = generate_trace(SyntheticTraceConfig(num_accesses=3123))
+        assert len(trace) == 3123
+
+    def test_rows_within_tables(self):
+        config = SyntheticTraceConfig(num_accesses=2000, rows_per_table=256)
+        trace = generate_trace(config)
+        assert trace.row_ids.max() < 256
+        assert trace.table_ids.max() < config.num_tables
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(num_tables=0)
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(cold_fraction=1.5)
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(cluster_block=999, rows_per_table=10)
+
+
+class TestPaperProperties:
+    """The three trace properties the paper's analysis depends on."""
+
+    def test_power_law_popularity(self, tiny_trace):
+        # ~20% of vectors should take well over half the accesses.
+        assert top_fraction_share(tiny_trace, 0.2) > 0.55
+
+    def test_long_reuse_distances_present(self, tiny_trace):
+        distances = reuse_distances(tiny_trace)
+        cap = int(tiny_trace.num_unique * 0.2)
+        assert long_reuse_fraction(distances, cap) > 0.05
+
+    def test_session_correlation(self, tiny_trace):
+        # Consecutive accesses repeat tables/clusters far more often than
+        # a shuffled trace would.
+        keys = tiny_trace.keys()
+        same = (keys[1:] == keys[:-1]).mean()
+        rng = np.random.default_rng(0)
+        shuffled = keys.copy()
+        rng.shuffle(shuffled)
+        same_shuffled = (shuffled[1:] == shuffled[:-1]).mean()
+        # Not a strong statement about equality-adjacency, so compare
+        # block reuse: distinct keys per window.
+        def window_distinct(arr, w=50):
+            return np.mean([len(set(arr[i:i + w].tolist()))
+                            for i in range(0, len(arr) - w, w)])
+        assert window_distinct(keys) < window_distinct(shuffled)
+
+
+class TestDatasets:
+    def test_all_presets_load(self):
+        for name in DATASET_NAMES:
+            trace = load_dataset(name, scale=0.05)
+            assert len(trace) >= 1000
+            assert trace.name == name
+
+    def test_presets_differ(self):
+        a = load_dataset("dataset0", scale=0.05)
+        b = load_dataset("dataset1", scale=0.05)
+        assert not np.array_equal(a.keys(), b.keys())
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            dataset_config("dataset9")
+
+    def test_table1_shapes(self):
+        small = table1_trace("DS1", scale=0.1)
+        large = table1_trace("DS3", scale=0.1)
+        assert large.num_tables > small.num_tables
+
+    def test_table1_unknown(self):
+        with pytest.raises(KeyError):
+            table1_trace("DS9")
