@@ -20,6 +20,22 @@ BENCH_DATASETS = ["dataset0", "dataset1", "dataset2"]
 BENCH_SCALE = 0.15
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--perf-budget", action="store", type=float, default=5.0,
+        help="Minimum speedup of vectorized OPTgen over the reference "
+             "implementation enforced by test_perf_hotpaths on a "
+             "50k-access synthetic trace; 0 disables every wall-clock "
+             "assertion in that module.",
+    )
+
+
+@pytest.fixture(scope="session")
+def perf_budget(request):
+    """Speedup floor for the hot-path benchmarks (``--perf-budget``)."""
+    return float(request.config.getoption("--perf-budget"))
+
+
 @pytest.fixture(scope="session")
 def datasets():
     return {name: load_dataset(name, scale=BENCH_SCALE)

@@ -1,0 +1,152 @@
+"""Hot-path throughput: vectorized engines vs their audit references.
+
+Tracks accesses/sec for the three serving-critical loops — OPTgen
+labeling, online manager demand serving, and the no-prefetcher LRU
+breakdown — so the vectorization work cannot silently regress.  The
+OPTgen speedup is additionally enforced against ``--perf-budget``
+(default 5x on a 50k-access synthetic trace); ``--perf-budget 0``
+disables every wall-clock assertion in this module, separating
+load-induced timing flakes from correctness failures.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_table
+from repro.cache import run_optgen, run_optgen_reference
+from repro.core import RecMGConfig
+from repro.core.features import FeatureEncoder
+from repro.core.manager import RecMGManager
+from repro.prefetch import run_breakdown, run_breakdown_sweep
+from repro.traces import SyntheticTraceConfig, generate_trace
+
+#: Trace length for the throughput measurements (the --perf-budget
+#: contract is defined at this scale).
+PERF_ACCESSES = 50_000
+
+
+@pytest.fixture(scope="module")
+def perf_trace():
+    config = SyntheticTraceConfig(
+        num_tables=8, rows_per_table=4096, num_accesses=PERF_ACCESSES,
+        num_clusters=64, cluster_block=8, periodic_items=500,
+        periodic_spacing=7, seed=11,
+    )
+    return generate_trace(config)
+
+
+def _timed(fn, repeats=1):
+    """Best-of-N wall time and the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _report(title, fast_seconds, ref_seconds):
+    rows = [
+        ["vectorized", PERF_ACCESSES / fast_seconds, fast_seconds],
+        ["reference", PERF_ACCESSES / ref_seconds, ref_seconds],
+        ["speedup", ref_seconds / fast_seconds, float("nan")],
+    ]
+    print()
+    print(ascii_table(["engine", "accesses/sec", "seconds"], rows,
+                      title=title))
+    return rows
+
+
+def test_optgen_labeling_throughput(perf_trace, perf_budget, benchmark):
+    capacity = max(1, int(perf_trace.num_unique * 0.2))
+    fast_seconds, fast = _timed(
+        lambda: run_optgen(perf_trace, capacity), repeats=3)
+    ref_seconds, reference = _timed(
+        lambda: run_optgen_reference(perf_trace, capacity))
+    assert np.array_equal(fast.opt_hits, reference.opt_hits)
+    assert np.array_equal(fast.cache_friendly, reference.cache_friendly)
+    rows = _report("OPTgen labeling throughput", fast_seconds, ref_seconds)
+    speedup = ref_seconds / fast_seconds
+    if perf_budget > 0:
+        assert speedup >= perf_budget, (
+            f"vectorized OPTgen is only {speedup:.1f}x the reference "
+            f"(budget: {perf_budget:.1f}x on {PERF_ACCESSES} accesses)")
+    benchmark(lambda: rows)
+
+
+def test_manager_serving_throughput(perf_trace, perf_budget, benchmark):
+    config = RecMGConfig()
+    encoder = FeatureEncoder(config).fit(perf_trace)
+
+    def serve(capacity, fast_serve):
+        manager = RecMGManager(capacity, encoder, config)
+        return manager.run(perf_trace, fast_serve=fast_serve)
+
+    # Steady state: the buffer is a fraction of the working set, every
+    # miss evicts, and hit runs are short — the bulk pre-pass must at
+    # minimum not regress against the scalar loop.
+    steady = max(1, int(perf_trace.num_unique * 0.2))
+    fast_seconds, fast = _timed(lambda: serve(steady, True), repeats=3)
+    ref_seconds, reference = _timed(lambda: serve(steady, False), repeats=3)
+    assert fast == reference
+    _report("Manager demand serving throughput (steady state)",
+            fast_seconds, ref_seconds)
+    if perf_budget > 0:
+        assert fast_seconds < ref_seconds * 1.2, \
+            "bulk serving pre-pass regressed against the scalar loop"
+
+    # Eviction-light regime (buffer sized past the working set, the
+    # paper's large-buffer ablations): whole segments resolve through
+    # the bulk path and the pre-pass must win outright.
+    roomy = int(perf_trace.num_unique * 1.2) + 1
+    fast_seconds, fast = _timed(lambda: serve(roomy, True), repeats=3)
+    ref_seconds, reference = _timed(lambda: serve(roomy, False), repeats=3)
+    assert fast == reference
+    rows = _report("Manager demand serving throughput (eviction-light)",
+                   fast_seconds, ref_seconds)
+    if perf_budget > 0:
+        assert fast_seconds < ref_seconds, \
+            "bulk serving pre-pass should beat the scalar loop when " \
+            "serving is hit-dominated"
+    benchmark(lambda: rows)
+
+
+def test_lru_breakdown_throughput(perf_trace, perf_budget, benchmark):
+    capacity = max(1, int(perf_trace.num_unique * 0.2))
+    fast_seconds, fast = _timed(
+        lambda: run_breakdown(perf_trace, capacity), repeats=3)
+    ref_seconds, reference = _timed(
+        lambda: run_breakdown(perf_trace, capacity, engine="reference"))
+    assert fast == reference
+    rows = _report("LRU breakdown throughput (no prefetcher)",
+                   fast_seconds, ref_seconds)
+    # Single capacity: the closed-form path must stay in the same league
+    # as the loop (the loop is C-dict backed, so parity is the floor,
+    # not an embarrassment; the sweep below is where amortization wins).
+    if perf_budget > 0:
+        assert fast_seconds < ref_seconds * 1.5, \
+            "vectorized LRU breakdown fell behind the simulation loop"
+    benchmark(lambda: rows)
+
+
+def test_lru_breakdown_sweep_throughput(perf_trace, perf_budget, benchmark):
+    """Capacity sweeps reuse one distance computation: the vectorized
+    path must clearly beat re-simulating the trace per capacity."""
+    fractions = [0.02, 0.05, 0.08, 0.10, 0.15, 0.20, 0.30, 0.40]
+    capacities = [max(1, int(perf_trace.num_unique * fraction))
+                  for fraction in fractions]
+    fast_seconds, fast = _timed(
+        lambda: run_breakdown_sweep(perf_trace, capacities), repeats=2)
+    ref_seconds, reference = _timed(
+        lambda: [run_breakdown(perf_trace, capacity, engine="reference")
+                 for capacity in capacities])
+    assert fast == reference
+    rows = _report(f"LRU breakdown sweep throughput ({len(capacities)} "
+                   "capacities)", fast_seconds, ref_seconds)
+    if perf_budget > 0:
+        assert ref_seconds / fast_seconds >= 3.0, \
+            "sweep vectorization should amortize the distance computation"
+    benchmark(lambda: rows)

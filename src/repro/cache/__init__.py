@@ -4,7 +4,12 @@ from .base import CacheStats, CachePolicy, simulate, capacity_from_fraction
 from .lru import LRUCache
 from .lfu import LFUCache
 from .belady import simulate_belady, belady_hit_rate, next_use_indices, NEVER
-from .optgen import OptgenResult, run_optgen, prefetch_trace_from
+from .optgen import (
+    OptgenResult,
+    run_optgen,
+    run_optgen_reference,
+    prefetch_trace_from,
+)
 from .set_assoc import SetAssociativeCache, PrefetchStats, mix64
 from .replacement import (
     ReplacementPolicy,
@@ -22,7 +27,8 @@ __all__ = [
     "CacheStats", "CachePolicy", "simulate", "capacity_from_fraction",
     "LRUCache", "LFUCache",
     "simulate_belady", "belady_hit_rate", "next_use_indices", "NEVER",
-    "OptgenResult", "run_optgen", "prefetch_trace_from",
+    "OptgenResult", "run_optgen", "run_optgen_reference",
+    "prefetch_trace_from",
     "SetAssociativeCache", "PrefetchStats", "mix64",
     "ReplacementPolicy", "LRUReplacement", "SRRIPReplacement",
     "BRRIPReplacement", "DRRIPReplacement", "HawkeyeReplacement",

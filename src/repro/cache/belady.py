@@ -26,16 +26,17 @@ NEVER = np.iinfo(np.int64).max
 
 
 def next_use_indices(keys: np.ndarray) -> np.ndarray:
-    """``next_use[i]`` = next index at which ``keys[i]`` recurs (or NEVER)."""
-    n = len(keys)
-    next_use = np.full(n, NEVER, dtype=np.int64)
-    last_seen: Dict[int, int] = {}
-    for i in range(n - 1, -1, -1):
-        key = int(keys[i])
-        nxt = last_seen.get(key)
-        if nxt is not None:
-            next_use[i] = nxt
-        last_seen[key] = i
+    """``next_use[i]`` = next index at which ``keys[i]`` recurs (or NEVER).
+
+    Thin wrapper over the vectorized
+    :func:`repro.traces.reuse.next_occurrence_indices` (whose sentinel
+    for "never" is −1), mapping the sentinel to :data:`NEVER` so the
+    max-heap comparisons below stay monotone.
+    """
+    from ..traces.reuse import next_occurrence_indices
+
+    next_use = next_occurrence_indices(np.asarray(keys))
+    next_use[next_use < 0] = NEVER
     return next_use
 
 

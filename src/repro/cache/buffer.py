@@ -17,7 +17,12 @@ Two implementations are provided:
   so ``effective_priority = max(0, expiry - age_now)``.  A lazy min-heap
   ordered by (expiry, seqno) plus a lazy min-heap of expired entries
   ordered by seqno reproduce exactly the reference victim choice
-  (lowest effective priority, oldest insertion wins ties).
+  (lowest effective priority, oldest insertion wins ties).  Heap pushes
+  are deferred: updates land in the entry table plus a dirty set and
+  are flushed to the heaps only when an eviction actually needs them,
+  so a key touched many times between evictions costs one push.
+  :meth:`put_batch` additionally collapses a whole run of touches into
+  one store per unique key with exact seqno semantics.
 
 A property-based test asserts trace-level equivalence of the two.
 """
@@ -26,7 +31,9 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 
 class PriorityBuffer:
@@ -85,6 +92,25 @@ class PriorityBuffer:
         self._min_seq -= 1
         self._seqno[key] = self._min_seq
 
+    def put_batch(self, keys: Sequence[int], priority: int) -> None:
+        """Equivalent to insert-or-``set_priority`` for each key in order.
+
+        The reference implementation simply loops; the fast buffer
+        overrides this with a bulk version.  Raises ``RuntimeError``
+        (like :meth:`insert`) before mutating anything if the new keys
+        exceed the free space.
+        """
+        key_list = (keys.tolist() if isinstance(keys, np.ndarray)
+                    else [int(key) for key in keys])
+        new = {key for key in key_list if key not in self._priority}
+        if len(self._priority) + len(new) > self.capacity:
+            raise RuntimeError("buffer full; evict first")
+        for key in key_list:
+            if key in self._priority:
+                self.set_priority(key, priority)
+            else:
+                self.insert(key, priority)
+
     def evict_one(self) -> int:
         """Algorithm 2: evict min-(priority, seqno) entry, age the rest."""
         if not self._priority:
@@ -113,6 +139,11 @@ class FastPriorityBuffer:
         self._entries: Dict[int, Tuple[int, int, int]] = {}
         self._live_heap: List[Tuple[int, int, int, int]] = []  # (expiry, seq, ver, key)
         self._zero_heap: List[Tuple[int, int, int, int]] = []  # (seq, ver, expiry, key)
+        # Keys updated since the last eviction whose heap entries have
+        # not been pushed yet: heap pushes are deferred to eviction
+        # time, so a key touched many times between evictions (the hot
+        # serving pattern) costs one push instead of one per touch.
+        self._dirty: set = set()
         self._age = 0
         self._next_seq = 0
         self._min_seq = 0
@@ -160,18 +191,66 @@ class FastPriorityBuffer:
         self._min_seq -= 1
         self._store(key, 0, self._min_seq)
 
+    def put_batch(self, keys: Sequence[int], priority: int) -> None:
+        """Bulk insert-or-``set_priority``, exactly equivalent to calling
+        the scalar operations for each key in order.
+
+        Only each key's *last* occurrence matters for its final
+        (priority, seqno) pair, so one heap push per unique key suffices
+        while ``_next_seq`` still advances by the full batch length —
+        subsequent evictions see the same state a scalar loop would
+        produce.  This is the primitive behind the manager's bulk
+        demand-serving pre-pass, so it deliberately avoids per-key numpy
+        round-trips (batches are often runs of a handful of hits).
+        """
+        key_list = (keys.tolist() if isinstance(keys, np.ndarray)
+                    else [int(key) for key in keys])
+        length = len(key_list)
+        if length == 0:
+            return
+        last_pos: Dict[int, int] = {}
+        for pos, key in enumerate(key_list):
+            last_pos[key] = pos
+        entries = self._entries
+        new = sum(1 for key in last_pos if key not in entries)
+        if len(entries) + new > self.capacity:
+            raise RuntimeError("buffer full; evict first")
+        base = self._next_seq
+        store = self._store
+        for key, pos in last_pos.items():
+            store(key, priority, base + pos)
+        self._next_seq = base + length
+
     def _store(self, key: int, priority: int, seq: int) -> None:
         self._version += 1
-        expiry = self._age + priority
-        self._entries[key] = (expiry, seq, self._version)
-        if priority <= 0:
-            heapq.heappush(self._zero_heap, (seq, self._version, expiry, key))
-        else:
-            heapq.heappush(self._live_heap, (expiry, seq, self._version, key))
+        self._entries[key] = (self._age + priority, seq, self._version)
+        self._dirty.add(key)
+
+    def _flush_dirty(self) -> None:
+        """Push the latest snapshot of every dirty key onto its heap.
+
+        Deferred from :meth:`_store`: only the snapshot current at
+        eviction time matters for victim selection, so intermediate
+        updates never touch a heap.
+        """
+        age = self._age
+        entries = self._entries
+        for key in self._dirty:
+            entry = entries.get(key)
+            if entry is None:
+                continue
+            expiry, seq, ver = entry
+            if expiry <= age:
+                heapq.heappush(self._zero_heap, (seq, ver, expiry, key))
+            else:
+                heapq.heappush(self._live_heap, (expiry, seq, ver, key))
+        self._dirty.clear()
 
     def evict_one(self) -> int:
         if not self._entries:
             raise RuntimeError("cannot evict from an empty buffer")
+        if self._dirty:
+            self._flush_dirty()
         # Migrate entries whose priority has decayed to zero.
         while self._live_heap and self._live_heap[0][0] <= self._age:
             expiry, seq, ver, key = heapq.heappop(self._live_heap)

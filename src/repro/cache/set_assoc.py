@@ -7,6 +7,14 @@ equivalent simulator: pluggable replacement (see
 :mod:`repro.cache.replacement`), prefetch fills with per-line useful-bit
 tracking, and the statistics the paper reports (hit rate, prefetch
 accuracy, total prefetches).
+
+**Prefetch accounting semantics** (unified across the repo): a prefetch
+counts as *issued* only when it actually fills the cache; requests for
+keys already resident are tallied separately as ``duplicate_requests``
+and do not enter the ``prefetch_accuracy`` denominator.  This matches
+:class:`repro.prefetch.harness.LRUBufferWithPrefetch` and
+:class:`repro.core.manager.RecMGManager`, keeping accuracy comparable
+across the Fig. 14 and Table IV breakdowns.
 """
 
 from __future__ import annotations
@@ -29,16 +37,23 @@ def mix64(key: int) -> int:
 
 @dataclass
 class PrefetchStats:
-    """Prefetch effectiveness counters (paper Table IV)."""
+    """Prefetch effectiveness counters (paper Table IV).
+
+    ``issued`` counts prefetches that actually filled a line (the
+    unified repo-wide semantic; see module docstring), so it always
+    equals ``filled``; requests dropped because the key was already
+    cached land in ``duplicate_requests``.
+    """
 
     issued: int = 0
     filled: int = 0
     useful: int = 0
     evicted_unused: int = 0
+    duplicate_requests: int = 0
 
     @property
     def accuracy(self) -> float:
-        """Useful prefetches over prefetches issued."""
+        """Useful prefetches over prefetches issued (real fills)."""
         return self.useful / self.issued if self.issued else 0.0
 
 
@@ -97,10 +112,15 @@ class SetAssociativeCache:
         return False
 
     def prefetch(self, key: int, pc: int = 0) -> bool:
-        """Prefetch fill; no-op if already cached. Returns True if filled."""
-        self.prefetch_stats.issued += 1
+        """Prefetch fill; no-op if already cached. Returns True if filled.
+
+        Only real fills count as issued (unified accounting semantic);
+        an already-cached key bumps ``duplicate_requests`` instead.
+        """
         if key in self._lookup:
+            self.prefetch_stats.duplicate_requests += 1
             return False
+        self.prefetch_stats.issued += 1
         self._fill(key, pc, is_prefetch=True)
         self.prefetch_stats.filled += 1
         return True

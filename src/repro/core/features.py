@@ -60,6 +60,10 @@ class FeatureEncoder:
         self._key_to_dense: Optional[Dict[int, int]] = None
         self._table_to_id: Optional[Dict[int, int]] = None
         self._freq_table: Optional[np.ndarray] = None
+        # Sorted-key mirrors of the two dicts: dense ids are assigned in
+        # sorted-key order, so bulk lookups reduce to np.searchsorted.
+        self._sorted_keys: Optional[np.ndarray] = None
+        self._sorted_tables: Optional[np.ndarray] = None
         self.vocab_size = 0
         self.num_tables = 0
 
@@ -72,6 +76,8 @@ class FeatureEncoder:
         access frequencies from ``trace``."""
         dense, mapping = remap_to_dense(trace)
         self._key_to_dense = mapping
+        self._sorted_keys = None    # invalidate searchsorted mirrors
+        self._sorted_tables = None
         self.vocab_size = len(mapping)
         tables = np.unique(trace.table_ids)
         self._table_to_id = {int(t): i for i, t in enumerate(tables)}
@@ -103,21 +109,32 @@ class FeatureEncoder:
         if not self.fitted:
             raise RuntimeError("encoder not fitted")
         keys = trace.keys()
-        out = np.empty(len(keys), dtype=np.int64)
-        mapping = self._key_to_dense
+        if self._sorted_keys is None:
+            self._sorted_keys = np.sort(
+                np.fromiter(self._key_to_dense, dtype=np.int64,
+                            count=len(self._key_to_dense)))
         vocab = self.vocab_size
-        for i, key in enumerate(keys):
-            dense = mapping.get(int(key))
-            out[i] = dense if dense is not None else vocab + int(key)
-        return out
+        if vocab == 0:
+            return keys.copy()
+        idx = np.searchsorted(self._sorted_keys, keys)
+        known = ((idx < vocab)
+                 & (self._sorted_keys[np.minimum(idx, vocab - 1)] == keys))
+        return np.where(known, idx, vocab + keys)
 
     def table_indices(self, trace: Trace) -> np.ndarray:
-        lookup = self._table_to_id
-        num = self.num_tables
-        return np.array(
-            [lookup.get(int(t), int(t) % max(1, num)) for t in trace.table_ids],
-            dtype=np.int64,
-        )
+        num = max(1, self.num_tables)
+        tables = trace.table_ids
+        if self._sorted_tables is None:
+            self._sorted_tables = np.sort(
+                np.fromiter(self._table_to_id, dtype=np.int64,
+                            count=len(self._table_to_id)))
+        if self.num_tables == 0:
+            return tables % num
+        idx = np.searchsorted(self._sorted_tables, tables)
+        known = ((idx < self.num_tables)
+                 & (self._sorted_tables[np.minimum(idx, self.num_tables - 1)]
+                    == tables))
+        return np.where(known, idx, tables % num)
 
     def normalize(self, dense: np.ndarray) -> np.ndarray:
         """Dense ids -> [0, 1] scalars (the regression target space).

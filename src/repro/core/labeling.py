@@ -75,20 +75,15 @@ def prefetch_targets(chunks: EncodedChunks, labels: TrainingLabels,
     window = window or config.eval_window
     length = chunks.table_ids.shape[1]
     miss_positions = labels.miss_positions
-    sel = []
-    dense_windows = []
-    for chunk_idx, start in enumerate(chunks.starts):
-        chunk_end = start + length  # first position after the chunk
-        lo = np.searchsorted(miss_positions, chunk_end)
-        hi = lo + window
-        if hi > len(miss_positions):
-            continue
-        future = miss_positions[lo:hi]
-        sel.append(chunk_idx)
-        dense_windows.append(labels.dense_ids[future])
-    if not sel:
+    # Vectorized window extraction: one searchsorted over all chunk
+    # ends, then a broadcast gather for the selected chunks.
+    chunk_ends = chunks.starts + length  # first position after each chunk
+    lo = np.searchsorted(miss_positions, chunk_ends)
+    full = lo + window <= len(miss_positions)
+    sel_arr = np.nonzero(full)[0].astype(np.int64)
+    if sel_arr.size == 0:
         raise ValueError("no chunk has a full window of future misses; "
                          "use a longer trace or a smaller window")
-    sel_arr = np.asarray(sel, dtype=np.int64)
-    dense_arr = np.stack(dense_windows)
+    future = miss_positions[lo[full, None] + np.arange(window)[None, :]]
+    dense_arr = labels.dense_ids[future]
     return sel_arr, encoder.normalize(dense_arr), dense_arr

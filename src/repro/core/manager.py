@@ -53,6 +53,9 @@ class ManagerStats:
 class RecMGManager:
     """Drives the priority GPU buffer with the caching/prefetch models."""
 
+    #: Block size for bulk serving outside model chunks.
+    _SERVE_BLOCK = 512
+
     def __init__(self, capacity: int, encoder: FeatureEncoder,
                  config: RecMGConfig,
                  caching_model: Optional[CachingModel] = None,
@@ -70,15 +73,22 @@ class RecMGManager:
         self.prefetches_issued = 0
         self.prefetches_useful = 0
         self.evictions = 0
+        #: Per-access hit decisions of the last ``run(...,
+        #: record_decisions=True)``; None otherwise.
+        self.last_decisions: Optional[np.ndarray] = None
+        self._record_hits: Optional[List[bool]] = None
 
     # ------------------------------------------------------------------
-    def _evict_for_space(self) -> None:
+    def _evict_for_space(self) -> Optional[int]:
+        victim = None
         while self.buffer.is_full:
             victim = self.buffer.evict_one()
             self._prefetched.discard(victim)
             self.evictions += 1
+        return victim
 
-    def _demand_access(self, key: int) -> None:
+    def _demand_access(self, key: int) -> Optional[int]:
+        """Serve one demand access; returns the evicted victim, if any."""
         speed = self.config.eviction_speed
         if key in self.buffer:
             if key in self._prefetched:
@@ -89,10 +99,11 @@ class RecMGManager:
                 self.breakdown.cache_hits += 1
             # Recency refresh; the caching model overrides at chunk end.
             self.buffer.set_priority(key, speed)
-        else:
-            self.breakdown.on_demand += 1
-            self._evict_for_space()
-            self.buffer.insert(key, speed)
+            return None
+        self.breakdown.on_demand += 1
+        victim = self._evict_for_space()
+        self.buffer.insert(key, speed)
+        return victim
 
     def _apply_caching_bits(self, keys: np.ndarray, bits: np.ndarray) -> None:
         """Algorithm 1 lines 4-7, with a widened differential.
@@ -115,28 +126,190 @@ class RecMGManager:
                     self.buffer.demote(key)
 
     def _apply_prefetches(self, predicted: np.ndarray) -> None:
-        """Algorithm 1 lines 9-15: fetch P[i] at priority eviction_speed."""
+        """Algorithm 1 lines 9-15: fetch P[i] at priority eviction_speed.
+
+        Keys already resident are filtered out *before* the
+        ``max_prefetch_per_chunk`` budget is applied, so the budget
+        counts actual fills — slicing the raw predictions first would
+        let resident keys consume budget and issue fewer real prefetches
+        than the configuration allows.
+        """
         speed = self.config.eviction_speed
         budget = self.config.max_prefetch_per_chunk
-        for key in predicted[:budget]:
+        issued = 0
+        for key in predicted:
+            if issued >= budget:
+                break
             key = int(key)
             if key in self.buffer:
                 continue
+            issued += 1
             self.prefetches_issued += 1
             self._evict_for_space()
             self.buffer.insert(key, speed)
             self._prefetched.add(key)
 
     # ------------------------------------------------------------------
-    def run(self, trace: Trace, inference_batch: int = 64) -> ManagerStats:
+    def _serve_demand_slow(self, segment: np.ndarray) -> None:
+        """Per-access reference serving loop (audit path)."""
+        record = self._record_hits
+        if record is None:
+            for key in segment.tolist():
+                self._demand_access(key)
+        else:
+            entries = self.buffer._entries
+            for key in segment.tolist():
+                record.append(key in entries)
+                self._demand_access(key)
+
+    def _serve_demand_fast(self, segment: np.ndarray) -> None:
+        """Bulk demand-serving pre-pass: resolve runs of guaranteed
+        hits/misses in bulk, falling back to :meth:`_demand_access` only
+        where an eviction decision is actually needed.
+
+        One residency snapshot classifies the whole segment up front.
+        Two regimes, both producing state and counters identical to the
+        scalar loop:
+
+        * the segment fits without any eviction (warm-up, or an all-hit
+          segment once the buffer is full) → misses *and* hits resolve
+          in bulk: one counter update plus a single
+          :meth:`FastPriorityBuffer.put_batch` over the segment;
+        * otherwise the snapshot-miss positions run through the scalar
+          path (each needs a live eviction decision) while the hit runs
+          between them are bulk-applied.  Hits never change membership,
+          so a snapshot True can only go stale through an eviction; the
+          victims seen so far are tracked and any run touching one falls
+          back to the scalar loop.
+        """
+        keys = segment.tolist() if isinstance(segment, np.ndarray) else segment
+        length = len(keys)
+        if length == 0:
+            return
+        buffer = self.buffer
+        capacity = self.capacity
+        speed = self.config.eviction_speed
+        breakdown = self.breakdown
+        prefetched = self._prefetched
+        # Segments are at most _SERVE_BLOCK (or one model chunk) long
+        # and the classification is dict lookups, so plain comprehensions
+        # beat array round-trips here; the bulk win is in the batched
+        # accounting, the per-unique-key stores, and the inlined
+        # miss/eviction path — not in numpy.
+        entries = buffer._entries
+        store = buffer._store
+        evict_one = buffer.evict_one
+        miss_idx = [i for i, key in enumerate(keys) if key not in entries]
+
+        record = self._record_hits
+        new_keys = {keys[m] for m in miss_idx}
+        if len(entries) + len(new_keys) <= capacity:
+            # Guaranteed eviction-free: the first touch of each
+            # non-resident key is the segment's only miss for that key,
+            # everything else hits.  Prefetched keys are always resident
+            # (the tag is dropped on eviction), so each one present here
+            # scores exactly one prefetch hit.
+            if record is not None:
+                segment_hits = [True] * length
+                seen: Set[int] = set()
+                for m in miss_idx:
+                    key = keys[m]
+                    if key not in seen:
+                        seen.add(key)
+                        segment_hits[m] = False
+                record.extend(segment_hits)
+            hit_count = length - len(new_keys)
+            if prefetched:
+                pf_hits = prefetched.intersection(keys)
+                prefetched.difference_update(pf_hits)
+                breakdown.prefetch_hits += len(pf_hits)
+                self.prefetches_useful += len(pf_hits)
+                hit_count -= len(pf_hits)
+            breakdown.cache_hits += hit_count
+            breakdown.on_demand += len(new_keys)
+            buffer.put_batch(keys, speed)
+            return
+
+        cache_hits = 0
+        on_demand = 0
+        victims: Set[int] = set()
+        position = 0
+        for miss in miss_idx + [length]:
+            if miss > position:
+                run = keys[position:miss]
+                if victims and not victims.isdisjoint(run):
+                    # An eviction invalidated part of this run's
+                    # snapshot; replay it through the scalar path (whose
+                    # own evictions must be tracked too).
+                    for key in run:
+                        if record is not None:
+                            record.append(key in entries)
+                        victim = self._demand_access(key)
+                        if victim is not None:
+                            victims.add(victim)
+                else:
+                    # Bulk hit-run: one store per unique key at its
+                    # last-occurrence seqno via put_batch (every key is
+                    # resident, so its capacity check always passes).
+                    hit_count = miss - position
+                    if prefetched:
+                        pf_hits = prefetched.intersection(run)
+                        if pf_hits:
+                            prefetched.difference_update(pf_hits)
+                            breakdown.prefetch_hits += len(pf_hits)
+                            self.prefetches_useful += len(pf_hits)
+                            hit_count -= len(pf_hits)
+                    cache_hits += hit_count
+                    if record is not None:
+                        record.extend([True] * len(run))
+                    buffer.put_batch(run, speed)
+            if miss < length:
+                # Inlined _demand_access for the snapshot-miss position
+                # (it may have turned into a hit via an earlier insert).
+                key = keys[miss]
+                if record is not None:
+                    record.append(key in entries)
+                if key in entries:
+                    if key in prefetched:
+                        prefetched.discard(key)
+                        breakdown.prefetch_hits += 1
+                        self.prefetches_useful += 1
+                    else:
+                        cache_hits += 1
+                    buffer.set_priority(key, speed)
+                else:
+                    on_demand += 1
+                    if len(entries) >= capacity:
+                        victim = evict_one()
+                        prefetched.discard(victim)
+                        self.evictions += 1
+                        victims.add(victim)
+                    store(key, speed, buffer._next_seq)
+                    buffer._next_seq += 1
+            position = miss + 1
+        breakdown.cache_hits += cache_hits
+        breakdown.on_demand += on_demand
+
+    # ------------------------------------------------------------------
+    def run(self, trace: Trace, inference_batch: int = 64,
+            fast_serve: bool = True,
+            record_decisions: bool = False) -> ManagerStats:
         """Serve ``trace`` end to end; returns the access breakdown.
 
         Model inference is batched across chunks up front — the result
         is identical to per-chunk inference (the models are stateless
         across chunks) but an order of magnitude faster, mirroring the
-        paper's batched CPU serving.
+        paper's batched CPU serving.  ``fast_serve`` selects the bulk
+        demand-serving pre-pass (:meth:`_serve_demand_fast`); disable it
+        to run the per-access audit loop — both produce identical
+        :class:`ManagerStats` and buffer state.  ``record_decisions``
+        additionally stores the per-access hit booleans in
+        :attr:`last_decisions` (both engines record identically).
         """
         from .features import EncodedChunks
+
+        self.last_decisions = None
+        self._record_hits = [] if record_decisions else None
 
         config = self.config
         dense = self.encoder.dense_ids(trace)
@@ -172,17 +345,28 @@ class RecMGManager:
                          for lo in range(0, num_chunks, inference_batch)]
                 preds_all = np.concatenate(parts, axis=0)
 
-        for chunk_idx in range(num_chunks):
-            start = chunk_idx * length
-            for i in range(start, start + length):
-                self._demand_access(int(dense[i]))
-            if bits_all is not None:
-                self._apply_caching_bits(dense[start:start + length],
-                                         bits_all[chunk_idx])
-            if preds_all is not None:
-                self._apply_prefetches(preds_all[chunk_idx])
-        for i in range(num_chunks * length, n):  # trailing partial chunk
-            self._demand_access(int(dense[i]))
+        serve = (self._serve_demand_fast if fast_serve
+                 else self._serve_demand_slow)
+        if bits_all is None and preds_all is None:
+            # No model ever touches the buffer between chunks, so chunk
+            # boundaries are irrelevant: serve the whole trace in large
+            # blocks to amortize the bulk pass's per-segment setup.
+            tail = 0
+        else:
+            for chunk_idx in range(num_chunks):
+                start = chunk_idx * length
+                serve(dense[start:start + length])
+                if bits_all is not None:
+                    self._apply_caching_bits(dense[start:start + length],
+                                             bits_all[chunk_idx])
+                if preds_all is not None:
+                    self._apply_prefetches(preds_all[chunk_idx])
+            tail = num_chunks * length
+        for start in range(tail, n, self._SERVE_BLOCK):
+            serve(dense[start:start + self._SERVE_BLOCK])
+        if record_decisions:
+            self.last_decisions = np.asarray(self._record_hits, dtype=bool)
+            self._record_hits = None
         return ManagerStats(
             breakdown=self.breakdown,
             prefetches_issued=self.prefetches_issued,

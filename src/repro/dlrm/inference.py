@@ -141,28 +141,8 @@ class ManagerClassifier:
 
     @staticmethod
     def _record(manager, trace: Trace) -> np.ndarray:
-        before = (manager.breakdown.cache_hits, manager.breakdown.prefetch_hits,
-                  manager.breakdown.on_demand)
-        decisions = np.zeros(len(trace), dtype=bool)
-        # Instrument by monkeypatch-free delegation: wrap _demand_access.
-        original = manager._demand_access
-        cursor = {"i": 0}
-
-        def wrapped(key: int) -> None:
-            hits_before = (manager.breakdown.cache_hits
-                           + manager.breakdown.prefetch_hits)
-            original(key)
-            hits_after = (manager.breakdown.cache_hits
-                          + manager.breakdown.prefetch_hits)
-            decisions[cursor["i"]] = hits_after > hits_before
-            cursor["i"] += 1
-
-        manager._demand_access = wrapped
-        try:
-            manager.run(trace)
-        finally:
-            manager._demand_access = original
-        return decisions
+        manager.run(trace, record_decisions=True)
+        return manager.last_decisions
 
     def access(self, key: int, pc: int = 0) -> bool:
         hit = bool(self._decisions[self._cursor])

@@ -14,7 +14,12 @@ from .mab import MicroArmedBanditPrefetcher
 from .stream import StridePrefetcher
 from .transfetch import TransFetchPrefetcher
 from .voyager import VoyagerPrefetcher, VoyagerScaleError, estimate_memory_bytes
-from .harness import AccessBreakdown, LRUBufferWithPrefetch, run_breakdown
+from .harness import (
+    AccessBreakdown,
+    LRUBufferWithPrefetch,
+    run_breakdown,
+    run_breakdown_sweep,
+)
 
 __all__ = [
     "Prefetcher", "NullPrefetcher", "PrefetchEvaluation", "evaluate_prefetcher",
@@ -23,4 +28,5 @@ __all__ = [
     "TransFetchPrefetcher", "VoyagerPrefetcher", "VoyagerScaleError",
     "estimate_memory_bytes",
     "AccessBreakdown", "LRUBufferWithPrefetch", "run_breakdown",
+    "run_breakdown_sweep",
 ]

@@ -13,7 +13,12 @@ from .datasets import (
 from .reuse import (
     COLD_MISS,
     FenwickTree,
+    count_left_leq,
+    next_occurrence_indices,
+    prev_occurrence_indices,
     reuse_distances,
+    reuse_distances_fast,
+    reuse_distances_from_keys,
     reuse_histogram,
     lru_hit_rate,
     lru_hit_rate_curve,
@@ -34,7 +39,10 @@ __all__ = [
     "SyntheticTraceConfig", "generate_trace",
     "DATASET_NAMES", "TABLE1_CONFIGS", "dataset_config", "load_dataset",
     "load_all_datasets", "table1_trace",
-    "COLD_MISS", "FenwickTree", "reuse_distances", "reuse_histogram",
+    "COLD_MISS", "FenwickTree", "count_left_leq",
+    "prev_occurrence_indices", "next_occurrence_indices",
+    "reuse_distances", "reuse_distances_fast", "reuse_distances_from_keys",
+    "reuse_histogram",
     "lru_hit_rate", "lru_hit_rate_curve", "long_reuse_fraction",
     "TraceSummary", "access_frequencies", "top_fraction_share", "hot_set",
     "per_table_counts", "summarize",

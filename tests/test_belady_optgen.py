@@ -86,3 +86,57 @@ class TestOptgen:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             run_optgen(trace_of([1, 2]), capacity=0)
+
+
+class TestDegenerateIntervals:
+    """Immediate repeats produce single-slot (and, defensively, empty)
+    reuse intervals — regression tests for the ``range_max(prev, i - 1)``
+    guard."""
+
+    def test_immediate_repeats_all_hit_at_capacity_one(self):
+        result = run_optgen(trace_of([7, 7, 7, 7]), capacity=1)
+        assert result.opt_hits.tolist() == [False, True, True, True]
+        assert result.stats.hits == 3
+
+    def test_immediate_repeats_interleaved(self):
+        # The repeat of 3 must not be starved by the surrounding
+        # occupancy of key 7's intervals.
+        result = run_optgen(trace_of([7, 7, 3, 3, 7]), capacity=1)
+        reference = run_optgen(trace_of([7, 7, 3, 3, 7]), capacity=1,
+                               engine="reference")
+        assert np.array_equal(result.opt_hits, reference.opt_hits)
+        assert result.opt_hits.tolist() == [False, True, False, True, False]
+
+    @given(st.integers(1, 8), st.integers(1, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_pure_repeat_trace(self, repeats, capacity):
+        keys = [5] * repeats
+        result = run_optgen(trace_of(keys), capacity)
+        assert result.stats.hits == repeats - 1
+        assert result.stats.misses == 1
+
+    def test_trees_accept_empty_interval(self):
+        from repro.cache.optgen import (_MaxSegmentTree,
+                                        _RecursiveMaxSegmentTree)
+
+        for tree in (_MaxSegmentTree(8), _RecursiveMaxSegmentTree(8)):
+            tree.add(2, 1, 5)            # empty: must be a no-op
+            assert tree.range_max(2, 1) == 0   # empty: trivially feasible
+            assert tree.range_max(0, 7) == 0
+            tree.add(1, 3, 2)
+            assert tree.range_max(0, 7) == 2
+
+    def test_iterative_tree_matches_recursive(self):
+        from repro.cache.optgen import (_MaxSegmentTree,
+                                        _RecursiveMaxSegmentTree)
+
+        rng = np.random.default_rng(5)
+        flat, recursive = _MaxSegmentTree(33), _RecursiveMaxSegmentTree(33)
+        for _ in range(300):
+            lo, hi = sorted(int(v) for v in rng.integers(0, 33, size=2))
+            if rng.random() < 0.5:
+                value = int(rng.integers(-3, 4))
+                flat.add(lo, hi, value)
+                recursive.add(lo, hi, value)
+            else:
+                assert flat.range_max(lo, hi) == recursive.range_max(lo, hi)

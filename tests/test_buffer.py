@@ -101,6 +101,41 @@ class TestFastParity:
         assert buf.evict_one() == 2
         assert buf.priority_of(1) == 4  # aged
 
+    CAP1_OPS = st.lists(
+        st.tuples(st.sampled_from(["insert", "set", "demote", "evict"]),
+                  st.integers(0, 5), st.integers(0, 4)),
+        min_size=1, max_size=120,
+    )
+
+    @given(CAP1_OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_equivalent_at_capacity_one(self, ops):
+        """Interleaved demote/set_priority/insert at capacity 1 — the
+        degenerate buffer where every insert immediately borders an
+        eviction and the zero/live heap migration is maximally hot."""
+        ref = PriorityBuffer(1)
+        fast = FastPriorityBuffer(1)
+        for op, key, priority in ops:
+            if op == "insert":
+                if key in ref:
+                    ref.set_priority(key, priority)
+                    fast.set_priority(key, priority)
+                elif not ref.is_full:
+                    ref.insert(key, priority)
+                    fast.insert(key, priority)
+            elif op == "set" and key in ref:
+                ref.set_priority(key, priority)
+                fast.set_priority(key, priority)
+            elif op == "demote" and key in ref:
+                ref.demote(key)
+                fast.demote(key)
+            elif op == "evict" and len(ref):
+                assert ref.evict_one() == fast.evict_one()
+            assert len(ref) == len(fast)
+            assert sorted(ref.keys()) == sorted(fast.keys())
+            for key in ref.keys():
+                assert ref.priority_of(key) == fast.priority_of(key)
+
     def test_fast_validations(self):
         buf = FastPriorityBuffer(1)
         with pytest.raises(RuntimeError):

@@ -74,11 +74,13 @@ class TestSetAssociative:
     def test_prefetch_tracking(self):
         cache = SetAssociativeCache(64, ways=4)
         assert cache.prefetch(9)
-        assert cache.prefetch(9) is False  # already cached
+        assert cache.prefetch(9) is False  # already cached: not issued
         assert cache.access(9)              # first demand hit = useful
         assert cache.prefetch_stats.useful == 1
-        assert cache.prefetch_stats.issued == 2
-        assert 0 < cache.prefetch_stats.accuracy <= 1
+        assert cache.prefetch_stats.issued == 1  # real fills only
+        assert cache.prefetch_stats.filled == 1
+        assert cache.prefetch_stats.duplicate_requests == 1
+        assert cache.prefetch_stats.accuracy == 1.0
 
     def test_policy_dimension_check(self):
         with pytest.raises(ValueError):

@@ -37,6 +37,41 @@ class TestEncoder:
         assert encoder.freq_values(dense)[0] == 0.0
         assert encoder.normalize(dense)[0] == 1.0
 
+    def test_vectorized_lookups_match_dicts(self, encoder, tiny_trace):
+        """The searchsorted bulk lookups must agree with the fitted
+        dictionaries access-for-access, including unseen keys/tables."""
+        mixed = Trace(
+            np.concatenate([tiny_trace.table_ids[:300],
+                            np.array([991, 992], dtype=np.int64)]),
+            np.concatenate([tiny_trace.row_ids[:300],
+                            np.array([123456, 99], dtype=np.int64)]),
+        )
+        keys = mixed.keys()
+        vocab = encoder.vocab_size
+        expected_dense = np.array(
+            [encoder._key_to_dense.get(int(key), vocab + int(key))
+             for key in keys], dtype=np.int64)
+        assert np.array_equal(encoder.dense_ids(mixed), expected_dense)
+        num = max(1, encoder.num_tables)
+        expected_tables = np.array(
+            [encoder._table_to_id.get(int(t), int(t) % num)
+             for t in mixed.table_ids], dtype=np.int64)
+        assert np.array_equal(encoder.table_indices(mixed), expected_tables)
+
+    def test_refit_invalidates_lookup_mirrors(self, tiny_trace,
+                                              tiny_recmg_config):
+        """Regression: re-fitting must rebuild the searchsorted mirrors,
+        not serve lookups from the previous vocabulary."""
+        enc = FeatureEncoder(tiny_recmg_config)
+        small = Trace.from_pairs([(0, 1), (0, 2), (1, 3)])
+        enc.fit(small)
+        enc.dense_ids(small)        # populate the cached mirrors
+        enc.fit(tiny_trace)
+        dense = enc.dense_ids(tiny_trace)
+        assert dense.min() >= 0
+        assert dense.max() < enc.vocab_size
+        assert enc.table_indices(tiny_trace).max() < enc.num_tables
+
     def test_normalize_roundtrip(self, encoder):
         dense = np.array([0, encoder.vocab_size // 2, encoder.vocab_size - 1])
         values = encoder.normalize(dense)

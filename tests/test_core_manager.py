@@ -40,6 +40,17 @@ class TestManagerWithModels:
         assert stats.prefetches_useful <= stats.prefetches_issued
         assert 0.0 <= stats.prefetch_accuracy <= 1.0
 
+    def test_fast_serve_matches_reference_end_to_end(self, trained_recmg,
+                                                     tiny_trace,
+                                                     tiny_capacity):
+        """The bulk serving pre-pass must be invisible: identical
+        ManagerStats with the real trained models in the loop."""
+        _, test = tiny_trace.split(0.6)
+        fast = trained_recmg.evaluate(test, capacity=tiny_capacity)
+        reference = trained_recmg.deploy(tiny_capacity).run(
+            test, fast_serve=False)
+        assert fast == reference
+
     def test_prefetch_hits_only_with_prefetch_model(self, trained_recmg,
                                                     tiny_trace,
                                                     tiny_capacity):
@@ -86,6 +97,36 @@ class TestManagerWithModels:
         assert oracle_stats.hit_rate > plain_stats.hit_rate
 
 
+class TestPrefetchBudget:
+    def test_resident_keys_do_not_consume_budget(self, trained_recmg,
+                                                 tiny_capacity):
+        """Regression: ``predicted[:budget]`` used to be sliced before
+        filtering resident keys, so residents ate the budget and fewer
+        real prefetches issued than ``max_prefetch_per_chunk`` allows."""
+        config = trained_recmg.config
+        budget = config.max_prefetch_per_chunk
+        capacity = max(tiny_capacity, 3 * budget)
+        manager = RecMGManager(capacity, trained_recmg.encoder, config)
+        resident = list(range(budget))
+        for key in resident:
+            manager._demand_access(key)
+        fresh = list(range(1000, 1000 + 2 * budget))
+        manager._apply_prefetches(np.asarray(resident + fresh))
+        assert manager.prefetches_issued == budget
+        assert all(key in manager.buffer for key in fresh[:budget])
+
+    def test_budget_still_caps_real_fills(self, trained_recmg,
+                                          tiny_capacity):
+        config = trained_recmg.config
+        budget = config.max_prefetch_per_chunk
+        capacity = max(tiny_capacity, 3 * budget)
+        manager = RecMGManager(capacity, trained_recmg.encoder, config)
+        fresh = list(range(1000, 1000 + 2 * budget))
+        manager._apply_prefetches(np.asarray(fresh))
+        assert manager.prefetches_issued == budget
+        assert len(manager.buffer) == budget
+
+
 class TestModelPrefetcherAdapter:
     def test_emits_on_chunk_boundary(self, trained_recmg):
         config = trained_recmg.config
@@ -106,3 +147,63 @@ class TestModelPrefetcherAdapter:
         adapter.reset()
         assert adapter._step == 0
         assert len(adapter._dense) == 0
+
+    def test_fires_exactly_every_input_len(self, trained_recmg):
+        """Chunk alignment: predictions fire at steps input_len,
+        2*input_len, ... and nowhere else."""
+        config = trained_recmg.config
+        adapter = ModelPrefetcher(trained_recmg.prefetch_model,
+                                  trained_recmg.encoder, config)
+        fired = []
+        for step in range(1, 4 * config.input_len + 3):
+            out = adapter.observe(step % 50, pc=0)
+            if out:
+                fired.append(step)
+        assert fired == [config.input_len * k for k in range(1, 5)]
+
+    def test_alignment_restarts_after_reset(self, trained_recmg):
+        """A mid-chunk reset() must realign: the next prediction fires
+        exactly input_len observations later, not on the stale phase."""
+        config = trained_recmg.config
+        adapter = ModelPrefetcher(trained_recmg.prefetch_model,
+                                  trained_recmg.encoder, config)
+        for i in range(config.input_len // 2 + 1):  # partial chunk
+            assert adapter.observe(i) == []
+        adapter.reset()
+        fired = []
+        for step in range(1, 2 * config.input_len + 1):
+            if adapter.observe(step % 50, pc=0):
+                fired.append(step)
+        assert fired == [config.input_len, 2 * config.input_len]
+
+    def test_streaming_matches_direct_chunk_inference(self, trained_recmg):
+        """Equivalence: feeding the adapter one access at a time must
+        reproduce ``predict_single`` on each aligned chunk."""
+        config = trained_recmg.config
+        encoder = trained_recmg.encoder
+        model = trained_recmg.prefetch_model
+        adapter = ModelPrefetcher(model, encoder, config)
+        rng = np.random.default_rng(9)
+        keys = rng.integers(0, max(2, encoder.vocab_size), size=3 * config.input_len)
+        tables = rng.integers(0, max(1, encoder.num_tables), size=keys.size)
+        streamed = []
+        for key, table in zip(keys.tolist(), tables.tolist()):
+            out = adapter.observe(key, pc=table)
+            if out:
+                streamed.append(out)
+        expected = []
+        for start in range(0, keys.size, config.input_len):
+            dense = np.asarray(keys[start:start + config.input_len],
+                               dtype=np.int64)
+            chunk_tables = (tables[start:start + config.input_len]
+                            % max(1, encoder.num_tables))
+            predicted = model.predict_single(
+                chunk_tables.astype(np.int64),
+                dense % config.hash_buckets,
+                encoder.normalize(dense),
+                encoder.freq_values(dense),
+                encoder,
+            )
+            expected.append(
+                [int(p) for p in predicted[:config.max_prefetch_per_chunk]])
+        assert streamed == expected
