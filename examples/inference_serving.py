@@ -12,7 +12,7 @@ import numpy as np
 from repro.cache import LRUCache, capacity_from_fraction
 from repro.core import PipelineSimulator, RecMG, RecMGConfig
 from repro.dlrm import (
-    DLRM, DLRMConfig, InferenceEngine, ManagerClassifier,
+    DLRM, DLRMConfig, BufferClassifier, InferenceEngine, ManagerClassifier,
     queries_from_trace,
 )
 from repro.traces import load_dataset
@@ -42,11 +42,18 @@ def main() -> None:
 
     engine = InferenceEngine(dlrm=dlrm, accesses_per_batch=2048)
     lru_report = engine.run(test, LRUCache(capacity))
+    # Model-free aged-priority buffer on the array-backed CLOCK backend
+    # (the cheapest manager the serving loop supports; buffer_impl also
+    # accepts "fast"/"reference" for the exact heap/audit backends).
+    clock_report = engine.run(test, BufferClassifier(capacity,
+                                                     buffer_impl="clock"))
     recmg_report = engine.run(
         test, ManagerClassifier(system.deploy(capacity), test)
     )
     print(f"LRU:   {lru_report.mean_batch_ms:.2f} ms/batch "
           f"(hit rate {lru_report.hit_rate:.1%})")
+    print(f"CLOCK: {clock_report.mean_batch_ms:.2f} ms/batch "
+          f"(hit rate {clock_report.hit_rate:.1%})")
     print(f"RecMG: {recmg_report.mean_batch_ms:.2f} ms/batch "
           f"(hit rate {recmg_report.hit_rate:.1%})")
     saved = 1 - recmg_report.mean_batch_ms / lru_report.mean_batch_ms

@@ -21,7 +21,13 @@ from .replacement import (
     MockingjayReplacement,
     PredictorReplacement,
 )
-from .buffer import PriorityBuffer, FastPriorityBuffer
+from .buffer import (
+    PriorityBuffer,
+    FastPriorityBuffer,
+    ClockBuffer,
+    BUFFER_IMPLS,
+    make_buffer,
+)
 
 __all__ = [
     "CacheStats", "CachePolicy", "simulate", "capacity_from_fraction",
@@ -33,5 +39,6 @@ __all__ = [
     "ReplacementPolicy", "LRUReplacement", "SRRIPReplacement",
     "BRRIPReplacement", "DRRIPReplacement", "HawkeyeReplacement",
     "MockingjayReplacement", "PredictorReplacement",
-    "PriorityBuffer", "FastPriorityBuffer",
+    "PriorityBuffer", "FastPriorityBuffer", "ClockBuffer",
+    "BUFFER_IMPLS", "make_buffer",
 ]

@@ -7,30 +7,64 @@ assigns each recently accessed vector a 1-bit priority (added to
 lowest priority and then *ages* every entry by decrementing its priority
 (floored at zero), mimicking RRIP.
 
-Two implementations are provided:
+Three interchangeable backends implement the buffer protocol
+(``insert`` / ``set_priority`` / ``demote`` / ``put_batch`` /
+``evict_one`` / ``evict_batch`` / ``residency_map``); pick one with
+:func:`make_buffer` or the ``buffer_impl=`` knob threaded through
+:class:`repro.core.manager.RecMGManager`, ``repro.dlrm.inference`` and
+``repro.prefetch.harness``:
 
-* :class:`PriorityBuffer` — the literal O(n)-per-eviction transcription
-  of Algorithm 2; easy to audit, used as the reference in tests.
-* :class:`FastPriorityBuffer` — O(log n) eviction.  Aging by a global
+* :class:`PriorityBuffer` (``"reference"``) — the literal
+  O(n)-per-eviction transcription of Algorithm 2; easy to audit, used
+  as the reference in tests.  The manager serves it through the scalar
+  audit loop.
+* :class:`FastPriorityBuffer` (``"fast"``, the manager's default) —
+  *exact* semantics at O(log n) per eviction.  Aging by a global
   decrement is represented implicitly: each entry stores the *age at
   which its priority reaches zero* (``expiry = age_now + priority``),
   so ``effective_priority = max(0, expiry - age_now)``.  A lazy min-heap
   ordered by (expiry, seqno) plus a lazy min-heap of expired entries
-  ordered by seqno reproduce exactly the reference victim choice
-  (lowest effective priority, oldest insertion wins ties).  Heap pushes
-  are deferred: updates land in the entry table plus a dirty set and
-  are flushed to the heaps only when an eviction actually needs them,
-  so a key touched many times between evictions costs one push.
-  :meth:`put_batch` additionally collapses a whole run of touches into
-  one store per unique key with exact seqno semantics.
+  ordered by seqno reproduce exactly the reference victim choice (see
+  *Eviction order* below).  Heap pushes are deferred: updates land in
+  the entry table plus a dirty set and are flushed to the heaps only
+  when an eviction actually needs them, so a key touched many times
+  between evictions costs one push.  :meth:`put_batch` additionally
+  collapses a whole run of touches into one store per unique key with
+  exact seqno semantics.
+* :class:`ClockBuffer` (``"clock"``) — *approximate* priorities in
+  numpy slot arrays (key / priority / valid) swept by a clock hand.
+  :meth:`ClockBuffer.evict_batch` reclaims many slots per sweep: it
+  harvests priority-zero slots in hand order and, when a sweep runs
+  dry, ages every survivor by one in a single vectorized decrement
+  (one aging step per *sweep* rather than per eviction — the CLOCK
+  approximation of Algorithm 2's aging).  Within one call, victims
+  come out in nondecreasing pre-call priority and never outrank a
+  survivor (ties broken by hand position instead of insertion order).
+  The manager picks it for throughput-bound serving: whole guaranteed-
+  miss runs pre-reclaim space with one ``evict_batch`` call instead of
+  per-key heap pops, trading exact victim order for array-speed
+  eviction.
 
-A property-based test asserts trace-level equivalence of the two.
+**Eviction order (exact backends).**  ``evict_one`` removes the entry
+minimizing the pair ``(effective_priority, seqno)``.  Seqnos are unique
+by construction — ``insert``/``set_priority``/``put_batch`` draw fresh
+increasing seqnos, ``demote`` draws fresh *decreasing* negative seqnos —
+so the pair admits no ties and the victim is fully determined by the
+operation history, never by dict/heap internals.  Consequences both
+exact backends honor (regression-tested in ``tests/test_buffer.py``):
+equal-priority entries evict oldest-touch-first (LRU), and demoted
+entries evict before everything else in *reverse demote order* (the
+most recently demoted key holds the smallest seqno).
+
+A property-based test asserts trace-level equivalence of the exact
+pair, and a differential fuzz suite
+(``tests/test_buffer_differential.py``) drives all three backends
+through randomized op sequences.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,6 +72,10 @@ import numpy as np
 
 class PriorityBuffer:
     """Reference implementation of Algorithms 1–2 (O(n) eviction)."""
+
+    #: Exact Algorithm 2 semantics (victims follow the documented
+    #: (effective_priority, seqno) total order).
+    approximate = False
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -56,6 +94,11 @@ class PriorityBuffer:
 
     def keys(self) -> Iterator[int]:
         return iter(self._priority)
+
+    def residency_map(self) -> Dict[int, int]:
+        """Live read-only view keyed by resident key (for bulk
+        membership classification; values are backend-internal)."""
+        return self._priority
 
     def priority_of(self, key: int) -> int:
         return self._priority[key]
@@ -112,7 +155,13 @@ class PriorityBuffer:
                 self.insert(key, priority)
 
     def evict_one(self) -> int:
-        """Algorithm 2: evict min-(priority, seqno) entry, age the rest."""
+        """Algorithm 2: evict min-(priority, seqno) entry, age the rest.
+
+        Tie-breaking contract (see module docstring): seqnos are unique,
+        so the minimum of the ``(priority, seqno)`` pair is unique — the
+        victim never depends on dict iteration order, and
+        :class:`FastPriorityBuffer` makes the identical choice.
+        """
         if not self._priority:
             raise RuntimeError("cannot evict from an empty buffer")
         victim = min(self._priority,
@@ -123,13 +172,34 @@ class PriorityBuffer:
         del self._seqno[victim]
         return victim
 
+    def evict_batch(self, n: int) -> List[int]:
+        """Evict ``n`` entries; exactly ``n`` consecutive
+        :meth:`evict_one` calls (aging applies between victims)."""
+        count = int(n)
+        if count <= 0:
+            return []
+        if count > len(self._priority):
+            raise RuntimeError("cannot evict more entries than resident")
+        return [self.evict_one() for _ in range(count)]
+
 
 class FastPriorityBuffer:
     """Heap-based buffer equivalent to :class:`PriorityBuffer`.
 
     ``_age`` is the count of evictions so far; an entry set to priority
     ``p`` at age ``a`` has effective priority ``max(0, (a + p) - _age)``.
+
+    Victim choice follows the same documented ``(effective_priority,
+    seqno)`` total order as the reference: the live heap orders by
+    ``(expiry, seqno)`` — equal effective priorities imply equal
+    expiries, so the seqno tie-break is identical — and the zero heap
+    orders the floored entries purely by seqno, which is the reference
+    order among priority-zero entries.
     """
+
+    #: Exact Algorithm 2 semantics (victims follow the documented
+    #: (effective_priority, seqno) total order).
+    approximate = False
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -157,6 +227,11 @@ class FastPriorityBuffer:
 
     def keys(self) -> Iterator[int]:
         return iter(self._entries)
+
+    def residency_map(self) -> Dict[int, Tuple[int, int, int]]:
+        """Live read-only view keyed by resident key (for bulk
+        membership classification; values are backend-internal)."""
+        return self._entries
 
     def priority_of(self, key: int) -> int:
         expiry, _, _ = self._entries[key]
@@ -267,6 +342,19 @@ class FastPriorityBuffer:
         self._age += 1  # global aging: everyone's effective priority -1
         return victim
 
+    def evict_batch(self, n: int) -> List[int]:
+        """Evict ``n`` entries; exactly ``n`` consecutive
+        :meth:`evict_one` calls.  No stores interleave, so the dirty
+        set is flushed at most once and the remaining pops run straight
+        off the heaps (aging still applies between victims via
+        ``_age``)."""
+        count = int(n)
+        if count <= 0:
+            return []
+        if count > len(self._entries):
+            raise RuntimeError("cannot evict more entries than resident")
+        return [self.evict_one() for _ in range(count)]
+
     def _pop_valid(self, heap: List[Tuple[int, int, int, int]],
                    zero: bool) -> Optional[int]:
         while heap:
@@ -280,3 +368,195 @@ class FastPriorityBuffer:
                 return key
             heapq.heappop(heap)  # stale
         return None
+
+
+class ClockBuffer:
+    """Array-backed approximate-priority buffer (CLOCK sweep).
+
+    Entries live in fixed numpy slot arrays (``key`` / ``priority`` /
+    ``valid``) plus a key→slot dict for membership; a hand position
+    turns the arrays into a circular list.  ``insert`` fills a free
+    slot, ``set_priority`` writes the slot's priority (the multi-bit
+    analogue of CLOCK's reference bit), ``demote`` zeroes it.
+
+    :meth:`evict_batch` is the point of the backend: one call reclaims
+    many slots by harvesting priority-zero slots in hand order and,
+    whenever a sweep runs dry, aging *every* survivor by one with a
+    single vectorized decrement.  Aging therefore happens once per full
+    sweep instead of once per eviction — the approximation that lets a
+    whole batch of evictions cost O(capacity) numpy work rather than
+    O(batch · log n) heap pops.  Within one call the victims come out
+    in nondecreasing pre-call priority, and no victim has a higher
+    pre-call priority than any survivor; among equal priorities the
+    hand position (not insertion order) breaks ties.  Those invariants
+    are fuzz-checked in ``tests/test_buffer_differential.py``.
+    """
+
+    #: Victim order approximates Algorithm 2 (hand-order tie-breaking,
+    #: per-sweep aging); the manager must not expect exact-backend
+    #: victim equivalence.
+    approximate = True
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._key = np.full(capacity, -1, dtype=np.int64)
+        self._prio = np.zeros(capacity, dtype=np.int64)
+        self._valid = np.zeros(capacity, dtype=bool)
+        self._slot: Dict[int, int] = {}
+        # Popping the free list hands out slots 0, 1, 2, ... first.
+        self._free: List[int] = list(range(capacity - 1, -1, -1))
+        self._hand = 0
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._slot
+
+    def __len__(self) -> int:
+        return len(self._slot)
+
+    def keys(self) -> Iterator[int]:
+        return iter(self._slot)
+
+    def residency_map(self) -> Dict[int, int]:
+        """Live read-only view keyed by resident key (for bulk
+        membership classification; values are backend-internal)."""
+        return self._slot
+
+    def priority_of(self, key: int) -> int:
+        return int(self._prio[self._slot[key]])
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._slot) >= self.capacity
+
+    def insert(self, key: int, priority: int) -> None:
+        """Insert (or refresh) ``key``; caller must ensure space.
+
+        Priorities clamp to >= 0: the sweep harvests exactly the
+        priority-zero class, so a negative priority (meaningful to the
+        exact backends' seqno order) would otherwise never ripen.
+        """
+        slot = self._slot.get(key)
+        if slot is not None:
+            self._prio[slot] = max(0, priority)
+            return
+        if not self._free:
+            raise RuntimeError("buffer full; evict first")
+        slot = self._free.pop()
+        self._slot[key] = slot
+        self._key[slot] = key
+        self._prio[slot] = max(0, priority)
+        self._valid[slot] = True
+
+    def set_priority(self, key: int, priority: int) -> None:
+        """Update priority, clamped to >= 0 (recency is approximated by
+        the hand)."""
+        slot = self._slot.get(key)
+        if slot is None:
+            raise KeyError(key)
+        self._prio[slot] = max(0, priority)
+
+    def demote(self, key: int) -> None:
+        """Mark ``key`` as evict-soon: priority 0, reclaimed by the
+        next sweep to reach its slot (hand order, not exact order)."""
+        self.set_priority(key, 0)
+
+    def put_batch(self, keys: Sequence[int], priority: int) -> None:
+        """Bulk insert-or-refresh at ``priority``.  Raises
+        ``RuntimeError`` (like :meth:`insert`) before mutating anything
+        if the new keys exceed the free space.
+
+        This is the serving hot path: membership resolves through one
+        dict pass and the slot writes land as two vectorized
+        assignments, so a whole hit-run costs O(len) dict lookups plus
+        O(unique) array work.
+        """
+        key_list = (keys.tolist() if isinstance(keys, np.ndarray)
+                    else [int(key) for key in keys])
+        if not key_list:
+            return
+        slot_map = self._slot
+        slots: List[int] = []
+        new_keys: List[int] = []
+        for key in key_list:
+            slot = slot_map.get(key)
+            if slot is None:
+                new_keys.append(key)
+            else:
+                slots.append(slot)
+        if new_keys:
+            new_set = set(new_keys)
+            if len(slot_map) + len(new_set) > self.capacity:
+                raise RuntimeError("buffer full; evict first")
+            free = self._free
+            new_list = list(new_set)
+            new_slots = [free.pop() for _ in new_list]
+            for key, slot in zip(new_list, new_slots):
+                slot_map[key] = slot
+            idx = np.asarray(new_slots, dtype=np.intp)
+            self._key[idx] = np.asarray(new_list, dtype=np.int64)
+            slots.extend(new_slots)
+        idx = np.asarray(slots, dtype=np.intp)
+        self._prio[idx] = max(0, int(priority))
+        self._valid[idx] = True
+
+    def evict_one(self) -> int:
+        if not self._slot:
+            raise RuntimeError("cannot evict from an empty buffer")
+        return self.evict_batch(1)[0]
+
+    def evict_batch(self, n: int) -> List[int]:
+        """Reclaim ``n`` slots with a batched clock sweep; returns the
+        victim keys in eviction order (see class docstring for the
+        ordering guarantees)."""
+        count = int(n)
+        if count <= 0:
+            return []
+        if count > len(self._slot):
+            raise RuntimeError("cannot evict more entries than resident")
+        victims: List[int] = []
+        valid = self._valid
+        prio = self._prio
+        slot_map = self._slot
+        while count:
+            zeros = np.flatnonzero(valid & (prio == 0))
+            if zeros.size:
+                # Circular hand order: slots at/after the hand first.
+                split = int(np.searchsorted(zeros, self._hand))
+                ordered = np.concatenate((zeros[split:], zeros[:split]))
+                take = ordered[:count]
+                victim_keys = self._key[take].tolist()
+                valid[take] = False
+                for key in victim_keys:
+                    del slot_map[key]
+                self._free.extend(take.tolist())
+                victims.extend(victim_keys)
+                count -= int(take.size)
+                self._hand = int(take[-1] + 1) % self.capacity
+            if count:
+                # Sweep ran dry: age every survivor by one.  A further
+                # pass only runs when *all* zeros were consumed, so the
+                # floor never bites here.
+                np.subtract(prio, 1, out=prio, where=valid & (prio > 0))
+        return victims
+
+
+#: Registry behind the ``buffer_impl=`` knob (manager, dlrm inference,
+#: prefetch harness): exact reference, exact fast, approximate clock.
+BUFFER_IMPLS = {
+    "reference": PriorityBuffer,
+    "fast": FastPriorityBuffer,
+    "clock": ClockBuffer,
+}
+
+
+def make_buffer(impl: str, capacity: int):
+    """Instantiate a buffer backend by registry name."""
+    try:
+        cls = BUFFER_IMPLS[impl]
+    except KeyError:
+        raise ValueError(
+            f"unknown buffer_impl {impl!r}; choose from "
+            f"{sorted(BUFFER_IMPLS)}") from None
+    return cls(capacity)

@@ -48,6 +48,12 @@ class RecMGConfig:
     #: Snapping radius of the index decoder, as a fraction of the dense
     #: vocabulary (see :class:`repro.core.prefetch_model.IndexDecoder`).
     decode_radius_frac: float = 0.005
+    #: GPU-buffer backend for the online manager: ``"fast"`` (exact,
+    #: lazy-heap), ``"reference"`` (exact, O(n) audit loop) or
+    #: ``"clock"`` (approximate array-backed CLOCK with batched
+    #: eviction — the throughput-serving choice).  See
+    #: :mod:`repro.cache.buffer`.
+    buffer_impl: str = "fast"
 
     @property
     def eval_window(self) -> int:
@@ -67,3 +73,9 @@ class RecMGConfig:
             raise ValueError("optgen_fraction must lie in (0, 1]")
         if self.eviction_speed < 1:
             raise ValueError("eviction_speed must be >= 1")
+        from ..cache.buffer import BUFFER_IMPLS
+
+        if self.buffer_impl not in BUFFER_IMPLS:
+            raise ValueError(
+                f"buffer_impl must be one of {sorted(BUFFER_IMPLS)}, "
+                f"got {self.buffer_impl!r}")

@@ -10,6 +10,20 @@ picks the minimum-priority entry and ages everyone (Algorithm 2).
 Both models are optional, which yields the paper's ablation variants:
 no models = aged-priority LRU-like buffer; caching model only = "CM";
 prefetch model only on LRU = "LRU+PF" (see :class:`ModelPrefetcher`).
+
+The buffer backend is selected by ``buffer_impl`` (constructor argument,
+falling back to ``config.buffer_impl``; see :mod:`repro.cache.buffer`):
+
+* ``"fast"`` (default) — exact semantics; ``fast_serve`` uses the bulk
+  pre-pass that is bit-identical to the scalar audit loop.
+* ``"reference"`` — exact O(n) audit backend; always served through the
+  scalar loop.
+* ``"clock"`` — approximate array-backed CLOCK; ``fast_serve`` switches
+  to the *batched-reclaim* engine, which pre-reclaims space for each
+  whole segment with one :meth:`ClockBuffer.evict_batch` call and then
+  resolves every access through the eviction-free bulk path.  Hit/miss
+  streams may differ from the exact backends (approximate victim
+  order), but counters stay conserved and capacity is never exceeded.
 """
 
 from __future__ import annotations
@@ -20,7 +34,7 @@ from typing import Deque, List, Optional, Set, Tuple
 
 import numpy as np
 
-from ..cache.buffer import FastPriorityBuffer
+from ..cache.buffer import FastPriorityBuffer, make_buffer
 from ..prefetch.base import Prefetcher
 from ..prefetch.harness import AccessBreakdown
 from ..traces.access import Trace
@@ -59,7 +73,8 @@ class RecMGManager:
     def __init__(self, capacity: int, encoder: FeatureEncoder,
                  config: RecMGConfig,
                  caching_model: Optional[CachingModel] = None,
-                 prefetch_model: Optional[PrefetchModel] = None) -> None:
+                 prefetch_model: Optional[PrefetchModel] = None,
+                 buffer_impl: Optional[str] = None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -67,7 +82,9 @@ class RecMGManager:
         self.config = config
         self.caching_model = caching_model
         self.prefetch_model = prefetch_model
-        self.buffer = FastPriorityBuffer(capacity)
+        self.buffer_impl = (buffer_impl if buffer_impl is not None
+                            else getattr(config, "buffer_impl", "fast"))
+        self.buffer = make_buffer(self.buffer_impl, capacity)
         self._prefetched: Set[int] = set()
         self.breakdown = AccessBreakdown()
         self.prefetches_issued = 0
@@ -152,13 +169,15 @@ class RecMGManager:
     # ------------------------------------------------------------------
     def _serve_demand_slow(self, segment: np.ndarray) -> None:
         """Per-access reference serving loop (audit path)."""
+        keys = (segment.tolist() if isinstance(segment, np.ndarray)
+                else list(segment))
         record = self._record_hits
         if record is None:
-            for key in segment.tolist():
+            for key in keys:
                 self._demand_access(key)
         else:
-            entries = self.buffer._entries
-            for key in segment.tolist():
+            entries = self.buffer.residency_map()
+            for key in keys:
                 record.append(key in entries)
                 self._demand_access(key)
 
@@ -201,35 +220,12 @@ class RecMGManager:
         evict_one = buffer.evict_one
         miss_idx = [i for i, key in enumerate(keys) if key not in entries]
 
-        record = self._record_hits
         new_keys = {keys[m] for m in miss_idx}
         if len(entries) + len(new_keys) <= capacity:
-            # Guaranteed eviction-free: the first touch of each
-            # non-resident key is the segment's only miss for that key,
-            # everything else hits.  Prefetched keys are always resident
-            # (the tag is dropped on eviction), so each one present here
-            # scores exactly one prefetch hit.
-            if record is not None:
-                segment_hits = [True] * length
-                seen: Set[int] = set()
-                for m in miss_idx:
-                    key = keys[m]
-                    if key not in seen:
-                        seen.add(key)
-                        segment_hits[m] = False
-                record.extend(segment_hits)
-            hit_count = length - len(new_keys)
-            if prefetched:
-                pf_hits = prefetched.intersection(keys)
-                prefetched.difference_update(pf_hits)
-                breakdown.prefetch_hits += len(pf_hits)
-                self.prefetches_useful += len(pf_hits)
-                hit_count -= len(pf_hits)
-            breakdown.cache_hits += hit_count
-            breakdown.on_demand += len(new_keys)
-            buffer.put_batch(keys, speed)
+            self._finish_eviction_free(keys, miss_idx, new_keys)
             return
 
+        record = self._record_hits
         cache_hits = 0
         on_demand = 0
         victims: Set[int] = set()
@@ -290,6 +286,85 @@ class RecMGManager:
         breakdown.cache_hits += cache_hits
         breakdown.on_demand += on_demand
 
+    def _finish_eviction_free(self, keys: List[int], miss_idx: List[int],
+                              new_keys: Set[int]) -> None:
+        """Resolve a whole segment known to fit without any eviction.
+
+        The first touch of each non-resident key is the segment's only
+        miss for that key, everything else hits.  Prefetched keys are
+        always resident (the tag is dropped on eviction), so each one
+        present here scores exactly one prefetch hit.  ``miss_idx`` are
+        the positions whose key is in ``new_keys`` (the non-resident
+        set) under the current residency snapshot.
+        """
+        buffer = self.buffer
+        speed = self.config.eviction_speed
+        breakdown = self.breakdown
+        prefetched = self._prefetched
+        record = self._record_hits
+        length = len(keys)
+        if record is not None:
+            segment_hits = [True] * length
+            seen: Set[int] = set()
+            for m in miss_idx:
+                key = keys[m]
+                if key not in seen:
+                    seen.add(key)
+                    segment_hits[m] = False
+            record.extend(segment_hits)
+        hit_count = length - len(new_keys)
+        if prefetched:
+            pf_hits = prefetched.intersection(keys)
+            prefetched.difference_update(pf_hits)
+            breakdown.prefetch_hits += len(pf_hits)
+            self.prefetches_useful += len(pf_hits)
+            hit_count -= len(pf_hits)
+        breakdown.cache_hits += hit_count
+        breakdown.on_demand += len(new_keys)
+        buffer.put_batch(keys, speed)
+
+    def _serve_demand_batched(self, segment: np.ndarray) -> None:
+        """Batched-reclaim serving for approximate (clock) backends.
+
+        Instead of deciding one eviction per miss, the whole segment is
+        made eviction-free up front: one
+        :meth:`~repro.cache.buffer.ClockBuffer.evict_batch` call
+        reclaims exactly the space the segment's non-resident keys
+        need, then every access resolves through the bulk eviction-free
+        path.  A reclaim victim can itself be a segment key (it then
+        counts as a miss — coherent, since it really was evicted before
+        serving began), so the residency classification loops until the
+        segment fits; each round evicts at least one entry, and the
+        loop is entered at all only when the segment's distinct keys
+        fit in the buffer.
+        """
+        keys = (segment.tolist() if isinstance(segment, np.ndarray)
+                else list(segment))
+        if not keys:
+            return
+        buffer = self.buffer
+        capacity = self.capacity
+        entries = buffer.residency_map()
+        distinct = set(keys)
+        if len(distinct) > capacity:
+            # Degenerate (segment wider than the whole buffer): cannot
+            # be made eviction-free; serve through the scalar path.
+            self._serve_demand_slow(keys)
+            return
+        prefetched = self._prefetched
+        while True:
+            new_count = sum(1 for key in distinct if key not in entries)
+            needed = len(entries) + new_count - capacity
+            if needed <= 0:
+                break
+            victims = buffer.evict_batch(needed)
+            self.evictions += len(victims)
+            if prefetched:
+                prefetched.difference_update(victims)
+        miss_idx = [i for i, key in enumerate(keys) if key not in entries]
+        self._finish_eviction_free(keys, miss_idx,
+                                   {keys[m] for m in miss_idx})
+
     # ------------------------------------------------------------------
     def run(self, trace: Trace, inference_batch: int = 64,
             fast_serve: bool = True,
@@ -300,11 +375,15 @@ class RecMGManager:
         is identical to per-chunk inference (the models are stateless
         across chunks) but an order of magnitude faster, mirroring the
         paper's batched CPU serving.  ``fast_serve`` selects the bulk
-        demand-serving pre-pass (:meth:`_serve_demand_fast`); disable it
-        to run the per-access audit loop — both produce identical
-        :class:`ManagerStats` and buffer state.  ``record_decisions``
-        additionally stores the per-access hit booleans in
-        :attr:`last_decisions` (both engines record identically).
+        demand-serving engine for the backend: the pre-pass
+        (:meth:`_serve_demand_fast`) for the exact ``"fast"`` buffer —
+        bit-identical to the per-access audit loop — or the
+        batched-reclaim engine (:meth:`_serve_demand_batched`) for the
+        approximate ``"clock"`` buffer, whose victim order (and hence
+        hit stream) legitimately differs from the scalar loop.  The
+        ``"reference"`` backend always runs the audit loop.
+        ``record_decisions`` additionally stores the per-access hit
+        booleans in :attr:`last_decisions` (every engine records).
         """
         from .features import EncodedChunks
 
@@ -345,8 +424,14 @@ class RecMGManager:
                          for lo in range(0, num_chunks, inference_batch)]
                 preds_all = np.concatenate(parts, axis=0)
 
-        serve = (self._serve_demand_fast if fast_serve
-                 else self._serve_demand_slow)
+        if not fast_serve:
+            serve = self._serve_demand_slow
+        elif getattr(self.buffer, "approximate", False):
+            serve = self._serve_demand_batched
+        elif isinstance(self.buffer, FastPriorityBuffer):
+            serve = self._serve_demand_fast
+        else:  # exact audit backend ("reference")
+            serve = self._serve_demand_slow
         if bits_all is None and preds_all is None:
             # No model ever touches the buffer between chunks, so chunk
             # boundaries are irrelevant: serve the whole trace in large

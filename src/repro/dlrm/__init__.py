@@ -6,6 +6,7 @@ from .query import InferenceQuery, queries_from_trace, batched
 from .tiered import TieredMemoryConfig
 from .inference import (
     BatchTiming,
+    BufferClassifier,
     InferenceReport,
     InferenceEngine,
     ManagerClassifier,
@@ -21,6 +22,7 @@ __all__ = [
     "DLRM", "DLRMConfig",
     "InferenceQuery", "queries_from_trace", "batched",
     "TieredMemoryConfig",
-    "BatchTiming", "InferenceReport", "InferenceEngine", "ManagerClassifier",
+    "BatchTiming", "BufferClassifier", "InferenceReport", "InferenceEngine",
+    "ManagerClassifier",
     "ControlledHitRateCache", "LinearPerformanceModel", "calibrate",
 ]

@@ -13,6 +13,7 @@ from typing import Callable, List, Optional, Protocol
 
 import numpy as np
 
+from ..cache.buffer import make_buffer
 from ..cache.lru import LRUCache
 from ..traces.access import Trace
 from .model import DLRM, DLRMConfig
@@ -120,6 +121,34 @@ class InferenceEngine:
             )
             report.batches.append(timing)
         return report
+
+
+class BufferClassifier:
+    """Model-free :class:`AccessClassifier` over a priority-buffer
+    backend selected by ``buffer_impl`` (see :mod:`repro.cache.buffer`).
+
+    Serves every access against the raw aged-priority buffer — insert
+    and re-reference at ``priority``, evict on demand — giving the
+    inference engine a buffer-managed baseline between plain
+    :class:`~repro.cache.lru.LRUCache` and a fully trained RecMG
+    manager.  With ``buffer_impl="clock"`` this is the cheapest serving
+    configuration: array-backed residency with second-chance eviction.
+    """
+
+    def __init__(self, capacity: int, buffer_impl: str = "clock",
+                 priority: int = 4) -> None:
+        self.buffer = make_buffer(buffer_impl, capacity)
+        self.priority = priority
+
+    def access(self, key: int, pc: int = 0) -> bool:
+        buffer = self.buffer
+        if key in buffer:
+            buffer.set_priority(key, self.priority)
+            return True
+        if buffer.is_full:
+            buffer.evict_one()
+        buffer.insert(key, self.priority)
+        return False
 
 
 class ManagerClassifier:

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.cache import FastPriorityBuffer, PriorityBuffer
+from repro.cache import (
+    BUFFER_IMPLS,
+    ClockBuffer,
+    FastPriorityBuffer,
+    PriorityBuffer,
+    make_buffer,
+)
 
 
 class TestReferenceSemantics:
@@ -147,3 +153,160 @@ class TestFastParity:
             buf.set_priority(99, 1)
         with pytest.raises(KeyError):
             buf.demote(99)
+
+
+@pytest.mark.parametrize("impl", ["reference", "fast"])
+class TestEvictionOrderContract:
+    """Regression tests for the documented (effective_priority, seqno)
+    victim order: identical on both exact backends by construction, not
+    by accident of dict/heap internals."""
+
+    def _buf(self, impl, capacity):
+        return make_buffer(impl, capacity)
+
+    def test_equal_priority_evicts_oldest_touch_first(self, impl):
+        buf = self._buf(impl, 3)
+        buf.insert(1, 2)
+        buf.insert(2, 2)
+        buf.insert(3, 2)
+        buf.set_priority(1, 2)          # refresh: 1 becomes newest
+        assert buf.evict_batch(3) == [2, 3, 1]
+
+    def test_demoted_keys_evict_in_reverse_demote_order(self, impl):
+        """demote() draws fresh *decreasing* seqnos, so the most
+        recently demoted key evicts first (stack order)."""
+        buf = self._buf(impl, 3)
+        buf.insert(1, 5)
+        buf.insert(2, 5)
+        buf.insert(3, 5)
+        buf.demote(1)
+        buf.demote(3)
+        assert buf.evict_one() == 3     # demoted last -> smallest seqno
+        assert buf.evict_one() == 1
+
+    def test_reinsert_after_demote_refreshes_seqno(self, impl):
+        buf = self._buf(impl, 3)
+        buf.insert(1, 1)
+        buf.insert(2, 1)
+        buf.demote(1)
+        buf.set_priority(1, 1)          # back to a fresh positive seqno
+        assert buf.evict_one() == 2     # 2 is now the oldest at prio 1
+
+    def test_aged_entry_ties_break_by_insertion_order(self, impl):
+        """Entries reaching equal *effective* priority through different
+        aging histories still tie-break by seqno."""
+        buf = self._buf(impl, 3)
+        buf.insert(1, 2)
+        buf.insert(2, 0)
+        assert buf.evict_one() == 2     # ages 1 down to 1
+        buf.insert(3, 1)                # same effective priority as 1
+        assert buf.evict_one() == 1     # older seqno loses the tie
+
+    def test_victim_sequence_identical_across_exact_backends(self, impl):
+        """The full drain order of a mixed workload is the contract;
+        compare each backend against the hand-computed sequence."""
+        buf = self._buf(impl, 4)
+        buf.insert(10, 3)
+        buf.insert(11, 1)
+        buf.insert(12, 1)
+        buf.demote(10)
+        buf.insert(13, 0)
+        buf.set_priority(11, 1)
+        # 10 first (demoted: priority 0, negative seqno); the aging from
+        # that eviction floors 11/12 to zero alongside 13, after which
+        # pure seqno order drains 12 (seq 2), 13 (seq 3), 11 (seq 4).
+        assert buf.evict_batch(4) == [10, 12, 13, 11]
+
+
+class TestClockSemantics:
+    """ClockBuffer unit semantics (the fuzz suite covers interleavings)."""
+
+    def test_registry_exposes_three_backends(self):
+        assert sorted(BUFFER_IMPLS) == ["clock", "fast", "reference"]
+        assert make_buffer("clock", 2).approximate
+        assert not make_buffer("fast", 2).approximate
+        with pytest.raises(ValueError):
+            make_buffer("nope", 2)
+
+    def test_zero_priority_evicted_before_survivors(self):
+        buf = ClockBuffer(3)
+        buf.insert(1, 2)
+        buf.insert(2, 0)
+        buf.insert(3, 1)
+        assert buf.evict_one() == 2
+
+    def test_sweep_ages_survivors_once_per_pass(self):
+        buf = ClockBuffer(3)
+        buf.insert(1, 2)
+        buf.insert(2, 1)
+        buf.insert(3, 1)
+        # No zeros: one aging sweep makes 2 and 3 zero; hand order
+        # takes both before 1 (still at priority 1).
+        assert buf.evict_batch(2) == [2, 3]
+        assert buf.priority_of(1) == 1
+
+    def test_batch_victims_nondecreasing_priority(self):
+        buf = ClockBuffer(4)
+        for key, priority in [(1, 3), (2, 0), (3, 2), (4, 0)]:
+            buf.insert(key, priority)
+        victims = buf.evict_batch(3)
+        pre = {1: 3, 2: 0, 3: 2, 4: 0}
+        order = [pre[v] for v in victims]
+        assert order == sorted(order)
+        assert max(order) <= min(pre[s] for s in buf.keys())
+
+    def test_demote_marks_evict_soon(self):
+        buf = ClockBuffer(3)
+        buf.insert(1, 4)
+        buf.insert(2, 4)
+        buf.insert(3, 4)
+        buf.demote(2)
+        assert buf.evict_one() == 2
+
+    def test_put_batch_checks_capacity_before_mutating(self):
+        buf = ClockBuffer(2)
+        buf.insert(1, 1)
+        with pytest.raises(RuntimeError):
+            buf.put_batch([2, 3], 1)
+        assert sorted(buf.keys()) == [1]
+        buf.put_batch([1, 2], 3)        # refresh + fill exactly
+        assert sorted(buf.keys()) == [1, 2]
+        assert buf.priority_of(1) == 3
+
+    def test_validations_match_exact_backends(self):
+        buf = ClockBuffer(1)
+        with pytest.raises(RuntimeError):
+            buf.evict_one()
+        buf.insert(1, 1)
+        with pytest.raises(RuntimeError):
+            buf.insert(2, 1)
+        with pytest.raises(KeyError):
+            buf.set_priority(99, 1)
+        with pytest.raises(KeyError):
+            buf.demote(99)
+        with pytest.raises(RuntimeError):
+            buf.evict_batch(2)
+        with pytest.raises(ValueError):
+            ClockBuffer(0)
+
+    def test_negative_priorities_clamp_and_still_evict(self):
+        """Regression: a negative priority must not make an entry
+        immortal (the sweep harvests the priority-zero class only)."""
+        buf = ClockBuffer(2)
+        buf.insert(1, -1)
+        assert buf.priority_of(1) == 0
+        buf.insert(2, 2)
+        buf.set_priority(2, -5)
+        assert buf.priority_of(2) == 0
+        assert buf.evict_batch(2) == [1, 2]
+        buf.put_batch([3], -3)
+        assert buf.priority_of(3) == 0
+        assert buf.evict_one() == 3
+
+    def test_slots_recycle_across_full_turnover(self):
+        buf = ClockBuffer(3)
+        for generation in range(5):
+            keys = list(range(10 * generation, 10 * generation + 3))
+            buf.put_batch(keys, 1)
+            assert sorted(buf.keys()) == keys
+            assert buf.evict_batch(3) and len(buf) == 0

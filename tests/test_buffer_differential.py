@@ -1,0 +1,177 @@
+"""Differential fuzz: one op stream, three buffer backends.
+
+~200 randomized operation sequences (insert / set_priority / demote /
+put_batch / evict_one / evict_batch interleavings) drive every backend
+behind the ``buffer_impl`` knob:
+
+* the exact pair (:class:`PriorityBuffer`, :class:`FastPriorityBuffer`)
+  must agree *key-for-key*: identical victims, identical resident sets,
+  identical effective priorities after every operation;
+* the approximate :class:`ClockBuffer` is checked against its contract
+  instead: capacity never exceeded, the resident set is always a subset
+  of the keys ever inserted, and within one ``evict_batch`` call the
+  victims come out in nondecreasing pre-call priority and never outrank
+  a survivor ("evictions prefer lower priority within a sweep").
+"""
+
+import random
+
+import pytest
+
+from repro.cache import ClockBuffer, FastPriorityBuffer, PriorityBuffer
+
+NUM_SEQUENCES = 200
+OPS_PER_SEQUENCE = 120
+KEY_SPACE = 28
+MAX_PRIORITY = 6
+
+OP_WEIGHTS = [
+    ("insert", 6),
+    ("set_priority", 4),
+    ("demote", 2),
+    ("put_batch", 3),
+    ("evict_one", 4),
+    ("evict_batch", 3),
+]
+
+
+def _gen_ops(rng: random.Random):
+    """One randomized op sequence (backend-independent description)."""
+    names = [name for name, _ in OP_WEIGHTS]
+    weights = [weight for _, weight in OP_WEIGHTS]
+    ops = []
+    for _ in range(OPS_PER_SEQUENCE):
+        op = rng.choices(names, weights=weights)[0]
+        key = rng.randrange(KEY_SPACE)
+        priority = rng.randrange(MAX_PRIORITY + 1)
+        batch = [rng.randrange(KEY_SPACE)
+                 for _ in range(rng.randint(1, 10))]
+        count = rng.randint(1, 6)
+        ops.append((op, key, priority, batch, count))
+    return ops
+
+
+def _apply_exact_pair(ref: PriorityBuffer, fast: FastPriorityBuffer, op):
+    """Apply one op to both exact backends, asserting key-for-key
+    agreement on victims; validity is decided by the shared state."""
+    kind, key, priority, batch, count = op
+    if kind == "insert":
+        if key in ref:
+            ref.set_priority(key, priority)
+            fast.set_priority(key, priority)
+        elif not ref.is_full:
+            ref.insert(key, priority)
+            fast.insert(key, priority)
+    elif kind == "set_priority" and key in ref:
+        ref.set_priority(key, priority)
+        fast.set_priority(key, priority)
+    elif kind == "demote" and key in ref:
+        ref.demote(key)
+        fast.demote(key)
+    elif kind == "put_batch":
+        new = {k for k in batch if k not in ref}
+        if len(ref) + len(new) > ref.capacity:
+            with pytest.raises(RuntimeError):
+                ref.put_batch(batch, priority)
+            with pytest.raises(RuntimeError):
+                fast.put_batch(batch, priority)
+        else:
+            ref.put_batch(batch, priority)
+            fast.put_batch(batch, priority)
+    elif kind == "evict_one" and len(ref):
+        assert ref.evict_one() == fast.evict_one()
+    elif kind == "evict_batch" and len(ref):
+        n = min(count, len(ref))
+        assert ref.evict_batch(n) == fast.evict_batch(n)
+    assert len(ref) == len(fast)
+
+
+def _apply_clock(clock: ClockBuffer, inserted_ever: set, op):
+    """Apply one op to the clock backend (validity decided by its own
+    state) and check its invariants."""
+    kind, key, priority, batch, count = op
+    if kind == "insert":
+        if key in clock or not clock.is_full:
+            clock.insert(key, priority)
+            inserted_ever.add(key)
+    elif kind == "set_priority" and key in clock:
+        clock.set_priority(key, priority)
+    elif kind == "demote" and key in clock:
+        clock.demote(key)
+        assert clock.priority_of(key) == 0
+    elif kind == "put_batch":
+        new = {k for k in batch if k not in clock}
+        if len(clock) + len(new) > clock.capacity:
+            resident_before = sorted(clock.keys())
+            with pytest.raises(RuntimeError):
+                clock.put_batch(batch, priority)
+            assert sorted(clock.keys()) == resident_before
+        else:
+            clock.put_batch(batch, priority)
+            inserted_ever.update(batch)
+            assert all(clock.priority_of(k) == priority for k in batch)
+    elif kind == "evict_one" and len(clock):
+        victim = clock.evict_one()
+        assert victim not in clock
+    elif kind == "evict_batch" and len(clock):
+        n = min(count, len(clock))
+        pre = {k: clock.priority_of(k) for k in clock.keys()}
+        victims = clock.evict_batch(n)
+        assert len(victims) == n
+        assert len(set(victims)) == n
+        # Victims drain in nondecreasing pre-call priority ...
+        order = [pre[v] for v in victims]
+        assert order == sorted(order), (victims, pre)
+        # ... and never outrank a survivor (sweep preference).
+        survivors = list(clock.keys())
+        if survivors:
+            assert max(order) <= min(pre[s] for s in survivors), \
+                (victims, pre)
+    # Global invariants, after every single op.
+    assert len(clock) <= clock.capacity
+    assert set(clock.keys()) <= inserted_ever
+
+
+@pytest.mark.parametrize("seed", range(NUM_SEQUENCES))
+def test_differential_op_sequences(seed):
+    rng = random.Random(8800 + seed)
+    capacity = rng.randint(1, 16)
+    ops = _gen_ops(rng)
+
+    ref = PriorityBuffer(capacity)
+    fast = FastPriorityBuffer(capacity)
+    clock = ClockBuffer(capacity)
+    inserted_ever: set = set()
+
+    for op in ops:
+        _apply_exact_pair(ref, fast, op)
+        if op[0] in ("insert", "put_batch"):
+            inserted_ever.update([op[1]] if op[0] == "insert" else op[3])
+        _apply_clock(clock, inserted_ever, op)
+
+    # Exact pair: full key-for-key state agreement at the end.
+    assert sorted(ref.keys()) == sorted(fast.keys())
+    for key in ref.keys():
+        assert ref.priority_of(key) == fast.priority_of(key)
+    # Drain everything: the remaining victim order must agree too.
+    remaining = len(ref)
+    if remaining:
+        assert ref.evict_batch(remaining) == fast.evict_batch(remaining)
+    clock_remaining = len(clock)
+    if clock_remaining:
+        assert len(clock.evict_batch(clock_remaining)) == clock_remaining
+    assert len(clock) == 0
+
+
+def test_exact_pair_priority_parity_mid_sequence():
+    """Spot-check that parity holds *during* a sequence, not only at the
+    end (priorities age differently per eviction)."""
+    rng = random.Random(4242)
+    ref = PriorityBuffer(8)
+    fast = FastPriorityBuffer(8)
+    for _ in range(4):
+        for op in _gen_ops(rng):
+            _apply_exact_pair(ref, fast, op)
+            assert sorted(ref.keys()) == sorted(fast.keys())
+            for key in ref.keys():
+                assert ref.priority_of(key) == fast.priority_of(key)

@@ -104,6 +104,18 @@ class TestInferenceEngine:
         assert report.total_accesses == len(test)
         assert report.hit_rate == pytest.approx(manager.breakdown.hit_rate)
 
+    @pytest.mark.parametrize("impl", ["reference", "fast", "clock"])
+    def test_buffer_classifier_serves_every_backend(self, tiny_trace, impl):
+        from repro.dlrm import BufferClassifier
+
+        head = tiny_trace.head(2000)
+        engine = InferenceEngine(accesses_per_batch=512)
+        classifier = BufferClassifier(300, buffer_impl=impl)
+        report = engine.run(head, classifier)
+        assert report.total_accesses == len(head)
+        assert 0.0 < report.hit_rate < 1.0
+        assert len(classifier.buffer) <= 300
+
 
 class TestPerformanceModel:
     def test_controlled_cache_hits_target(self, tiny_trace):

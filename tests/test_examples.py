@@ -1,0 +1,49 @@
+"""Smoke tests for the ``examples/`` scripts.
+
+Each example is imported from its file and run end to end with
+``load_dataset`` patched down to a tiny synthetic scale, so the scripts
+cannot silently rot as the APIs they showcase evolve.  Assertions stay
+qualitative (the script runs, prints something, and leaves no
+exception); the numeric behavior is covered by the unit suites.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.traces import load_dataset
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: Scale factor applied to every dataset an example loads; the
+#: generator floors at 1000 accesses, which keeps training in the
+#: quickstart/serving examples to a couple of seconds.
+SMOKE_SCALE = 0.02
+
+
+def _load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_smoke_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "cache_study",
+    "compare_prefetchers",
+    "inference_serving",
+])
+def test_example_runs_on_tiny_trace(name, monkeypatch, capsys):
+    module = _load_example(name)
+    assert hasattr(module, "main"), f"examples/{name}.py lost its main()"
+    monkeypatch.setattr(
+        module, "load_dataset",
+        lambda dataset, scale=1.0: load_dataset(dataset, scale=SMOKE_SCALE))
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"examples/{name}.py printed nothing"

@@ -192,3 +192,26 @@ class TestBreakdownHarness:
         taxed = run_breakdown(tiny_trace.head(2000), capacity=200,
                               metadata_fraction=0.5)
         assert taxed.hit_rate <= full.hit_rate + 1e-9
+
+    @pytest.mark.parametrize("impl", ["reference", "fast"])
+    def test_exact_buffer_impls_reproduce_lru(self, tiny_trace, impl):
+        """Priority backends at constant priority 0 are exact LRU: the
+        breakdown matches both the OrderedDict loop and the closed
+        form, with and without a prefetcher in the loop."""
+        head = tiny_trace.head(2000)
+        closed_form = run_breakdown(head, capacity=200)
+        assert run_breakdown(head, capacity=200, engine="reference",
+                             buffer_impl=impl) == closed_form
+        ordered = run_breakdown(head, capacity=200,
+                                prefetcher=DominoPrefetcher())
+        assert run_breakdown(head, capacity=200,
+                             prefetcher=DominoPrefetcher(),
+                             buffer_impl=impl) == ordered
+
+    def test_clock_buffer_impl_approximates_lru(self, tiny_trace):
+        """Second-chance CLOCK: conserved totals, hit rate near LRU."""
+        head = tiny_trace.head(2000)
+        lru = run_breakdown(head, capacity=200)
+        clock = run_breakdown(head, capacity=200, buffer_impl="clock")
+        assert clock.total == len(head)
+        assert abs(clock.hit_rate - lru.hit_rate) < 0.08
