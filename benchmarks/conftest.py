@@ -7,12 +7,21 @@ rows/series and asserts the qualitative *shape* of the result.
 
 from __future__ import annotations
 
-import numpy as np
+import json
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.cache import capacity_from_fraction
 from repro.core import RecMG, RecMGConfig
 from repro.traces import load_dataset
+
+#: Accesses/sec per hot path recorded by benchmarks/test_perf_hotpaths.py
+#: via the ``record_hotpath`` fixture; flushed to BENCH_hotpaths.json at
+#: session end so the perf trajectory is tracked across PRs (CI uploads
+#: the file as an artifact).
+_HOTPATH_RESULTS: dict = {}
 
 #: Datasets used by multi-dataset figures (3 of the paper's 5 to bound
 #: runtime; pass --all-datasets in your head: presets exist for all 5).
@@ -34,6 +43,44 @@ def pytest_addoption(parser):
 def perf_budget(request):
     """Speedup floor for the hot-path benchmarks (``--perf-budget``)."""
     return float(request.config.getoption("--perf-budget"))
+
+
+@pytest.fixture(scope="session")
+def record_hotpath():
+    """Record one hot path's throughput for BENCH_hotpaths.json.
+
+    ``record_hotpath(name, accesses, seconds, ref_seconds=None,
+    **extra)`` — accesses/sec is derived; a reference timing adds the
+    speedup; extra keyword pairs land verbatim in the entry.
+    """
+    def _record(name: str, accesses: int, seconds: float,
+                ref_seconds: float = None, **extra) -> None:
+        entry = {
+            "accesses": int(accesses),
+            "seconds": seconds,
+            "accesses_per_sec": accesses / seconds,
+        }
+        if ref_seconds is not None:
+            entry["reference_seconds"] = ref_seconds
+            entry["reference_accesses_per_sec"] = accesses / ref_seconds
+            entry["speedup"] = ref_seconds / seconds
+        entry.update(extra)
+        _HOTPATH_RESULTS[name] = entry
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush the hot-path throughput numbers to BENCH_hotpaths.json
+    (repo root) whenever the perf benches ran."""
+    if not _HOTPATH_RESULTS:
+        return
+    payload = {
+        "source": "benchmarks/test_perf_hotpaths.py",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "hot_paths": dict(sorted(_HOTPATH_RESULTS.items())),
+    }
+    path = Path(session.config.rootpath) / "BENCH_hotpaths.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 @pytest.fixture(scope="session")

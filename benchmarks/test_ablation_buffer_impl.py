@@ -10,7 +10,6 @@ clock backend's batched `evict_batch` advantage.
 import time
 
 import numpy as np
-import pytest
 
 from repro.cache import ClockBuffer, FastPriorityBuffer, PriorityBuffer
 
@@ -28,16 +27,34 @@ def drive(buffer_cls, keys, capacity):
     return buffer
 
 
-def drive_batched(keys, capacity, block=512):
+def drive_batched(keys, capacity, block=512, key_space=None):
     """Clock serving the way the manager does: pre-reclaim space for a
-    whole block with one evict_batch call, then bulk put_batch."""
-    buffer = ClockBuffer(capacity)
-    resident = buffer.residency_map()
+    whole block with one evict_batch call, then bulk put_batch.
+
+    Dict mode (``key_space=None``) classifies membership the PR 2 way —
+    python set ops against the live key→slot view; dense mode gathers
+    the residency bitmap through ``contains_batch`` (the PR 3 path), so
+    the two rows isolate exactly the membership-structure win."""
+    buffer = ClockBuffer(capacity, key_space=key_space)
+    if key_space is None:
+        resident = buffer.residency_map()   # live dict view
+        for lo in range(0, len(keys), block):
+            segment = [int(k) for k in keys[lo:lo + block]]
+            while True:
+                new = {k for k in segment if k not in resident}
+                needed = len(resident) + len(new) - capacity
+                if needed <= 0:
+                    break
+                buffer.evict_batch(needed)
+            buffer.put_batch(segment, 4)
+        return buffer
+    keys = np.asarray(keys, dtype=np.int64)
     for lo in range(0, len(keys), block):
-        segment = [int(k) for k in keys[lo:lo + block]]
+        segment = keys[lo:lo + block]
+        uniq = np.unique(segment)
         while True:
-            new = {k for k in segment if k not in resident}
-            needed = len(resident) + len(new) - capacity
+            new = int((~buffer.contains_batch(uniq)).sum())
+            needed = len(buffer) + new - capacity
             if needed <= 0:
                 break
             buffer.evict_batch(needed)
@@ -45,25 +62,31 @@ def drive_batched(keys, capacity, block=512):
     return buffer
 
 
-def test_buffer_impl(benchmark, dataset0_full):
+def _best_of(fn, repeats=2):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_buffer_impl(benchmark, dataset0_full, perf_budget):
     keys = dataset0_full.keys()[:8000]
     capacity = 1500
 
-    start = time.perf_counter()
-    drive(PriorityBuffer, keys, capacity)
-    naive_s = time.perf_counter() - start
+    naive_s = _best_of(lambda: drive(PriorityBuffer, keys, capacity),
+                       repeats=1)
+    fast_s = _best_of(lambda: drive(FastPriorityBuffer, keys, capacity))
+    clock_scalar_s = _best_of(lambda: drive(ClockBuffer, keys, capacity))
+    clock_batched_s = _best_of(lambda: drive_batched(keys, capacity))
 
-    start = time.perf_counter()
-    drive(FastPriorityBuffer, keys, capacity)
-    fast_s = time.perf_counter() - start
-
-    start = time.perf_counter()
-    drive(ClockBuffer, keys, capacity)
-    clock_scalar_s = time.perf_counter() - start
-
-    start = time.perf_counter()
-    drive_batched(keys, capacity)
-    clock_batched_s = time.perf_counter() - start
+    # Dense-id residency mode: remap keys to [0, unique) so membership
+    # runs off the ResidencyIndex bitmap instead of the key→slot dict.
+    dense = np.unique(keys, return_inverse=True)[1].astype(np.int64)
+    key_space = int(dense.max()) + 1
+    clock_dense_s = _best_of(
+        lambda: drive_batched(dense, capacity, key_space=key_space))
 
     print(f"\nnaive O(n) buffer:      {naive_s:.3f}s")
     print(f"heap-based buffer:      {fast_s:.3f}s "
@@ -71,9 +94,15 @@ def test_buffer_impl(benchmark, dataset0_full):
     print(f"clock, scalar evicts:   {clock_scalar_s:.3f}s")
     print(f"clock, batched evicts:  {clock_batched_s:.3f}s "
           f"({fast_s / clock_batched_s:.1f}x over heap)")
-    # The heap implementation must win by a wide margin at this size,
-    # and batched clock serving must beat the scalar heap loop.
-    assert fast_s < naive_s
-    assert clock_batched_s < fast_s
+    print(f"clock, dense residency: {clock_dense_s:.3f}s "
+          f"({fast_s / clock_dense_s:.1f}x over heap)")
+    # Wall-clock assertions follow the --perf-budget convention (0
+    # disables them on noisy shared runners): the heap implementation
+    # must win by a wide margin at this size, and batched clock serving
+    # must beat the scalar heap loop (dense residency mode included).
+    if perf_budget > 0:
+        assert fast_s < naive_s
+        assert clock_batched_s < fast_s
+        assert clock_dense_s < fast_s
     benchmark.pedantic(drive, args=(FastPriorityBuffer, keys[:2000], capacity),
                        rounds=1, iterations=1)

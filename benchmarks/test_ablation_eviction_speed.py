@@ -8,7 +8,6 @@ deployment time with the *same* trained models.
 
 from dataclasses import replace
 
-import pytest
 
 from repro.analysis import ascii_table
 from repro.core import RecMGManager

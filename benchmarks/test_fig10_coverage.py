@@ -5,12 +5,11 @@ Paper shape: Bingo and Domino cover almost nothing; the ML prefetchers
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import ascii_table
 
 # Reuse the evaluations computed for Fig. 9 (same runs report both).
-from test_fig9_correctness import evaluations, dense_trace  # noqa: F401
+from test_fig9_correctness import evaluations  # noqa: F401
 
 
 def test_fig10(benchmark, evaluations):  # noqa: F811

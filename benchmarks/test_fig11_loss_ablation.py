@@ -7,7 +7,6 @@ shortcut the bidirectional term fixes.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import ascii_table
 from repro.cache import capacity_from_fraction

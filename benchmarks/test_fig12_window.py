@@ -8,7 +8,6 @@ coverage saturates around ratio 3 (RecMG's default).
 from dataclasses import replace
 
 import numpy as np
-import pytest
 
 from repro.analysis import ascii_table
 from repro.cache import capacity_from_fraction
@@ -38,8 +37,8 @@ def test_fig12(benchmark, datasets, bench_config):
         model.set_decoder(BucketDecoder.from_miss_ids(
             miss_dense, config.hash_buckets))
         sel, norm, dense = prefetch_targets(chunks, labels, config, encoder)
-        result = train_prefetch_model(model, chunks, sel, norm, dense,
-                                      encoder, config)
+        train_prefetch_model(model, chunks, sel, norm, dense,
+                             encoder, config)
         correctness, coverage = prefetch_metrics(
             model, chunks, sel, dense, encoder)
         metrics[ratio] = (correctness, coverage)

@@ -5,7 +5,6 @@ the optimal curve; the prefetch model's contribution shrinks as the
 caching model saturates the buffer.
 """
 
-import pytest
 
 from repro.analysis import ascii_table
 from repro.cache import LRUCache, simulate, simulate_belady

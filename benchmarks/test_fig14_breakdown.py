@@ -5,7 +5,6 @@ and TransFetch's; the caching model provides most of the hits.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import stacked_fractions
 from repro.cache import capacity_from_fraction

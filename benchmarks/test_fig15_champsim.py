@@ -5,17 +5,13 @@ Paper shape: PC-independent policies (LRU/SRRIP/CM) win at small buffers;
 the caching model leads overall; RecMG tops every size.
 """
 
-import numpy as np
-import pytest
 
 from repro.analysis import ascii_table, geomean
 from repro.cache import (
     DRRIPReplacement, HawkeyeReplacement, LRUReplacement,
     MockingjayReplacement, PredictorReplacement, SetAssociativeCache,
-    SRRIPReplacement, simulate,
-)
+    SRRIPReplacement, )
 from repro.prefetch import BertiPrefetcher, BestOffsetPrefetcher
-from repro.traces import Trace
 
 FRACTIONS = [0.01, 0.05, 0.10, 0.15]
 

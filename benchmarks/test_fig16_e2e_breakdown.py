@@ -5,7 +5,6 @@ relative to LRU — 31% mean end-to-end reduction, up to 43%.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import ascii_table, reduction
 from repro.cache import LRUCache, capacity_from_fraction

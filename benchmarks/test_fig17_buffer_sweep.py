@@ -5,8 +5,6 @@ model's share of RecMG's benefit grows with buffer size, the prefetch
 model's share dominates only at tiny buffers.
 """
 
-import numpy as np
-import pytest
 
 from repro.analysis import ascii_table
 from repro.cache import LRUCache

@@ -6,10 +6,9 @@ the fitted line.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import ascii_table
-from repro.cache import LRUCache, capacity_from_fraction
+from repro.cache import LRUCache
 from repro.dlrm import InferenceEngine, ManagerClassifier, calibrate
 
 

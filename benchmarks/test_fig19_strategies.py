@@ -4,17 +4,14 @@ Paper shape: SRRIP/Hawkeye/CM/BOP+LRU/RecMG beat 32-way LRU; DRRIP,
 Mockingjay and Berti are comparable or worse; RecMG leads (paper: -31%).
 """
 
-import numpy as np
-import pytest
 
 from repro.analysis import ascii_table, geomean
 from repro.cache import (
     DRRIPReplacement, HawkeyeReplacement, LRUReplacement,
-    MockingjayReplacement, SetAssociativeCache, SRRIPReplacement, simulate,
-)
+    MockingjayReplacement, SRRIPReplacement, )
 from repro.dlrm import InferenceEngine, calibrate
 from repro.prefetch import BertiPrefetcher, BestOffsetPrefetcher
-from test_fig15_champsim import friendliness_oracle, run_policy
+from test_fig15_champsim import run_policy
 
 
 def test_fig19(benchmark, datasets, per_dataset_systems, dataset0_full):
@@ -29,7 +26,6 @@ def test_fig19(benchmark, datasets, per_dataset_systems, dataset0_full):
         train, test = trace.split(0.6)
         test = test.head(5000)
         capacity = max(32, int(trace.num_unique * 0.15))
-        predict = friendliness_oracle(train, capacity)
         hit_rates = {
             "LRU": run_policy(test, capacity, LRUReplacement),
             "SRRIP": run_policy(test, capacity, SRRIPReplacement),

@@ -4,8 +4,6 @@ Paper shape: a heavy tail of long reuse distances; Belady needs a small
 fraction of LRU's capacity for the same hit rate.
 """
 
-import numpy as np
-import pytest
 
 from repro.analysis import ascii_bars, ascii_table
 from repro.cache import belady_hit_rate

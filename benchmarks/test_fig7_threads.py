@@ -3,7 +3,6 @@
 Paper shape: near-linear scaling from 1 to 64 threads.
 """
 
-import pytest
 
 from repro.analysis import ascii_table
 from repro.core import simulate_thread_throughput

@@ -4,7 +4,6 @@ Paper shape: optgen ~67% more hits than LRU/LFU; the caching model
 recovers a large share of that gap (paper: +38% hits vs LRU, 83% acc).
 """
 
-import pytest
 
 from repro.analysis import ascii_table
 from repro.cache import (

@@ -4,10 +4,9 @@ Paper row shape: overhead grows as the caching ratio shrinks and the
 table count / batch size grow (0% -> 52.7% -> 30.1% -> 58.7%).
 """
 
-import pytest
 
 from repro.analysis import ascii_table
-from repro.cache import LRUCache, capacity_from_fraction
+from repro.cache import LRUCache
 from repro.dlrm import InferenceEngine
 from repro.traces import TABLE1_CONFIGS, table1_trace
 

@@ -6,8 +6,6 @@ big ML baselines (Voyager, TransFetch) an order of magnitude dearer.
 
 import time
 
-import numpy as np
-import pytest
 
 from repro.analysis import ascii_table
 from repro.core import ModelPrefetcher

@@ -8,7 +8,6 @@ RecMG's default: 1 caching stack, 2 prefetch stacks.
 from dataclasses import replace
 
 import numpy as np
-import pytest
 
 from repro.analysis import ascii_table
 from repro.cache import capacity_from_fraction

@@ -5,7 +5,6 @@ BOP is moderate; RecMG issues few, high-accuracy prefetches.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import ascii_table
 from repro.cache import capacity_from_fraction

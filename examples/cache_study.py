@@ -7,15 +7,13 @@ LRU-vs-optimal capacity gap that motivates ML-guided management.
 Run:  python examples/cache_study.py
 """
 
-import numpy as np
 
 from repro.analysis import ascii_bars, ascii_table
 from repro.cache import (
-    LFUCache, LRUCache, belady_hit_rate, run_optgen, simulate,
+    LFUCache, LRUCache, belady_hit_rate, simulate,
 )
 from repro.traces import (
-    load_dataset, long_reuse_fraction, lru_hit_rate_curve,
-    reuse_distances, reuse_histogram, top_fraction_share,
+    load_dataset, long_reuse_fraction, reuse_distances, reuse_histogram, top_fraction_share,
 )
 
 

@@ -28,7 +28,6 @@ def main() -> None:
                            rows_per_table=4096, embedding_dim=16))
     # Query boundaries live on the full trace (split() cuts mid-query).
     queries = queries_from_trace(trace)
-    rng = np.random.default_rng(0)
     sample = queries[:8]
     ctrs = dlrm.forward_batch(
         np.stack([q.dense for q in sample]), [q.sparse for q in sample]

@@ -16,9 +16,9 @@ Packages:
 * :mod:`repro.analysis` -- geomean and ASCII table/figure rendering
 """
 
-__version__ = "1.0.0"
-
 from . import nn, traces, cache, prefetch, core, dlrm, analysis
+
+__version__ = "1.0.0"
 
 __all__ = ["nn", "traces", "cache", "prefetch", "core", "dlrm", "analysis",
            "__version__"]

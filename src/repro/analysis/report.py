@@ -34,7 +34,7 @@ def ascii_bars(labels: Sequence[str], values: Sequence[float],
     values = list(values)
     peak = max(values) if len(values) else 1.0
     peak = peak if peak > 0 else 1.0
-    label_w = max((len(l) for l in labels), default=0)
+    label_w = max((len(label) for label in labels), default=0)
     lines: List[str] = [title] if title else []
     for label, value in zip(labels, values):
         bar = "#" * max(0, int(round(value / peak * width)))

@@ -28,6 +28,7 @@ from .buffer import (
     BUFFER_IMPLS,
     make_buffer,
 )
+from .residency import ResidencyIndex
 
 __all__ = [
     "CacheStats", "CachePolicy", "simulate", "capacity_from_fraction",
@@ -40,5 +41,5 @@ __all__ = [
     "BRRIPReplacement", "DRRIPReplacement", "HawkeyeReplacement",
     "MockingjayReplacement", "PredictorReplacement",
     "PriorityBuffer", "FastPriorityBuffer", "ClockBuffer",
-    "BUFFER_IMPLS", "make_buffer",
+    "BUFFER_IMPLS", "make_buffer", "ResidencyIndex",
 ]

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Protocol, Sequence
+from dataclasses import dataclass
+from typing import Protocol
 
 import numpy as np
 

@@ -35,15 +35,33 @@ Three interchangeable backends implement the buffer protocol
   numpy slot arrays (key / priority / valid) swept by a clock hand.
   :meth:`ClockBuffer.evict_batch` reclaims many slots per sweep: it
   harvests priority-zero slots in hand order and, when a sweep runs
-  dry, ages every survivor by one in a single vectorized decrement
-  (one aging step per *sweep* rather than per eviction — the CLOCK
-  approximation of Algorithm 2's aging).  Within one call, victims
-  come out in nondecreasing pre-call priority and never outrank a
-  survivor (ties broken by hand position instead of insertion order).
-  The manager picks it for throughput-bound serving: whole guaranteed-
-  miss runs pre-reclaim space with one ``evict_batch`` call instead of
+  dry, ages every survivor by the *minimum surviving priority* in a
+  single vectorized subtraction (one aging step per sweep — the CLOCK
+  approximation of Algorithm 2's aging; subtracting the minimum at
+  once yields provably identical victims to repeated −1 passes, since
+  intermediate passes harvest nothing).  Within one call, victims come
+  out in nondecreasing pre-call priority and never outrank a survivor
+  (ties broken by hand position instead of insertion order).  The
+  manager picks it for throughput-bound serving: whole guaranteed-miss
+  runs pre-reclaim space with one ``evict_batch`` call instead of
   per-key heap pops, trading exact victim order for array-speed
-  eviction.
+  eviction.  Constructed with ``key_space=N`` the backend goes
+  *array-native*: the key→slot dict is replaced by a dense ``id →
+  slot`` vector plus a :class:`repro.cache.residency.ResidencyIndex`
+  bitmap, so bulk membership and ``put_batch`` run as numpy gathers
+  and scatters with no per-key dict traffic (ids outside ``[0, N)``
+  spill to a side dict, preserving correctness for unseen keys).
+
+**Bulk residency / priority protocol.**  All backends answer
+``contains_batch(keys) -> bool[:]`` (residency of a whole segment in
+one call — a bitmap gather on the dense clock backend, a dict sweep on
+the exact backends) and accept ``set_priority_batch(keys, priority)``
+and ``demote_batch(keys)`` for chunk-boundary priority writes.  On the
+exact backends the batch forms are defined as the scalar operations
+applied in order (seqno semantics preserved); on the clock backend
+they are single vectorized scatters.  The serving engines in
+:mod:`repro.core.manager` classify whole segments through this
+protocol instead of per-key dict loops.
 
 **Eviction order (exact backends).**  ``evict_one`` removes the entry
 minimizing the pair ``(effective_priority, seqno)``.  Seqnos are unique
@@ -58,8 +76,10 @@ most recently demoted key holds the smallest seqno).
 
 A property-based test asserts trace-level equivalence of the exact
 pair, and a differential fuzz suite
-(``tests/test_buffer_differential.py``) drives all three backends
-through randomized op sequences.
+(``tests/test_buffer_differential.py``) drives all backends — including
+the dense (``key_space``) clock mode against the dict mode — through
+randomized op sequences, checking bitmap/dict residency agreement after
+every operation.
 """
 
 from __future__ import annotations
@@ -68,6 +88,56 @@ import heapq
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from .residency import ResidencyIndex
+
+
+def _as_key_list(keys: Sequence[int]) -> List[int]:
+    return (keys.tolist() if isinstance(keys, np.ndarray)
+            else [int(key) for key in keys])
+
+
+def _dict_contains_batch(entries: Dict, keys: Sequence[int]) -> np.ndarray:
+    """Shared dict-backed ``contains_batch``: residency of each key as
+    a boolean array (the exact backends' and the dict-mode clock's
+    answer to the bulk protocol)."""
+    seq = keys.tolist() if isinstance(keys, np.ndarray) else keys
+    return np.fromiter((key in entries for key in seq),
+                       dtype=bool, count=len(seq))
+
+
+def reclaim_batch_space(buffer, uniq: np.ndarray, new_count: int,
+                        on_victims=None) -> Tuple[int, bool]:
+    """Evict until ``len(buffer) + new_count <= capacity`` (the
+    batched-reclaim core shared by the manager's clock engine and
+    ``dlrm.inference.BufferClassifier``).
+
+    ``uniq`` is the *sorted* distinct key set of the segment being
+    served and ``new_count`` how many of them are currently
+    non-resident; the caller must guarantee ``uniq.size <= capacity``
+    (else the loop could demand more victims than are resident).  A
+    victim that is itself a segment key becomes one more distinct miss
+    — victims are unique and were resident, so each adds at most one,
+    and a sorted-``uniq`` searchsorted beats re-gathering the whole
+    segment.  ``on_victims`` (if given) observes every ``evict_batch``
+    result, in order, for the caller's accounting.  Returns the final
+    ``new_count`` and whether any victim invalidated the caller's
+    residency snapshot.
+    """
+    stale = False
+    while True:
+        needed = len(buffer) + new_count - buffer.capacity
+        if needed <= 0:
+            return new_count, stale
+        victims = buffer.evict_batch(needed)
+        if on_victims is not None:
+            on_victims(victims)
+        varr = np.asarray(victims, dtype=np.int64)
+        pos = np.minimum(np.searchsorted(uniq, varr), uniq.size - 1)
+        evicted_here = int(np.count_nonzero(uniq[pos] == varr))
+        if evicted_here:
+            new_count += evicted_here
+            stale = True
 
 
 class PriorityBuffer:
@@ -100,6 +170,10 @@ class PriorityBuffer:
         membership classification; values are backend-internal)."""
         return self._priority
 
+    def contains_batch(self, keys: Sequence[int]) -> np.ndarray:
+        """Residency of each key as a boolean array (dict-backed)."""
+        return _dict_contains_batch(self._priority, keys)
+
     def priority_of(self, key: int) -> int:
         return self._priority[key]
 
@@ -123,6 +197,12 @@ class PriorityBuffer:
         self._seqno[key] = self._next_seq
         self._next_seq += 1
 
+    def set_priority_batch(self, keys: Sequence[int], priority: int) -> None:
+        """Scalar :meth:`set_priority` per key, in order (exact seqno
+        semantics); every key must be resident."""
+        for key in _as_key_list(keys):
+            self.set_priority(key, priority)
+
     def demote(self, key: int) -> None:
         """Mark ``key`` as evict-next: priority 0, older than everything.
 
@@ -135,6 +215,12 @@ class PriorityBuffer:
         self._min_seq -= 1
         self._seqno[key] = self._min_seq
 
+    def demote_batch(self, keys: Sequence[int]) -> None:
+        """Scalar :meth:`demote` per key, in order (reverse-demote
+        eviction order preserved)."""
+        for key in _as_key_list(keys):
+            self.demote(key)
+
     def put_batch(self, keys: Sequence[int], priority: int) -> None:
         """Equivalent to insert-or-``set_priority`` for each key in order.
 
@@ -143,8 +229,7 @@ class PriorityBuffer:
         (like :meth:`insert`) before mutating anything if the new keys
         exceed the free space.
         """
-        key_list = (keys.tolist() if isinstance(keys, np.ndarray)
-                    else [int(key) for key in keys])
+        key_list = _as_key_list(keys)
         new = {key for key in key_list if key not in self._priority}
         if len(self._priority) + len(new) > self.capacity:
             raise RuntimeError("buffer full; evict first")
@@ -233,6 +318,10 @@ class FastPriorityBuffer:
         membership classification; values are backend-internal)."""
         return self._entries
 
+    def contains_batch(self, keys: Sequence[int]) -> np.ndarray:
+        """Residency of each key as a boolean array (dict-backed)."""
+        return _dict_contains_batch(self._entries, keys)
+
     def priority_of(self, key: int) -> int:
         expiry, _, _ = self._entries[key]
         return max(0, expiry - self._age)
@@ -259,12 +348,24 @@ class FastPriorityBuffer:
         self._next_seq += 1
         self._store(key, priority, seq)
 
+    def set_priority_batch(self, keys: Sequence[int], priority: int) -> None:
+        """Scalar :meth:`set_priority` per key, in order (exact seqno
+        semantics); every key must be resident."""
+        for key in _as_key_list(keys):
+            self.set_priority(key, priority)
+
     def demote(self, key: int) -> None:
         """Mark ``key`` as evict-next: priority 0, older than everything."""
         if key not in self._entries:
             raise KeyError(key)
         self._min_seq -= 1
         self._store(key, 0, self._min_seq)
+
+    def demote_batch(self, keys: Sequence[int]) -> None:
+        """Scalar :meth:`demote` per key, in order (reverse-demote
+        eviction order preserved)."""
+        for key in _as_key_list(keys):
+            self.demote(key)
 
     def put_batch(self, keys: Sequence[int], priority: int) -> None:
         """Bulk insert-or-``set_priority``, exactly equivalent to calling
@@ -278,8 +379,7 @@ class FastPriorityBuffer:
         demand-serving pre-pass, so it deliberately avoids per-key numpy
         round-trips (batches are often runs of a handful of hits).
         """
-        key_list = (keys.tolist() if isinstance(keys, np.ndarray)
-                    else [int(key) for key in keys])
+        key_list = _as_key_list(keys)
         length = len(key_list)
         if length == 0:
             return
@@ -374,22 +474,38 @@ class ClockBuffer:
     """Array-backed approximate-priority buffer (CLOCK sweep).
 
     Entries live in fixed numpy slot arrays (``key`` / ``priority`` /
-    ``valid``) plus a key→slot dict for membership; a hand position
-    turns the arrays into a circular list.  ``insert`` fills a free
-    slot, ``set_priority`` writes the slot's priority (the multi-bit
-    analogue of CLOCK's reference bit), ``demote`` zeroes it.
+    ``valid``) turned into a circular list by a hand position.
+    ``insert`` fills a free slot, ``set_priority`` writes the slot's
+    priority (the multi-bit analogue of CLOCK's reference bit),
+    ``demote`` zeroes it.
+
+    Membership bookkeeping has two modes:
+
+    * default (``key_space=None``): a key→slot dict, as any key fits;
+    * dense (``key_space=N``): a dense ``id → slot`` int vector plus a
+      :class:`~repro.cache.residency.ResidencyIndex` bitmap maintained
+      incrementally on every insert/eviction.  ``contains_batch`` is a
+      bitmap gather, ``put_batch``/``set_priority_batch`` are pure
+      numpy scatters, and ``evict_batch`` clears victims in bulk — no
+      per-key dict traffic anywhere on the serving hot path.  Ids
+      outside ``[0, N)`` (the manager's unseen-key ids above the
+      vocabulary) spill to a side dict; the two modes are behaviorally
+      identical (fuzz-checked in ``tests/test_buffer_differential.py``).
 
     :meth:`evict_batch` is the point of the backend: one call reclaims
     many slots by harvesting priority-zero slots in hand order and,
-    whenever a sweep runs dry, aging *every* survivor by one with a
-    single vectorized decrement.  Aging therefore happens once per full
-    sweep instead of once per eviction — the approximation that lets a
-    whole batch of evictions cost O(capacity) numpy work rather than
-    O(batch · log n) heap pops.  Within one call the victims come out
-    in nondecreasing pre-call priority, and no victim has a higher
-    pre-call priority than any survivor; among equal priorities the
-    hand position (not insertion order) breaks ties.  Those invariants
-    are fuzz-checked in ``tests/test_buffer_differential.py``.
+    whenever a sweep runs dry, aging *every* survivor by the minimum
+    surviving priority in a single vectorized subtraction.  Aging
+    therefore happens once per full sweep instead of once per eviction
+    — the approximation that lets a whole batch of evictions cost
+    O(capacity) numpy work rather than O(batch · log n) heap pops —
+    and collapsing the aging passes into one subtraction yields
+    provably identical victims (intermediate −1 passes harvest
+    nothing).  Within one call the victims come out in nondecreasing
+    pre-call priority, and no victim has a higher pre-call priority
+    than any survivor; among equal priorities the hand position (not
+    insertion order) breaks ties.  Those invariants are fuzz-checked in
+    ``tests/test_buffer_differential.py``.
     """
 
     #: Victim order approximates Algorithm 2 (hand-order tie-breaking,
@@ -397,38 +513,112 @@ class ClockBuffer:
     #: victim equivalence.
     approximate = True
 
-    def __init__(self, capacity: int) -> None:
+    #: ``make_buffer`` forwards ``key_space=`` to this backend only.
+    supports_key_space = True
+
+    def __init__(self, capacity: int,
+                 key_space: Optional[int] = None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self._key = np.full(capacity, -1, dtype=np.int64)
         self._prio = np.zeros(capacity, dtype=np.int64)
         self._valid = np.zeros(capacity, dtype=bool)
-        self._slot: Dict[int, int] = {}
         # Popping the free list hands out slots 0, 1, 2, ... first.
         self._free: List[int] = list(range(capacity - 1, -1, -1))
         self._hand = 0
+        if key_space is None:
+            self._key_space = 0
+            self._slot: Optional[Dict[int, int]] = {}
+            self._slot_of: Optional[np.ndarray] = None
+            self._slot_over: Optional[Dict[int, int]] = None
+            self.residency: Optional[ResidencyIndex] = None
+        else:
+            if key_space < 1:
+                raise ValueError("key_space must be >= 1")
+            self._key_space = int(key_space)
+            self._slot = None
+            self._slot_of = np.full(self._key_space, -1, dtype=np.int64)
+            self._slot_over = {}
+            self.residency = ResidencyIndex(self._key_space)
 
+    # -- membership bookkeeping (dict vs dense mode) -------------------
+    def _slot_for(self, key: int) -> int:
+        """Slot of ``key``, or -1 when not resident."""
+        if self._slot_of is None:
+            return self._slot.get(key, -1)
+        if 0 <= key < self._key_space:
+            return int(self._slot_of[key])
+        return self._slot_over.get(key, -1)
+
+    def _map_add(self, key: int, slot: int) -> None:
+        if self._slot_of is None:
+            self._slot[key] = slot
+            return
+        if 0 <= key < self._key_space:
+            self._slot_of[key] = slot
+        else:
+            self._slot_over[key] = slot
+        self.residency.add(key)
+
+    def _map_discard_batch(self, victim_keys: np.ndarray) -> None:
+        if self._slot_of is None:
+            slot_map = self._slot
+            for key in victim_keys.tolist():
+                del slot_map[key]
+            return
+        if self._slot_over:
+            in_range = ((victim_keys >= 0)
+                        & (victim_keys < self._key_space))
+            self._slot_of[victim_keys[in_range]] = -1
+            over = self._slot_over
+            for key in victim_keys[~in_range].tolist():
+                del over[key]
+        else:
+            self._slot_of[victim_keys] = -1
+        self.residency.discard_batch(victim_keys)
+
+    # ------------------------------------------------------------------
     def __contains__(self, key: int) -> bool:
-        return key in self._slot
+        if self._slot_of is None:
+            return key in self._slot
+        return self._slot_for(int(key)) >= 0
 
     def __len__(self) -> int:
-        return len(self._slot)
+        return self.capacity - len(self._free)
 
     def keys(self) -> Iterator[int]:
-        return iter(self._slot)
+        return iter(self._key[self._valid].tolist())
 
     def residency_map(self) -> Dict[int, int]:
-        """Live read-only view keyed by resident key (for bulk
-        membership classification; values are backend-internal)."""
-        return self._slot
+        """Read-only key→slot view for membership classification.
+
+        Live in dict mode; a *snapshot* in dense (``key_space``) mode —
+        bulk call sites should prefer :meth:`contains_batch`, which is
+        always live and array-speed.
+        """
+        if self._slot_of is None:
+            return self._slot
+        slots = np.flatnonzero(self._valid)
+        return dict(zip(self._key[slots].tolist(), slots.tolist()))
+
+    def contains_batch(self, keys: Sequence[int]) -> np.ndarray:
+        """Residency of each key as a boolean array: one bitmap gather
+        in dense mode, a dict sweep otherwise."""
+        if self.residency is not None:
+            return self.residency.contains_batch(
+                np.asarray(keys, dtype=np.int64))
+        return _dict_contains_batch(self._slot, keys)
 
     def priority_of(self, key: int) -> int:
-        return int(self._prio[self._slot[key]])
+        slot = self._slot_for(int(key))
+        if slot < 0:
+            raise KeyError(key)
+        return int(self._prio[slot])
 
     @property
     def is_full(self) -> bool:
-        return len(self._slot) >= self.capacity
+        return not self._free
 
     def insert(self, key: int, priority: int) -> None:
         """Insert (or refresh) ``key``; caller must ensure space.
@@ -437,14 +627,15 @@ class ClockBuffer:
         priority-zero class, so a negative priority (meaningful to the
         exact backends' seqno order) would otherwise never ripen.
         """
-        slot = self._slot.get(key)
-        if slot is not None:
+        key = int(key)
+        slot = self._slot_for(key)
+        if slot >= 0:
             self._prio[slot] = max(0, priority)
             return
         if not self._free:
             raise RuntimeError("buffer full; evict first")
         slot = self._free.pop()
-        self._slot[key] = slot
+        self._map_add(key, slot)
         self._key[slot] = key
         self._prio[slot] = max(0, priority)
         self._valid[slot] = True
@@ -452,28 +643,53 @@ class ClockBuffer:
     def set_priority(self, key: int, priority: int) -> None:
         """Update priority, clamped to >= 0 (recency is approximated by
         the hand)."""
-        slot = self._slot.get(key)
-        if slot is None:
+        slot = self._slot_for(int(key))
+        if slot < 0:
             raise KeyError(key)
         self._prio[slot] = max(0, priority)
+
+    def set_priority_batch(self, keys: Sequence[int], priority: int) -> None:
+        """Bulk :meth:`set_priority`: one vectorized scatter in dense
+        mode; every key must be resident."""
+        arr = np.asarray(keys, dtype=np.int64)
+        if arr.size == 0:
+            return
+        if (self._slot_of is not None
+                and arr.min() >= 0 and arr.max() < self._key_space):
+            slots = self._slot_of[arr]
+            if (slots < 0).any():
+                raise KeyError(int(arr[slots < 0][0]))
+            self._prio[slots] = max(0, int(priority))
+            return
+        for key in arr.tolist():
+            self.set_priority(key, priority)
 
     def demote(self, key: int) -> None:
         """Mark ``key`` as evict-soon: priority 0, reclaimed by the
         next sweep to reach its slot (hand order, not exact order)."""
         self.set_priority(key, 0)
 
+    def demote_batch(self, keys: Sequence[int]) -> None:
+        """Bulk :meth:`demote` (priority-zero scatter)."""
+        self.set_priority_batch(keys, 0)
+
     def put_batch(self, keys: Sequence[int], priority: int) -> None:
         """Bulk insert-or-refresh at ``priority``.  Raises
         ``RuntimeError`` (like :meth:`insert`) before mutating anything
         if the new keys exceed the free space.
 
-        This is the serving hot path: membership resolves through one
+        This is the serving hot path.  In dense mode membership,
+        first-touch ordering and the slot writes all run as numpy
+        gathers/scatters; in dict mode membership resolves through one
         dict pass and the slot writes land as two vectorized
-        assignments, so a whole hit-run costs O(len) dict lookups plus
-        O(unique) array work.
+        assignments.  Either way new keys receive slots in *first-touch
+        order* — slot order feeds the hand's tie-breaking, so it must
+        follow the access stream, not hash order (regression-tested).
         """
-        key_list = (keys.tolist() if isinstance(keys, np.ndarray)
-                    else [int(key) for key in keys])
+        if self._slot_of is not None:
+            self._put_batch_dense(keys, priority)
+            return
+        key_list = _as_key_list(keys)
         if not key_list:
             return
         slot_map = self._slot
@@ -486,11 +702,14 @@ class ClockBuffer:
             else:
                 slots.append(slot)
         if new_keys:
-            new_set = set(new_keys)
-            if len(slot_map) + len(new_set) > self.capacity:
+            # dict.fromkeys, not set(): sets iterate in integer-hash
+            # order, which used to scramble slot assignment (and thus
+            # hand-order victim tie-breaking) away from first-touch
+            # order.
+            new_list = list(dict.fromkeys(new_keys))
+            if len(self) + len(new_list) > self.capacity:
                 raise RuntimeError("buffer full; evict first")
             free = self._free
-            new_list = list(new_set)
             new_slots = [free.pop() for _ in new_list]
             for key, slot in zip(new_list, new_slots):
                 slot_map[key] = slot
@@ -501,8 +720,49 @@ class ClockBuffer:
         self._prio[idx] = max(0, int(priority))
         self._valid[idx] = True
 
+    def _put_batch_dense(self, keys: Sequence[int], priority: int) -> None:
+        """Array-native ``put_batch``: membership via the slot vector,
+        first-touch ordering via ``np.unique``, slot writes as scatters."""
+        arr = np.asarray(keys, dtype=np.int64)
+        if arr.size == 0:
+            return
+        if arr.min() < 0 or arr.max() >= self._key_space:
+            # Spillover ids present: capacity check up front, then the
+            # scalar sequence (rare — unseen keys above the vocabulary).
+            new = [key for key in dict.fromkeys(arr.tolist())
+                   if self._slot_for(key) < 0]
+            if len(self) + len(new) > self.capacity:
+                raise RuntimeError("buffer full; evict first")
+            for key in arr.tolist():
+                self.insert(key, priority)
+            return
+        slots = self._slot_of[arr]
+        new_mask = slots < 0
+        if new_mask.any():
+            # First occurrence of each new key, in segment order: the
+            # same first-touch slot-assignment contract as the dict
+            # path's dict.fromkeys.
+            uniq, first = np.unique(arr[new_mask], return_index=True)
+            new_ordered = uniq[np.argsort(first, kind="stable")]
+            count = int(new_ordered.size)
+            free = self._free
+            if len(self) + count > self.capacity:
+                raise RuntimeError("buffer full; evict first")
+            # free.pop() order = the tail of the free list, reversed.
+            new_slots = np.asarray(free[len(free) - count:][::-1],
+                                   dtype=np.int64)
+            del free[len(free) - count:]
+            self._slot_of[new_ordered] = new_slots
+            self.residency.add_batch(new_ordered)
+            self._key[new_slots] = new_ordered
+            touched = np.concatenate((slots[~new_mask], new_slots))
+        else:
+            touched = slots
+        self._prio[touched] = max(0, int(priority))
+        self._valid[touched] = True
+
     def evict_one(self) -> int:
-        if not self._slot:
+        if not len(self):
             raise RuntimeError("cannot evict from an empty buffer")
         return self.evict_batch(1)[0]
 
@@ -513,12 +773,11 @@ class ClockBuffer:
         count = int(n)
         if count <= 0:
             return []
-        if count > len(self._slot):
+        if count > len(self):
             raise RuntimeError("cannot evict more entries than resident")
         victims: List[int] = []
         valid = self._valid
         prio = self._prio
-        slot_map = self._slot
         while count:
             zeros = np.flatnonzero(valid & (prio == 0))
             if zeros.size:
@@ -526,19 +785,23 @@ class ClockBuffer:
                 split = int(np.searchsorted(zeros, self._hand))
                 ordered = np.concatenate((zeros[split:], zeros[:split]))
                 take = ordered[:count]
-                victim_keys = self._key[take].tolist()
+                victim_keys = self._key[take]
                 valid[take] = False
-                for key in victim_keys:
-                    del slot_map[key]
+                self._map_discard_batch(victim_keys)
                 self._free.extend(take.tolist())
-                victims.extend(victim_keys)
+                victims.extend(victim_keys.tolist())
                 count -= int(take.size)
                 self._hand = int(take[-1] + 1) % self.capacity
             if count:
-                # Sweep ran dry: age every survivor by one.  A further
-                # pass only runs when *all* zeros were consumed, so the
-                # floor never bites here.
-                np.subtract(prio, 1, out=prio, where=valid & (prio > 0))
+                # Sweep ran dry: every survivor holds a positive
+                # priority (all zeros were consumed), and −1 passes
+                # that harvest nothing only delay the inevitable — age
+                # by the minimum surviving priority in one vectorized
+                # subtraction.  Victims are identical to repeated −1
+                # sweeps; the cost drops from O(min_prio · capacity) to
+                # O(capacity).
+                step = prio[valid].min()
+                np.subtract(prio, step, out=prio, where=valid)
         return victims
 
 
@@ -551,12 +814,21 @@ BUFFER_IMPLS = {
 }
 
 
-def make_buffer(impl: str, capacity: int):
-    """Instantiate a buffer backend by registry name."""
+def make_buffer(impl: str, capacity: int,
+                key_space: Optional[int] = None):
+    """Instantiate a buffer backend by registry name.
+
+    ``key_space`` (dense-id universe size) is forwarded to backends
+    that support array-native membership (currently the clock backend,
+    which then answers ``contains_batch`` from a residency bitmap);
+    the exact backends keep their dict semantics and ignore it.
+    """
     try:
         cls = BUFFER_IMPLS[impl]
     except KeyError:
         raise ValueError(
             f"unknown buffer_impl {impl!r}; choose from "
             f"{sorted(BUFFER_IMPLS)}") from None
+    if key_space is not None and getattr(cls, "supports_key_space", False):
+        return cls(capacity, key_space=key_space)
     return cls(capacity)

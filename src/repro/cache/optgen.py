@@ -100,20 +100,20 @@ class _MaxSegmentTree:
         if lo > hi:
             return
         t, d, n = self.t, self.d, self.n
-        l, r = lo + n, hi + n + 1
-        ll, rr = l, r - 1
-        while l < r:
-            if l & 1:
-                t[l] += value
-                if l < n:
-                    d[l] += value
-                l += 1
+        lf, r = lo + n, hi + n + 1
+        ll, rr = lf, r - 1
+        while lf < r:
+            if lf & 1:
+                t[lf] += value
+                if lf < n:
+                    d[lf] += value
+                lf += 1
             if r & 1:
                 r -= 1
                 t[r] += value
                 if r < n:
                     d[r] += value
-            l >>= 1
+            lf >>= 1
             r >>= 1
         self._rebuild_from(ll)
         self._rebuild_from(rr)
@@ -123,20 +123,20 @@ class _MaxSegmentTree:
         if lo > hi:
             return 0
         t, n = self.t, self.n
-        l, r = lo + n, hi + n + 1
-        self._push_to(l)
+        lf, r = lo + n, hi + n + 1
+        self._push_to(lf)
         self._push_to(r - 1)
         result = -(1 << 62)
-        while l < r:
-            if l & 1:
-                if t[l] > result:
-                    result = t[l]
-                l += 1
+        while lf < r:
+            if lf & 1:
+                if t[lf] > result:
+                    result = t[lf]
+                lf += 1
             if r & 1:
                 r -= 1
                 if t[r] > result:
                     result = t[r]
-            l >>= 1
+            lf >>= 1
             r >>= 1
         return result
 
@@ -152,11 +152,11 @@ class _MaxSegmentTree:
         if lo > hi:
             return True
         t, d, n = self.t, self.d, self.n
-        l, r = lo + n, hi + n + 1
-        self._push_to(l)
+        lf, r = lo + n, hi + n + 1
+        self._push_to(lf)
         self._push_to(r - 1)
         best = -(1 << 62)
-        ll, rr = l, r
+        ll, rr = lf, r
         while ll < rr:
             if ll & 1:
                 if t[ll] > best:
@@ -170,7 +170,7 @@ class _MaxSegmentTree:
             rr >>= 1
         if best >= cap:
             return False
-        ll, rr = l, r
+        ll, rr = lf, r
         while ll < rr:
             if ll & 1:
                 t[ll] += 1
@@ -184,7 +184,7 @@ class _MaxSegmentTree:
                     d[rr] += 1
             ll >>= 1
             rr >>= 1
-        self._rebuild_from(l)
+        self._rebuild_from(lf)
         self._rebuild_from(r - 1)
         return True
 

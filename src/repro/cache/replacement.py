@@ -11,7 +11,7 @@ into the same slot ("CM" bars in Fig. 15/19).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 import numpy as np
 

@@ -13,12 +13,11 @@ labels, which lets the model approximate Belady's policy online.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
 from ..nn import Embedding, LSTM, Linear, Module, Tensor, concat, softmax
-from .. import nn as _nn
 from .config import RecMGConfig
 from .features import EncodedChunks
 

@@ -16,7 +16,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..cache.optgen import OptgenResult, run_optgen
+from ..cache.optgen import run_optgen
 from ..traces.access import Trace
 from .config import RecMGConfig
 from .features import EncodedChunks, FeatureEncoder

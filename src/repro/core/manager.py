@@ -24,17 +24,33 @@ falling back to ``config.buffer_impl``; see :mod:`repro.cache.buffer`):
   resolves every access through the eviction-free bulk path.  Hit/miss
   streams may differ from the exact backends (approximate victim
   order), but counters stay conserved and capacity is never exceeded.
+
+Serving is backend-agnostic through the **bulk residency/priority
+protocol** (see :mod:`repro.cache.buffer`): every backend answers
+``contains_batch(keys) -> bool[:]`` and accepts
+``set_priority_batch``/``demote_batch``.  The manager fits the encoder's
+dense-id universe as the buffer's ``key_space``, so the clock backend
+classifies a whole segment with one residency-bitmap gather
+(:class:`repro.cache.residency.ResidencyIndex`) instead of a per-key
+dict loop — both the batched-reclaim engine and the chunk-boundary
+caching-bit writes (:meth:`RecMGManager._apply_caching_bits`) ride on
+it.  The exact backends answer the same calls off their entry dicts, so
+no call site branches on the backend.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Set, Tuple
+from typing import Deque, List, Optional, Set
 
 import numpy as np
 
-from ..cache.buffer import FastPriorityBuffer, make_buffer
+from ..cache.buffer import (
+    FastPriorityBuffer,
+    make_buffer,
+    reclaim_batch_space,
+)
 from ..prefetch.base import Prefetcher
 from ..prefetch.harness import AccessBreakdown
 from ..traces.access import Trace
@@ -84,7 +100,14 @@ class RecMGManager:
         self.prefetch_model = prefetch_model
         self.buffer_impl = (buffer_impl if buffer_impl is not None
                             else getattr(config, "buffer_impl", "fast"))
-        self.buffer = make_buffer(self.buffer_impl, capacity)
+        # A fitted encoder fixes the dense-id universe, which lets the
+        # clock backend run array-native membership (residency bitmap);
+        # unseen keys map above the vocabulary and spill safely.
+        key_space = (encoder.vocab_size
+                     if getattr(encoder, "fitted", False)
+                     and encoder.vocab_size > 0 else None)
+        self.buffer = make_buffer(self.buffer_impl, capacity,
+                                  key_space=key_space)
         self._prefetched: Set[int] = set()
         self.breakdown = AccessBreakdown()
         self.prefetches_issued = 0
@@ -132,15 +155,34 @@ class RecMGManager:
         eviction; we keep the same two-level scheme but spread it across
         the aging scale (friendly = eviction_speed + 1, averse = 1),
         which is the Hawkeye-style insertion the paper's labels encode.
+
+        Vectorized through the bulk protocol: one ``contains_batch``
+        residency gather classifies the whole chunk, then the friendly
+        and averse classes land via ``set_priority_batch`` /
+        ``demote_batch``.  Equivalent to the scalar per-key loop: when
+        a key repeats in the chunk its *last* occurrence's bit wins
+        (last write), positional order is preserved within each class
+        (exact-backend seqno order), and friendly/averse seqnos live in
+        disjoint positive/negative ranges, so cross-class interleaving
+        never affects eviction order.
         """
         speed = self.config.eviction_speed
-        for key, bit in zip(keys, bits):
-            key = int(key)
-            if key in self.buffer:
-                if bit:
-                    self.buffer.set_priority(key, speed + 1)
-                else:
-                    self.buffer.demote(key)
+        buffer = self.buffer
+        keys = np.asarray(keys, dtype=np.int64)
+        bits = np.asarray(bits) != 0
+        resident = buffer.contains_batch(keys)
+        if not resident.any():
+            return
+        res_keys = keys[resident]
+        res_bits = bits[resident]
+        if res_keys.size > 1:
+            _, first_rev = np.unique(res_keys[::-1], return_index=True)
+            if first_rev.size != res_keys.size:  # duplicates: last wins
+                sel = np.sort(res_keys.size - 1 - first_rev)
+                res_keys = res_keys[sel]
+                res_bits = res_bits[sel]
+        buffer.set_priority_batch(res_keys[res_bits], speed + 1)
+        buffer.demote_batch(res_keys[~res_bits])
 
     def _apply_prefetches(self, predicted: np.ndarray) -> None:
         """Algorithm 1 lines 9-15: fetch P[i] at priority eviction_speed.
@@ -176,9 +218,9 @@ class RecMGManager:
             for key in keys:
                 self._demand_access(key)
         else:
-            entries = self.buffer.residency_map()
+            buffer = self.buffer  # __contains__ is live on every backend
             for key in keys:
-                record.append(key in entries)
+                record.append(key in buffer)
                 self._demand_access(key)
 
     def _serve_demand_fast(self, segment: np.ndarray) -> None:
@@ -337,33 +379,86 @@ class RecMGManager:
         segment fits; each round evicts at least one entry, and the
         loop is entered at all only when the segment's distinct keys
         fit in the buffer.
+
+        Everything is array-native: residency classifies through
+        ``contains_batch`` (a single bitmap gather on the dense clock
+        backend), distinct-new counting and first-touch miss positions
+        come from ``np.unique``, and the final state lands with one
+        vectorized ``put_batch`` — no per-key dict loop anywhere.
         """
-        keys = (segment.tolist() if isinstance(segment, np.ndarray)
-                else list(segment))
-        if not keys:
+        segment = np.asarray(segment, dtype=np.int64)
+        length = segment.size
+        if length == 0:
             return
         buffer = self.buffer
         capacity = self.capacity
-        entries = buffer.residency_map()
-        distinct = set(keys)
-        if len(distinct) > capacity:
+        prefetched = self._prefetched
+        resident = buffer.contains_batch(segment)
+        if resident.all():
+            # Pure hit-run: membership cannot change, skip the
+            # distinct-key analysis and reclaim loop entirely.
+            uniq = np.unique(segment) if prefetched else segment
+            self._account_eviction_free(segment, np.zeros(0, dtype=np.intp),
+                                        uniq)
+            return
+        # One unique pass yields the distinct keys *and* each one's
+        # first-occurrence position, so per-key residency is a take
+        # from the segment gather — no second contains_batch.
+        uniq, first_idx = np.unique(segment, return_index=True)
+        if uniq.size > capacity:
             # Degenerate (segment wider than the whole buffer): cannot
             # be made eviction-free; serve through the scalar path.
-            self._serve_demand_slow(keys)
+            self._serve_demand_slow(segment)
             return
-        prefetched = self._prefetched
-        while True:
-            new_count = sum(1 for key in distinct if key not in entries)
-            needed = len(entries) + new_count - capacity
-            if needed <= 0:
-                break
-            victims = buffer.evict_batch(needed)
+        def on_victims(victims):
             self.evictions += len(victims)
             if prefetched:
                 prefetched.difference_update(victims)
-        miss_idx = [i for i, key in enumerate(keys) if key not in entries]
-        self._finish_eviction_free(keys, miss_idx,
-                                   {keys[m] for m in miss_idx})
+
+        _, stale = reclaim_batch_space(
+            buffer, uniq, int(np.count_nonzero(~resident[first_idx])),
+            on_victims=on_victims)
+        if stale:  # reclaim victims invalidated the residency snapshot
+            resident = buffer.contains_batch(segment)
+        # Distinct new keys miss exactly once, at their first
+        # occurrence (every occurrence of a non-resident key is a
+        # snapshot miss, so the first one is the demand fetch).
+        first_miss_pos = first_idx[~resident[first_idx]]
+        self._account_eviction_free(segment, first_miss_pos, uniq)
+
+    def _account_eviction_free(self, segment: np.ndarray,
+                               first_miss_pos: np.ndarray,
+                               uniq: np.ndarray) -> None:
+        """Counters, recording and the bulk store for a segment known
+        to fit eviction-free (the batched engine's epilogue).
+
+        ``first_miss_pos`` holds the position of each distinct new
+        key's first occurrence (its only miss; later occurrences hit);
+        ``uniq`` holds the segment's distinct keys and is consulted
+        only while prefetch tags exist.  Prefetched keys are always
+        resident (the tag is dropped on eviction), so each one present
+        scores exactly one prefetch hit.
+        """
+        length = segment.size
+        new_count = int(first_miss_pos.size)
+        breakdown = self.breakdown
+        prefetched = self._prefetched
+        record = self._record_hits
+        if record is not None:
+            segment_hits = np.ones(length, dtype=bool)
+            segment_hits[first_miss_pos] = False
+            record.extend(segment_hits.tolist())
+        hit_count = length - new_count
+        if prefetched:
+            pf_hits = prefetched.intersection(uniq.tolist())
+            if pf_hits:
+                prefetched.difference_update(pf_hits)
+                breakdown.prefetch_hits += len(pf_hits)
+                self.prefetches_useful += len(pf_hits)
+                hit_count -= len(pf_hits)
+        breakdown.cache_hits += hit_count
+        breakdown.on_demand += new_count
+        self.buffer.put_batch(segment, self.config.eviction_speed)
 
     # ------------------------------------------------------------------
     def run(self, trace: Trace, inference_batch: int = 64,

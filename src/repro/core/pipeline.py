@@ -17,7 +17,7 @@ and vectorization.  The hardware is simulated here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

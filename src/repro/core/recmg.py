@@ -15,7 +15,7 @@ labeling pipeline, both models and the online manager:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -28,8 +28,6 @@ from .manager import ManagerStats, RecMGManager
 from .prefetch_model import BucketDecoder, PrefetchModel
 from .training import (
     TrainResult,
-    caching_accuracy,
-    prefetch_metrics,
     train_caching_model,
     train_prefetch_model,
 )

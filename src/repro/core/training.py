@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -12,8 +12,6 @@ from ..nn import (
     Adam,
     Tensor,
     bce_with_logits,
-    chamfer_forward_only,
-    chamfer_loss,
     clip_grad_norm,
     l2_loss,
 )
@@ -118,7 +116,6 @@ def _chamfer_ce_loss(model: PrefetchModel, chunks: EncodedChunks,
 
     logits = model.forward_logits(chunks, sel=sel_rows)    # (B, P, K)
     batch, steps, num_buckets = logits.shape
-    window = windows_hashed.shape[1]
     codebook = model.target_table.data                      # (K, D)
 
     from ..nn import softmax as _softmax

@@ -7,7 +7,7 @@ the gathered vectors are *pooled* (summed) per table.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 

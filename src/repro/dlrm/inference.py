@@ -9,14 +9,13 @@ LRU cache, RecMG with the caching model only, or full RecMG.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Protocol
+from typing import List, Optional, Protocol
 
 import numpy as np
 
-from ..cache.buffer import make_buffer
-from ..cache.lru import LRUCache
+from ..cache.buffer import make_buffer, reclaim_batch_space
 from ..traces.access import Trace
-from .model import DLRM, DLRMConfig
+from .model import DLRM
 from .tiered import TieredMemoryConfig
 
 
@@ -69,7 +68,13 @@ class InferenceReport:
 
 
 class AccessClassifier(Protocol):
-    """Anything that can classify an access stream into hits/misses."""
+    """Anything that can classify an access stream into hits/misses.
+
+    Classifiers may additionally expose ``access_batch(keys, pcs) ->
+    bool[:]`` — :class:`InferenceEngine` then classifies each serving
+    batch with one call (residency-bitmap gathers on the clock-backed
+    classifiers) instead of a per-access loop.
+    """
 
     def access(self, key: int, pc: int = 0) -> bool: ...
 
@@ -98,16 +103,22 @@ class InferenceEngine:
         report = InferenceReport()
         dim = self.dlrm.config.embedding_dim
         flops_per_batch = self.dlrm.flops_per_query * batch_queries
+        access_batch = getattr(classifier, "access_batch", None)
 
         for lo in range(0, len(keys), self.accesses_per_batch):
             hi = min(lo + self.accesses_per_batch, len(keys))
-            batch_hits = 0
-            batch_misses = 0
-            for i in range(lo, hi):
-                if classifier.access(int(keys[i]), pc=int(tables[i])):
-                    batch_hits += 1
-                else:
-                    batch_misses += 1
+            if access_batch is not None:
+                hits = access_batch(keys[lo:hi], tables[lo:hi])
+                batch_hits = int(np.count_nonzero(hits))
+                batch_misses = (hi - lo) - batch_hits
+            else:
+                batch_hits = 0
+                batch_misses = 0
+                for i in range(lo, hi):
+                    if classifier.access(int(keys[i]), pc=int(tables[i])):
+                        batch_hits += 1
+                    else:
+                        batch_misses += 1
             report.hits += batch_hits
             report.misses += batch_misses
             timing = BatchTiming(
@@ -132,12 +143,22 @@ class BufferClassifier:
     inference engine a buffer-managed baseline between plain
     :class:`~repro.cache.lru.LRUCache` and a fully trained RecMG
     manager.  With ``buffer_impl="clock"`` this is the cheapest serving
-    configuration: array-backed residency with second-chance eviction.
+    configuration: array-backed residency with second-chance eviction;
+    pass ``key_space`` (dense key universe) and membership runs off the
+    residency bitmap.
+
+    :meth:`access_batch` serves a whole engine batch at once.  On the
+    approximate clock backend it uses the manager's batched-reclaim
+    scheme (pre-evict the space the batch needs, then one bulk
+    ``put_batch``); exact backends replay the scalar loop so their
+    per-access eviction interleaving is preserved.
     """
 
     def __init__(self, capacity: int, buffer_impl: str = "clock",
-                 priority: int = 4) -> None:
-        self.buffer = make_buffer(buffer_impl, capacity)
+                 priority: int = 4,
+                 key_space: Optional[int] = None) -> None:
+        self.buffer = make_buffer(buffer_impl, capacity,
+                                  key_space=key_space)
         self.priority = priority
 
     def access(self, key: int, pc: int = 0) -> bool:
@@ -149,6 +170,36 @@ class BufferClassifier:
             buffer.evict_one()
         buffer.insert(key, self.priority)
         return False
+
+    def _access_loop(self, keys: np.ndarray) -> np.ndarray:
+        return np.fromiter((self.access(int(key)) for key in keys),
+                           dtype=bool, count=len(keys))
+
+    def access_batch(self, keys: np.ndarray,
+                     pcs: Optional[np.ndarray] = None) -> np.ndarray:
+        """Per-access hit booleans for a whole batch (see class doc)."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return np.zeros(0, dtype=bool)
+        buffer = self.buffer
+        if not getattr(buffer, "approximate", False):
+            return self._access_loop(keys)
+        resident = buffer.contains_batch(keys)
+        if resident.all():
+            buffer.put_batch(keys, self.priority)
+            return np.ones(keys.size, dtype=bool)
+        uniq, first_idx = np.unique(keys, return_index=True)
+        if uniq.size > buffer.capacity:
+            # Batch wider than the buffer: cannot pre-reclaim.
+            return self._access_loop(keys)
+        _, stale = reclaim_batch_space(
+            buffer, uniq, int(np.count_nonzero(~resident[first_idx])))
+        if stale:  # victims inside the batch re-miss
+            resident = buffer.contains_batch(keys)
+        hits = np.ones(keys.size, dtype=bool)
+        hits[first_idx[~resident[first_idx]]] = False
+        buffer.put_batch(keys, self.priority)
+        return hits
 
 
 class ManagerClassifier:
@@ -177,3 +228,18 @@ class ManagerClassifier:
         hit = bool(self._decisions[self._cursor])
         self._cursor += 1
         return hit
+
+    def access_batch(self, keys: np.ndarray,
+                     pcs: Optional[np.ndarray] = None) -> np.ndarray:
+        """Replay a whole batch of recorded decisions in one slice."""
+        lo = self._cursor
+        hi = lo + len(keys)
+        if hi > len(self._decisions):
+            # Same failure the scalar path hits one access later: the
+            # engine is serving more accesses than the wrapped manager
+            # run recorded — fail loudly, never under-count.
+            raise IndexError(
+                f"decision stream exhausted: engine requested access "
+                f"{hi} of {len(self._decisions)} recorded")
+        self._cursor = hi
+        return self._decisions[lo:hi]

@@ -15,7 +15,6 @@ import numpy as np
 
 from ..traces.access import Trace
 from .inference import InferenceEngine, InferenceReport
-from .tiered import TieredMemoryConfig
 
 
 class ControlledHitRateCache:

@@ -17,8 +17,8 @@ import numpy as np
 
 from . import init as initializers
 from .attention import LuongAttention
-from .modules import Linear, Module
-from .tensor import Tensor, concat, stack
+from .modules import Module
+from .tensor import Tensor, stack
 
 
 class LSTMCell(Module):

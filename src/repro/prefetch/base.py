@@ -14,9 +14,8 @@ Metrics implemented here (paper §IV and §VII-B):
 from __future__ import annotations
 
 import time
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import Dict, List
 
 import numpy as np
 

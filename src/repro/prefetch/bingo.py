@@ -14,7 +14,7 @@ implementation exists to reproduce that negative result faithfully.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from .base import Prefetcher
 

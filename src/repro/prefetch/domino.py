@@ -10,7 +10,7 @@ matching the paper's "10% of the unique indices accessed" setting.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from .base import Prefetcher
 

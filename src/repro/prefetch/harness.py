@@ -81,13 +81,19 @@ class LRUBufferWithPrefetch:
     priority 0, so the victim is always the oldest-touched entry —
     breakdowns are identical to ``"ordered"``); ``"clock"`` runs the
     second-chance CLOCK approximation of LRU (insert and re-reference
-    at priority 1) on the array-backed buffer.
+    at priority 1) on the array-backed buffer.  ``key_space`` (when the
+    keys are dense, e.g. after ``remap_to_dense``) is forwarded to
+    backends with array-native membership — the clock backend then
+    answers residency from a
+    :class:`~repro.cache.residency.ResidencyIndex` bitmap instead of a
+    key→slot dict, with identical behavior.
     """
 
     def __init__(self, capacity: int, prefetcher: Optional[Prefetcher] = None,
                  max_prefetches_per_access: int = 4,
                  metadata_fraction: float = 0.0,
-                 buffer_impl: str = "ordered") -> None:
+                 buffer_impl: str = "ordered",
+                 key_space: Optional[int] = None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         effective = max(1, int(capacity * (1.0 - metadata_fraction)))
@@ -104,7 +110,8 @@ class LRUBufferWithPrefetch:
             self._refresh_priority = 0
             self._entries: Optional["OrderedDict[int, bool]"] = OrderedDict()
         else:
-            self._buffer = make_buffer(buffer_impl, effective)
+            self._buffer = make_buffer(buffer_impl, effective,
+                                       key_space=key_space)
             self._pf_tags = set()
             # Exact backends at constant priority 0 reduce to LRU
             # (victim = oldest seqno); clock needs priority 1 so a
@@ -224,9 +231,15 @@ def run_breakdown(trace: Trace, capacity: int,
         return AccessBreakdown(cache_hits=hits, prefetch_hits=0,
                                on_demand=len(keys) - hits)
     tables = trace.table_ids
+    # Dense-remapped keys span exactly [0, num_unique): hand the dense
+    # universe to the backend so the clock path runs its residency
+    # bitmap instead of the key→slot dict.
+    key_space = (int(keys.max()) + 1
+                 if use_dense_keys and len(keys) else None)
     buffer = LRUBufferWithPrefetch(capacity, prefetcher=prefetcher,
                                    metadata_fraction=metadata_fraction,
-                                   buffer_impl=buffer_impl)
+                                   buffer_impl=buffer_impl,
+                                   key_space=key_space)
     for i in range(len(keys)):
         buffer.access(int(keys[i]), pc=int(tables[i]))
     return buffer.breakdown

@@ -10,7 +10,7 @@ useless prefetches (cache pollution proxy).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Deque, List, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -14,11 +14,11 @@ default range here is deliberately comparable (± ``delta_range``).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, List
 
 import numpy as np
 
-from ..nn import Adam, Linear, Module, SelfAttention, Tensor, bce_with_logits, stack
+from ..nn import Adam, Linear, Module, SelfAttention, Tensor, bce_with_logits
 from ..traces.access import Trace
 from .base import Prefetcher
 

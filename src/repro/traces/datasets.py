@@ -17,7 +17,7 @@ evaluation logic is scale-free (ratios of hits/misses).
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List
+from typing import Dict
 
 from .access import Trace
 from .synthetic import SyntheticTraceConfig, generate_trace

@@ -24,8 +24,8 @@ indices are semantically related.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List
 
 import numpy as np
 

@@ -310,3 +310,198 @@ class TestClockSemantics:
             buf.put_batch(keys, 1)
             assert sorted(buf.keys()) == keys
             assert buf.evict_batch(3) and len(buf) == 0
+
+
+@pytest.mark.parametrize("impl", ["reference", "fast"])
+class TestBulkProtocolExact:
+    """contains_batch / set_priority_batch / demote_batch on the exact
+    backends: defined as the scalar ops applied in order."""
+
+    def test_contains_batch_matches_scalar(self, impl):
+        buf = make_buffer(impl, 4)
+        for key in (2, 5, 9):
+            buf.insert(key, 1)
+        probe = np.array([0, 2, 5, 7, 9, -1], dtype=np.int64)
+        assert np.array_equal(
+            buf.contains_batch(probe),
+            np.array([k in buf for k in probe.tolist()]))
+
+    def test_set_priority_batch_equals_scalar_loop(self, impl):
+        bulk = make_buffer(impl, 4)
+        scalar = make_buffer(impl, 4)
+        for buf in (bulk, scalar):
+            for key in (1, 2, 3):
+                buf.insert(key, 2)
+        bulk.set_priority_batch(np.array([2, 1]), 5)
+        for key in (2, 1):
+            scalar.set_priority(key, 5)
+        assert bulk.evict_batch(3) == scalar.evict_batch(3)
+
+    def test_set_priority_batch_requires_residency(self, impl):
+        buf = make_buffer(impl, 2)
+        buf.insert(1, 1)
+        with pytest.raises(KeyError):
+            buf.set_priority_batch([1, 99], 3)
+
+    def test_demote_batch_preserves_reverse_demote_order(self, impl):
+        buf = make_buffer(impl, 3)
+        for key in (1, 2, 3):
+            buf.insert(key, 4)
+        buf.demote_batch([1, 3])
+        assert buf.evict_one() == 3     # demoted last -> evicts first
+        assert buf.evict_one() == 1
+
+
+class TestClockSlotOrder:
+    """Regression (PR 3): ``put_batch`` used to route new keys through
+    ``set()``, so slots — and therefore hand-order victim tie-breaking —
+    followed integer-hash order instead of first-touch order."""
+
+    @pytest.mark.parametrize("key_space", [None, 64])
+    def test_put_batch_assigns_slots_in_first_touch_order(self, key_space):
+        buf = ClockBuffer(4, key_space=key_space)
+        # set() iteration would order these 1, 2, 3.
+        buf.put_batch([3, 1, 2], 0)
+        assert buf.evict_batch(3) == [3, 1, 2]
+
+    @pytest.mark.parametrize("key_space", [None, 64])
+    def test_duplicates_keep_first_touch_position(self, key_space):
+        buf = ClockBuffer(8, key_space=key_space)
+        buf.put_batch([5, 3, 5, 2, 3, 7], 0)
+        assert buf.evict_batch(4) == [5, 3, 2, 7]
+
+    def test_mixed_resident_and_new_keys(self):
+        buf = ClockBuffer(4)
+        buf.insert(9, 0)                 # slot 0
+        buf.put_batch([4, 9, 6], 0)      # new: 4 -> slot 1, 6 -> slot 2
+        assert buf.evict_batch(3) == [9, 4, 6]
+
+
+def _unit_step_clock_reference(prios, n):
+    """Pre-PR 3 ``evict_batch`` aging semantics: harvest zeros in hand
+    order, else age every survivor by exactly one, repeatedly.  Slot i
+    holds key i; hand starts at 0 (fresh buffer).  Returns (victims,
+    survivor priorities by slot)."""
+    prio = list(prios)
+    valid = [True] * len(prio)
+    hand = 0
+    victims = []
+    while n:
+        zeros = [i for i, p in enumerate(prio) if valid[i] and p == 0]
+        if zeros:
+            ordered = ([i for i in zeros if i >= hand]
+                       + [i for i in zeros if i < hand])
+            take = ordered[:n]
+            for i in take:
+                valid[i] = False
+            victims.extend(take)
+            n -= len(take)
+            hand = (take[-1] + 1) % len(prio)
+        if n:
+            for i, p in enumerate(prio):
+                if valid[i] and p > 0:
+                    prio[i] = p - 1
+    survivors = {i: prio[i] for i in range(len(prio)) if valid[i]}
+    return victims, survivors
+
+
+class TestClockBatchAgingStep:
+    """Regression (PR 3): a dry sweep now ages survivors by the minimum
+    surviving priority in one vectorized subtraction.  Victims and
+    survivor priorities must equal the old one-per-sweep aging — which
+    went O(priority · capacity) when priorities are large (high
+    ``eviction_speed``)."""
+
+    @pytest.mark.parametrize("key_space", [None, 4096])
+    def test_differential_vs_unit_step_reference(self, key_space):
+        import random as _random
+
+        rng = _random.Random(99)
+        for _ in range(12):
+            capacity = rng.randint(2, 12)
+            prios = [rng.randint(0, 3000) for _ in range(capacity)]
+            buf = ClockBuffer(capacity, key_space=key_space)
+            for key, priority in enumerate(prios):
+                buf.insert(key, priority)
+            n = rng.randint(1, capacity)
+            expected_victims, expected_prios = \
+                _unit_step_clock_reference(prios, n)
+            assert buf.evict_batch(n) == expected_victims
+            for key in buf.keys():
+                assert buf.priority_of(key) == expected_prios[key]
+
+    def test_high_speed_batch_aging_pass_count(self):
+        """The whole point: huge priorities no longer cost one aging
+        pass per unit of priority.  Deterministic operation-count proxy
+        (no wall clock): every dry sweep issues exactly one
+        ``np.subtract``, so reclaiming 64 slots from all-positive
+        priorities must age at most 64 times — unit-step aging would
+        issue ~100k subtracts here."""
+        from unittest import mock
+
+        capacity = 4096
+        buf = ClockBuffer(capacity)
+        for key in range(capacity):
+            buf.insert(key, 100_000 + key)
+        with mock.patch("repro.cache.buffer.np.subtract",
+                        wraps=np.subtract) as aging:
+            victims = buf.evict_batch(64)
+        assert len(victims) == 64
+        assert aging.call_count <= 64
+
+    def test_single_aging_step_uses_min_surviving_priority(self):
+        buf = ClockBuffer(3)
+        buf.insert(1, 7)
+        buf.insert(2, 3)
+        buf.insert(3, 5)
+        assert buf.evict_batch(1) == [2]
+        # Survivors aged by min surviving priority (3), not just one.
+        assert buf.priority_of(1) == 4
+        assert buf.priority_of(3) == 2
+
+
+class TestClockDenseMode:
+    """key_space mode: residency bitmap + dense slot vector."""
+
+    def test_make_buffer_forwards_key_space_to_clock_only(self):
+        clock = make_buffer("clock", 4, key_space=32)
+        assert clock.residency is not None
+        assert clock.residency.key_space == 32
+        fast = make_buffer("fast", 4, key_space=32)  # ignored: dict-backed
+        assert not hasattr(fast, "residency")
+
+    def test_rejects_bad_key_space(self):
+        with pytest.raises(ValueError):
+            ClockBuffer(4, key_space=0)
+
+    def test_spillover_keys_above_key_space(self):
+        """The manager maps unseen keys above the vocabulary; they must
+        behave exactly like in-range keys."""
+        buf = ClockBuffer(3, key_space=8)
+        buf.insert(2, 1)
+        buf.insert(100, 1)      # spillover
+        buf.put_batch([2, 101], 0)
+        assert 100 in buf and 101 in buf
+        assert np.array_equal(
+            buf.contains_batch(np.array([2, 100, 101, 5])),
+            np.array([True, True, True, False]))
+        assert sorted(buf.evict_batch(3)) == [2, 100, 101]
+        assert buf.residency.count() == 0
+
+    def test_set_priority_batch_scatter(self):
+        buf = ClockBuffer(4, key_space=16)
+        buf.put_batch([1, 2, 3], 1)
+        buf.set_priority_batch(np.array([3, 1]), 0)
+        assert buf.priority_of(3) == 0 and buf.priority_of(1) == 0
+        assert buf.priority_of(2) == 1
+        with pytest.raises(KeyError):
+            buf.set_priority_batch(np.array([1, 9]), 2)
+
+    def test_residency_map_is_a_snapshot(self):
+        buf = ClockBuffer(4, key_space=16)
+        buf.put_batch([1, 2], 0)
+        snapshot = buf.residency_map()
+        assert sorted(snapshot) == [1, 2]
+        buf.evict_batch(2)
+        assert sorted(snapshot) == [1, 2]   # snapshot, not live
+        assert len(buf.residency_map()) == 0

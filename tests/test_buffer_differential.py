@@ -1,4 +1,4 @@
-"""Differential fuzz: one op stream, three buffer backends.
+"""Differential fuzz: one op stream, every buffer backend.
 
 ~200 randomized operation sequences (insert / set_priority / demote /
 put_batch / evict_one / evict_batch interleavings) drive every backend
@@ -11,11 +11,20 @@ behind the ``buffer_impl`` knob:
   instead: capacity never exceeded, the resident set is always a subset
   of the keys ever inserted, and within one ``evict_batch`` call the
   victims come out in nondecreasing pre-call priority and never outrank
-  a survivor ("evictions prefer lower priority within a sweep").
+  a survivor ("evictions prefer lower priority within a sweep");
+* the clock backend runs twice — dict mode and dense
+  (``key_space``) residency-bitmap mode, with the key space chosen
+  *smaller* than the fuzzed key range so the spillover path is
+  exercised — and the two must agree victim-for-victim: identical
+  resident sets, priorities and eviction order;
+* after **every** op, every backend's ``contains_batch`` must agree
+  with scalar ``in`` membership over a probe range that includes
+  out-of-range and negative ids (bitmap/dict residency agreement).
 """
 
 import random
 
+import numpy as np
 import pytest
 
 from repro.cache import ClockBuffer, FastPriorityBuffer, PriorityBuffer
@@ -23,7 +32,14 @@ from repro.cache import ClockBuffer, FastPriorityBuffer, PriorityBuffer
 NUM_SEQUENCES = 200
 OPS_PER_SEQUENCE = 120
 KEY_SPACE = 28
+#: Dense-mode clock bitmap deliberately smaller than the fuzzed key
+#: range: keys >= DENSE_SPACE exercise the spillover dict.
+DENSE_SPACE = KEY_SPACE // 2 + 1
 MAX_PRIORITY = 6
+
+#: Probe for contains_batch/scalar agreement: spans below, inside and
+#: above both the bitmap and the fuzzed key range.
+PROBE = np.arange(-3, KEY_SPACE + 8, dtype=np.int64)
 
 OP_WEIGHTS = [
     ("insert", 6),
@@ -49,6 +65,14 @@ def _gen_ops(rng: random.Random):
         count = rng.randint(1, 6)
         ops.append((op, key, priority, batch, count))
     return ops
+
+
+def _assert_contains_batch_agrees(buffer) -> None:
+    """contains_batch must match scalar ``in`` over the probe range."""
+    bulk = buffer.contains_batch(PROBE)
+    scalar = np.array([int(key) in buffer for key in PROBE], dtype=bool)
+    assert bulk.dtype == np.bool_ and bulk.shape == scalar.shape
+    assert np.array_equal(bulk, scalar)
 
 
 def _apply_exact_pair(ref: PriorityBuffer, fast: FastPriorityBuffer, op):
@@ -84,20 +108,35 @@ def _apply_exact_pair(ref: PriorityBuffer, fast: FastPriorityBuffer, op):
         n = min(count, len(ref))
         assert ref.evict_batch(n) == fast.evict_batch(n)
     assert len(ref) == len(fast)
+    _assert_contains_batch_agrees(ref)
+    _assert_contains_batch_agrees(fast)
 
 
-def _apply_clock(clock: ClockBuffer, inserted_ever: set, op):
-    """Apply one op to the clock backend (validity decided by its own
-    state) and check its invariants."""
+def _assert_clock_modes_agree(clock: ClockBuffer, dense: ClockBuffer):
+    """Dict-mode and dense-mode clocks are behaviorally identical."""
+    assert len(clock) == len(dense)
+    assert sorted(clock.keys()) == sorted(dense.keys())
+    for key in clock.keys():
+        assert clock.priority_of(key) == dense.priority_of(key)
+    assert dense.residency.count() == len(dense)
+
+
+def _apply_clock(clock: ClockBuffer, dense: ClockBuffer,
+                 inserted_ever: set, op):
+    """Apply one op to both clock modes (validity decided by their
+    shared state) and check the invariants plus mode agreement."""
     kind, key, priority, batch, count = op
     if kind == "insert":
         if key in clock or not clock.is_full:
             clock.insert(key, priority)
+            dense.insert(key, priority)
             inserted_ever.add(key)
     elif kind == "set_priority" and key in clock:
         clock.set_priority(key, priority)
+        dense.set_priority(key, priority)
     elif kind == "demote" and key in clock:
         clock.demote(key)
+        dense.demote(key)
         assert clock.priority_of(key) == 0
     elif kind == "put_batch":
         new = {k for k in batch if k not in clock}
@@ -105,18 +144,24 @@ def _apply_clock(clock: ClockBuffer, inserted_ever: set, op):
             resident_before = sorted(clock.keys())
             with pytest.raises(RuntimeError):
                 clock.put_batch(batch, priority)
+            with pytest.raises(RuntimeError):
+                dense.put_batch(batch, priority)
             assert sorted(clock.keys()) == resident_before
+            assert sorted(dense.keys()) == resident_before
         else:
             clock.put_batch(batch, priority)
+            dense.put_batch(batch, priority)
             inserted_ever.update(batch)
             assert all(clock.priority_of(k) == priority for k in batch)
     elif kind == "evict_one" and len(clock):
         victim = clock.evict_one()
         assert victim not in clock
+        assert dense.evict_one() == victim
     elif kind == "evict_batch" and len(clock):
         n = min(count, len(clock))
         pre = {k: clock.priority_of(k) for k in clock.keys()}
         victims = clock.evict_batch(n)
+        assert dense.evict_batch(n) == victims
         assert len(victims) == n
         assert len(set(victims)) == n
         # Victims drain in nondecreasing pre-call priority ...
@@ -130,6 +175,9 @@ def _apply_clock(clock: ClockBuffer, inserted_ever: set, op):
     # Global invariants, after every single op.
     assert len(clock) <= clock.capacity
     assert set(clock.keys()) <= inserted_ever
+    _assert_clock_modes_agree(clock, dense)
+    _assert_contains_batch_agrees(clock)
+    _assert_contains_batch_agrees(dense)
 
 
 @pytest.mark.parametrize("seed", range(NUM_SEQUENCES))
@@ -141,13 +189,14 @@ def test_differential_op_sequences(seed):
     ref = PriorityBuffer(capacity)
     fast = FastPriorityBuffer(capacity)
     clock = ClockBuffer(capacity)
+    dense = ClockBuffer(capacity, key_space=DENSE_SPACE)
     inserted_ever: set = set()
 
     for op in ops:
         _apply_exact_pair(ref, fast, op)
         if op[0] in ("insert", "put_batch"):
             inserted_ever.update([op[1]] if op[0] == "insert" else op[3])
-        _apply_clock(clock, inserted_ever, op)
+        _apply_clock(clock, dense, inserted_ever, op)
 
     # Exact pair: full key-for-key state agreement at the end.
     assert sorted(ref.keys()) == sorted(fast.keys())
@@ -159,8 +208,12 @@ def test_differential_op_sequences(seed):
         assert ref.evict_batch(remaining) == fast.evict_batch(remaining)
     clock_remaining = len(clock)
     if clock_remaining:
-        assert len(clock.evict_batch(clock_remaining)) == clock_remaining
+        drained = clock.evict_batch(clock_remaining)
+        assert len(drained) == clock_remaining
+        assert dense.evict_batch(clock_remaining) == drained
     assert len(clock) == 0
+    assert len(dense) == 0
+    assert dense.residency.count() == 0
 
 
 def test_exact_pair_priority_parity_mid_sequence():

@@ -8,7 +8,6 @@ from repro.cache import (
     LRUCache, LRUReplacement, MockingjayReplacement, PredictorReplacement,
     SetAssociativeCache, SRRIPReplacement, capacity_from_fraction, simulate,
 )
-from repro.traces import Trace
 
 
 def make_cache(capacity, policy_cls, **kwargs):

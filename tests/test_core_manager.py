@@ -3,9 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cache import LRUCache, capacity_from_fraction, simulate
-from repro.core import ManagerStats, ModelPrefetcher, RecMGManager
-from repro.core.manager import RecMGManager as ManagerClass
+from repro.core import ModelPrefetcher, RecMGManager
 
 
 class TestManagerNoModels:
@@ -164,6 +162,64 @@ class TestBufferImplKnob:
         hits = int(manager.last_decisions.sum())
         assert hits == (stats.breakdown.cache_hits
                         + stats.breakdown.prefetch_hits)
+
+    def test_clock_record_decisions_counters_conserved(self, trained_recmg,
+                                                       tiny_trace,
+                                                       tiny_capacity):
+        """Recording must not perturb the batched-reclaim engine, and
+        every counter must stay conserved across the reclaim loop."""
+        _, test = tiny_trace.split(0.6)
+        manager = trained_recmg.deploy(tiny_capacity, buffer_impl="clock")
+        stats = manager.run(test, record_decisions=True)
+        decisions = manager.last_decisions
+        assert len(decisions) == len(test)
+        hits = int(decisions.sum())
+        assert hits == (stats.breakdown.cache_hits
+                        + stats.breakdown.prefetch_hits)
+        assert stats.breakdown.total == len(test)
+        assert stats.breakdown.on_demand == len(test) - hits
+        assert stats.prefetches_useful <= stats.prefetches_issued
+        assert len(manager.buffer) <= tiny_capacity
+        # Same run without recording: identical stats (recording is
+        # observation only, never policy).
+        silent = trained_recmg.deploy(tiny_capacity,
+                                      buffer_impl="clock").run(test)
+        assert silent == stats
+
+    def test_apply_caching_bits_matches_scalar_loop(self, trained_recmg):
+        """The vectorized chunk-boundary write (contains_batch +
+        set_priority_batch/demote_batch) must be indistinguishable from
+        the per-key loop: last occurrence wins for duplicate keys, and
+        eviction order is preserved on the exact backends."""
+        config = trained_recmg.config
+        speed = config.eviction_speed
+        resident = [1, 2, 3, 4, 5]
+        # Duplicates with conflicting bits: key 1 flips 0 -> 1
+        # (friendly wins), key 2 flips 1 -> 0 (averse wins); key 6 is
+        # not resident and must be ignored.
+        keys = np.array([1, 6, 2, 3, 1, 4, 2])
+        bits = np.array([0, 1, 1, 0, 1, 1, 0])
+        for impl in ("reference", "fast", "clock"):
+            bulk = RecMGManager(8, trained_recmg.encoder, config,
+                                buffer_impl=impl)
+            scalar = RecMGManager(8, trained_recmg.encoder, config,
+                                  buffer_impl=impl)
+            for manager in (bulk, scalar):
+                for key in resident:
+                    manager._demand_access(key)
+            bulk._apply_caching_bits(keys, bits)
+            buf = scalar.buffer
+            for key, bit in zip(keys.tolist(), bits.tolist()):
+                if key in buf:
+                    if bit:
+                        buf.set_priority(key, speed + 1)
+                    else:
+                        buf.demote(key)
+            for key in resident:
+                assert (bulk.buffer.priority_of(key)
+                        == scalar.buffer.priority_of(key))
+            assert (bulk.buffer.evict_batch(len(resident))
+                    == scalar.buffer.evict_batch(len(resident)))
 
     def test_clock_degenerate_segment_wider_than_buffer(self, trained_recmg,
                                                         tiny_trace):

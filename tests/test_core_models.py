@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import CachingModel, FeatureEncoder, PrefetchModel, RecMGConfig
+from repro.core import CachingModel, FeatureEncoder, PrefetchModel
 from repro.core.prefetch_model import BucketDecoder
 
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.cache import capacity_from_fraction
 from repro.core import (
-    CachingModel, FeatureEncoder, PrefetchModel, RecMGConfig, build_labels,
+    CachingModel, FeatureEncoder, PrefetchModel, build_labels,
     caching_accuracy, caching_targets, prefetch_metrics, prefetch_targets,
     train_caching_model, train_prefetch_model, output_collapse_ratio,
 )

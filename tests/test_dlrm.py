@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.cache import LRUCache
-from repro.core import RecMGManager
 from repro.dlrm import (
     ControlledHitRateCache, DLRM, DLRMConfig, EmbeddingBagCollection,
     EmbeddingTable, InferenceEngine, LinearPerformanceModel,
@@ -103,6 +102,18 @@ class TestInferenceEngine:
         report = engine.run(test, classifier)
         assert report.total_accesses == len(test)
         assert report.hit_rate == pytest.approx(manager.breakdown.hit_rate)
+
+    def test_manager_classifier_exhaustion_fails_loudly(self, trained_recmg,
+                                                        tiny_trace,
+                                                        tiny_capacity):
+        """Serving more accesses than the wrapped run recorded must
+        raise (batched replay must not silently under-count)."""
+        _, test = tiny_trace.split(0.6)
+        classifier = ManagerClassifier(trained_recmg.deploy(tiny_capacity),
+                                       test.head(100))
+        engine = InferenceEngine(accesses_per_batch=64)
+        with pytest.raises(IndexError):
+            engine.run(test.head(200), classifier)
 
     @pytest.mark.parametrize("impl", ["reference", "fast", "clock"])
     def test_buffer_classifier_serves_every_backend(self, tiny_trace, impl):

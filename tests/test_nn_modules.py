@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.nn import (
-    Adam, Embedding, Linear, MLP, Module, SGD, Sequential, Tensor,
+    Adam, Embedding, Linear, MLP, SGD, Sequential, Tensor,
     clip_grad_norm, dropout, load_module, save_module,
 )
 

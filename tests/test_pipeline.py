@@ -1,6 +1,5 @@
 """CPU serving simulation: thread scaling and the relaxed pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.core import PipelineSimulator, simulate_thread_throughput

@@ -10,7 +10,7 @@ from repro.prefetch import (
     VoyagerPrefetcher, VoyagerScaleError, estimate_memory_bytes,
     evaluate_prefetcher, run_breakdown,
 )
-from repro.traces import SyntheticTraceConfig, Trace, generate_trace
+from repro.traces import Trace
 
 
 def trace_of(keys, tables=None):

@@ -1,10 +1,9 @@
 """End-to-end RecMG: fit, deploy, evaluate, headline shape."""
 
-import numpy as np
 import pytest
 
 from repro.cache import LRUCache, simulate, simulate_belady
-from repro.core import RecMG, RecMGConfig
+from repro.core import RecMG
 
 
 class TestFit:

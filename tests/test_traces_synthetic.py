@@ -57,11 +57,9 @@ class TestPaperProperties:
         # Consecutive accesses repeat tables/clusters far more often than
         # a shuffled trace would.
         keys = tiny_trace.keys()
-        same = (keys[1:] == keys[:-1]).mean()
         rng = np.random.default_rng(0)
         shuffled = keys.copy()
         rng.shuffle(shuffled)
-        same_shuffled = (shuffled[1:] == shuffled[:-1]).mean()
         # Not a strong statement about equality-adjacency, so compare
         # block reuse: distinct keys per window.
         def window_distinct(arr, w=50):
