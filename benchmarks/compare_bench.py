@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Hot-path regression check: freshly emitted vs committed baseline.
+
+CI runs the perf benches with ``--perf-budget 0`` (no wall-clock
+assertions — shared runners are noisy), then calls this script to
+compare the freshly written ``BENCH_hotpaths.json`` against the
+baseline committed at ``HEAD``.  Raw accesses/sec are machine-bound
+and meaningless across runners, so the comparison uses each hot path's
+**speedup** (vectorized engine vs its reference engine, both measured
+in the same process on the same machine) — a dimensionless ratio that
+survives runner heterogeneity.  Only entries recorded with
+``gated=True`` participate: informational parity entries (e.g. the
+single-capacity LRU breakdown, committed at ~1x) would flake on noisy
+shared runners where two near-equal engines can easily time 30% apart.
+A gated hot path whose fresh speedup falls more than
+``--max-regression`` (default 30%) below the committed one fails the
+build; so does a gated hot path that disappears from the fresh run (a
+silently dropped gate reads as a pass otherwise).
+
+PRs that legitimately change a hot path's profile update the committed
+``BENCH_hotpaths.json`` in the same commit, which rebaselines the
+check.
+
+Usage::
+
+    python benchmarks/compare_bench.py BASELINE FRESH [--max-regression 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_speedups(path: str) -> dict:
+    """Speedup per *gated* hot path (see module docstring)."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {name: entry["speedup"]
+            for name, entry in payload.get("hot_paths", {}).items()
+            if "speedup" in entry and entry.get("gated")}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_hotpaths.json")
+    parser.add_argument("fresh", help="freshly emitted BENCH_hotpaths.json")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="maximum allowed relative speedup drop per "
+                             "hot path (default 0.30 = 30%%)")
+    args = parser.parse_args(argv)
+
+    baseline = load_speedups(args.baseline)
+    fresh = load_speedups(args.fresh)
+    floor = 1.0 - args.max_regression
+    failures = []
+    for name in sorted(baseline):
+        committed = baseline[name]
+        if name not in fresh:
+            failures.append(f"{name}: gated hot path missing from the "
+                            f"fresh run (committed speedup {committed:.2f}x)")
+            continue
+        measured = fresh[name]
+        ratio = measured / committed
+        status = "OK " if ratio >= floor else "FAIL"
+        print(f"{status} {name}: committed {committed:6.2f}x, "
+              f"fresh {measured:6.2f}x ({ratio:.0%} of baseline)")
+        if ratio < floor:
+            failures.append(
+                f"{name}: speedup regressed to {measured:.2f}x from the "
+                f"committed {committed:.2f}x "
+                f"(> {args.max_regression:.0%} drop)")
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"NEW {name}: {fresh[name]:.2f}x (not in baseline — commit "
+              f"the fresh BENCH_hotpaths.json to start gating it)")
+    if failures:
+        print("\nHot-path regression check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nAll {len(baseline)} gated hot paths within "
+          f"{args.max_regression:.0%} of the committed baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

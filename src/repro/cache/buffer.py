@@ -31,6 +31,21 @@ Three interchangeable backends implement the buffer protocol
   between evictions costs one push.  :meth:`put_batch` additionally
   collapses a whole run of touches into one store per unique key with
   exact seqno semantics.
+
+  Constructed with ``key_space=N`` the backend goes *array-native*
+  while staying exact: the entry dict and the heaps are replaced by
+  dense ``id -> (expiry, seqno)`` vectors plus a
+  :class:`~repro.cache.residency.ResidencyIndex` bitmap (ids outside
+  ``[0, N)`` spill to a side dict).  The bulk protocol then runs as
+  numpy gathers/scatters, ``evict_batch(n)`` computes the whole victim
+  sequence with one vectorized selection over the resident entries
+  (identical, victim for victim, to ``n`` scalar ``evict_one`` calls
+  — fuzz-checked in ``tests/test_buffer_differential.py``), and
+  :meth:`FastPriorityBuffer.serve_segment` bulk-serves a whole demand
+  segment bit-identically to the scalar serving loop.  Scalar
+  ``evict_one`` in dense mode costs one O(capacity) selection, so the
+  dense mode is meant for the batched engines; dict mode keeps the
+  heaps for scalar-eviction workloads.
 * :class:`ClockBuffer` (``"clock"``) — *approximate* priorities in
   numpy slot arrays (key / priority / valid) swept by a clock hand.
   :meth:`ClockBuffer.evict_batch` reclaims many slots per sweep: it
@@ -54,14 +69,19 @@ Three interchangeable backends implement the buffer protocol
 
 **Bulk residency / priority protocol.**  All backends answer
 ``contains_batch(keys) -> bool[:]`` (residency of a whole segment in
-one call — a bitmap gather on the dense clock backend, a dict sweep on
-the exact backends) and accept ``set_priority_batch(keys, priority)``
-and ``demote_batch(keys)`` for chunk-boundary priority writes.  On the
-exact backends the batch forms are defined as the scalar operations
-applied in order (seqno semantics preserved); on the clock backend
-they are single vectorized scatters.  The serving engines in
-:mod:`repro.core.manager` classify whole segments through this
-protocol instead of per-key dict loops.
+one call — a bitmap gather on the dense backends, a dict sweep
+otherwise) and accept ``set_priority_batch(keys, priority)`` and
+``demote_batch(keys)`` for chunk-boundary priority writes.  On the
+exact backends the batch forms are *defined* as the scalar operations
+applied in order (seqno semantics preserved); in dense (``key_space``)
+mode every bulk op is O(1) amortized per key: ``contains_batch`` is
+one bitmap gather, ``put_batch`` / ``set_priority_batch`` /
+``demote_batch`` are one last-occurrence ``np.unique`` plus two
+scatters, and ``evict_batch`` is one candidate gather plus one
+partition-and-sort for the whole victim batch (ids outside the bitmap
+fall back to the scalar path, preserving semantics at dict speed).
+The serving engines in :mod:`repro.core.manager` classify whole
+segments through this protocol instead of per-key dict loops.
 
 **Eviction order (exact backends).**  ``evict_one`` removes the entry
 minimizing the pair ``(effective_priority, seqno)``.  Seqnos are unique
@@ -95,6 +115,14 @@ from .residency import ResidencyIndex
 def _as_key_list(keys: Sequence[int]) -> List[int]:
     return (keys.tolist() if isinstance(keys, np.ndarray)
             else [int(key) for key in keys])
+
+
+def _last_occurrence(arr: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Distinct keys of ``arr`` (sorted) and each one's last-occurrence
+    position — the store that survives when scalar per-key operations
+    are applied in order."""
+    uniq, first_rev = np.unique(arr[::-1], return_index=True)
+    return uniq, arr.size - 1 - first_rev
 
 
 def _dict_contains_batch(entries: Dict, keys: Sequence[int]) -> np.ndarray:
@@ -140,14 +168,121 @@ def reclaim_batch_space(buffer, uniq: np.ndarray, new_count: int,
             stale = True
 
 
+def iter_serve_segments(buffer, segment: np.ndarray, priority: int,
+                        scalar_span: int = 64):
+    """Drive :meth:`FastPriorityBuffer.serve_segment` over a whole
+    segment, yielding one chunk per served prefix — the shared loop
+    under ``RecMGManager._serve_demand_batched_exact`` and
+    ``dlrm.inference.BufferClassifier.access_batch``.
+
+    Yields ``("bulk", start, served, first_miss_positions, victims,
+    uniq)`` for each bulk-served prefix (positions relative to
+    ``start``) and ``("scalar", start, span)`` for the stretches the
+    caller must replay through its own scalar loop: a ``scalar_span``
+    slice when not even one access is bulk-servable, or the whole
+    remainder when the buffer has no dense mode at all.  Chunks arrive
+    in segment order and exactly cover it, so a caller that applies
+    them sequentially reproduces the scalar serving loop bit for bit.
+    """
+    position = 0
+    total = int(segment.size)
+    while position < total:
+        result = buffer.serve_segment(segment[position:], priority)
+        if result is None:  # dict mode: no bulk primitive
+            yield ("scalar", position, total - position)
+            return
+        served, first_miss, victims, uniq = result
+        if served == 0:
+            span = min(scalar_span, total - position)
+            yield ("scalar", position, span)
+            position += span
+            continue
+        yield ("bulk", position, served, first_miss, victims, uniq)
+        position += served
+
+
+def _exact_victim_sequence(expiry: np.ndarray, seq: np.ndarray, age: int,
+                           count: int) -> Tuple[np.ndarray, Optional[int]]:
+    """Victim order of ``count`` consecutive exact evictions.
+
+    Pure function over candidate entry arrays (one row per resident
+    entry): eviction ``k`` happens at age ``age + k`` and removes the
+    entry minimizing ``(max(0, expiry - (age + k)), seq)`` — exactly
+    the process ``count`` scalar ``evict_one`` calls with no
+    interleaved stores would run.  Returns ``(indices, live_step)``:
+    ``indices`` selects the victims in eviction order; ``live_step`` is
+    the first step whose victim still held *positive* effective
+    priority (``None`` when every victim was zero at its step — the
+    precondition for :meth:`FastPriorityBuffer.serve_segment`'s
+    pre-reclaim proof).  The sequence is prefix-stable: the first ``k``
+    victims for any larger ``count`` are the victims of ``k``
+    evictions.
+
+    The common serving case — at least ``count`` entries already at
+    effective priority zero, none of the still-live entries ripening
+    into a smaller seqno within the batch — resolves with one
+    ``argpartition`` over the zero class, no per-victim work.  The
+    general case (zero class drains, or a live entry with an *older*
+    seqno ripens mid-batch and must preempt) replays the release-time
+    process with a small heap over the gathered arrays.
+    """
+    zero = expiry <= age
+    nz = int(np.count_nonzero(zero))
+    if nz >= count:
+        zidx = np.flatnonzero(zero)
+        if nz > count:
+            part = np.argpartition(seq[zidx], count - 1)[:count]
+            zidx = zidx[part]
+        chosen = zidx[np.argsort(seq[zidx])]
+        late = (~zero) & (expiry <= age + count - 1)
+        if not late.any() or int(seq[late].min()) > int(seq[chosen[-1]]):
+            return chosen, None
+    # General path: entries "release" into the zero class when the age
+    # reaches their expiry; each step pops the smallest released seqno,
+    # or the (expiry, seq)-smallest live entry when nothing is released.
+    order = np.lexsort((seq, expiry))
+    exp_sorted = expiry[order]
+    seq_sorted = seq[order]
+    out = np.empty(count, dtype=np.int64)
+    released: List[Tuple[int, int]] = []
+    ptr = 0
+    total = int(order.size)
+    live_step: Optional[int] = None
+    for k in range(count):
+        limit = age + k
+        while ptr < total and exp_sorted[ptr] <= limit:
+            heapq.heappush(released, (int(seq_sorted[ptr]), int(order[ptr])))
+            ptr += 1
+        if released:
+            out[k] = heapq.heappop(released)[1]
+        else:
+            if live_step is None:
+                live_step = k
+            out[k] = order[ptr]
+            ptr += 1
+    return out, live_step
+
+
 class PriorityBuffer:
-    """Reference implementation of Algorithms 1–2 (O(n) eviction)."""
+    """Reference implementation of Algorithms 1–2 (O(n) eviction).
+
+    ``key_space=N`` keeps a :class:`ResidencyIndex` mirror of the entry
+    dict so ``contains_batch`` answers from the bitmap (one gather)
+    instead of a per-key dict sweep; everything else — including the
+    O(n) audit eviction — is unchanged, and the two modes are
+    behaviorally identical (fuzz-checked in
+    ``tests/test_buffer_differential.py``).
+    """
 
     #: Exact Algorithm 2 semantics (victims follow the documented
     #: (effective_priority, seqno) total order).
     approximate = False
 
-    def __init__(self, capacity: int) -> None:
+    #: ``make_buffer`` forwards ``key_space=`` to this backend.
+    supports_key_space = True
+
+    def __init__(self, capacity: int,
+                 key_space: Optional[int] = None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -155,6 +290,8 @@ class PriorityBuffer:
         self._seqno: Dict[int, int] = {}
         self._next_seq = 0
         self._min_seq = 0
+        self.residency: Optional[ResidencyIndex] = (
+            ResidencyIndex(key_space) if key_space is not None else None)
 
     def __contains__(self, key: int) -> bool:
         return key in self._priority
@@ -171,7 +308,11 @@ class PriorityBuffer:
         return self._priority
 
     def contains_batch(self, keys: Sequence[int]) -> np.ndarray:
-        """Residency of each key as a boolean array (dict-backed)."""
+        """Residency of each key as a boolean array (one bitmap gather
+        with ``key_space``, a dict sweep otherwise)."""
+        if self.residency is not None:
+            return self.residency.contains_batch(
+                np.asarray(keys, dtype=np.int64))
         return _dict_contains_batch(self._priority, keys)
 
     def priority_of(self, key: int) -> int:
@@ -188,6 +329,8 @@ class PriorityBuffer:
         self._priority[key] = priority
         self._seqno[key] = self._next_seq
         self._next_seq += 1
+        if self.residency is not None:
+            self.residency.add(key)
 
     def set_priority(self, key: int, priority: int) -> None:
         """Update priority; also refreshes recency (LRU tie-breaking)."""
@@ -255,6 +398,8 @@ class PriorityBuffer:
             self._priority[key] = max(0, self._priority[key] - 1)
         del self._priority[victim]
         del self._seqno[victim]
+        if self.residency is not None:
+            self.residency.discard(victim)
         return victim
 
     def evict_batch(self, n: int) -> List[int]:
@@ -280,90 +425,207 @@ class FastPriorityBuffer:
     expiries, so the seqno tie-break is identical — and the zero heap
     orders the floored entries purely by seqno, which is the reference
     order among priority-zero entries.
+
+    ``key_space=N`` selects the *dense* mode: the entry dict and both
+    heaps are replaced by dense ``id -> expiry`` / ``id -> seqno``
+    vectors plus a :class:`~repro.cache.residency.ResidencyIndex`
+    bitmap (ids outside ``[0, N)`` spill to a side dict keyed by id,
+    holding the same ``(expiry, seqno)`` pair).  Victim selection then
+    runs per *batch* instead of per entry: ``evict_batch(n)`` gathers
+    every resident ``(expiry, seqno)`` once and computes the whole
+    victim sequence with :func:`_exact_victim_sequence` — identical,
+    victim for victim, to ``n`` scalar ``evict_one`` calls — and
+    :meth:`serve_segment` bulk-serves a whole demand segment
+    bit-identically to the scalar serving loop.  Scalar ``evict_one``
+    in dense mode pays one O(capacity) selection, so dict mode (with
+    its O(log n) lazy heaps) remains the right choice for
+    scalar-eviction workloads; both modes honor the identical
+    eviction-order contract (fuzz-checked against each other in
+    ``tests/test_buffer_differential.py``).
     """
 
     #: Exact Algorithm 2 semantics (victims follow the documented
     #: (effective_priority, seqno) total order).
     approximate = False
 
-    def __init__(self, capacity: int) -> None:
+    #: ``make_buffer`` forwards ``key_space=`` to this backend.
+    supports_key_space = True
+
+    def __init__(self, capacity: int,
+                 key_space: Optional[int] = None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
-        # key -> (expiry, seqno, version)
-        self._entries: Dict[int, Tuple[int, int, int]] = {}
-        self._live_heap: List[Tuple[int, int, int, int]] = []  # (expiry, seq, ver, key)
-        self._zero_heap: List[Tuple[int, int, int, int]] = []  # (seq, ver, expiry, key)
-        # Keys updated since the last eviction whose heap entries have
-        # not been pushed yet: heap pushes are deferred to eviction
-        # time, so a key touched many times between evictions (the hot
-        # serving pattern) costs one push instead of one per touch.
-        self._dirty: set = set()
         self._age = 0
         self._next_seq = 0
         self._min_seq = 0
-        self._version = 0
+        if key_space is None:
+            self._key_space = 0
+            self.residency: Optional[ResidencyIndex] = None
+            # key -> (expiry, seqno, version)
+            self._entries: Dict[int, Tuple[int, int, int]] = {}
+            self._live_heap: List[Tuple[int, int, int, int]] = []  # (expiry, seq, ver, key)
+            self._zero_heap: List[Tuple[int, int, int, int]] = []  # (seq, ver, expiry, key)
+            # Keys updated since the last eviction whose heap entries
+            # have not been pushed yet: heap pushes are deferred to
+            # eviction time, so a key touched many times between
+            # evictions (the hot serving pattern) costs one push
+            # instead of one per touch.
+            self._dirty: set = set()
+            self._version = 0
+        else:
+            if key_space < 1:
+                raise ValueError("key_space must be >= 1")
+            self._key_space = int(key_space)
+            self.residency = ResidencyIndex(self._key_space)
+            self._expiry_of = np.zeros(self._key_space, dtype=np.int64)
+            self._seq_of = np.zeros(self._key_space, dtype=np.int64)
+            # Spillover ids above the bitmap: id -> (expiry, seqno).
+            self._over: Dict[int, Tuple[int, int]] = {}
+            self._size = 0
+            # Reusable id -> segment-position map for serve_segment's
+            # linear first/last-occurrence scatters (never reset: only
+            # freshly written slots are read back).
+            self._scratch_pos = np.empty(self._key_space, dtype=np.int64)
 
     def __contains__(self, key: int) -> bool:
+        if self.residency is not None:
+            return int(key) in self.residency
         return key in self._entries
 
     def __len__(self) -> int:
+        if self.residency is not None:
+            return self._size
         return len(self._entries)
 
     def keys(self) -> Iterator[int]:
+        if self.residency is not None:
+            return self.residency.resident_keys()
         return iter(self._entries)
 
-    def residency_map(self) -> Dict[int, Tuple[int, int, int]]:
-        """Live read-only view keyed by resident key (for bulk
-        membership classification; values are backend-internal)."""
-        return self._entries
+    def residency_map(self) -> Dict[int, Tuple[int, int]]:
+        """Read-only view keyed by resident key (for bulk membership
+        classification; values are backend-internal).  Live in dict
+        mode; a *snapshot* in dense (``key_space``) mode — bulk call
+        sites should prefer :meth:`contains_batch`."""
+        if self.residency is None:
+            return self._entries
+        ids = np.flatnonzero(self.residency.bitmap)
+        snap = dict(zip(ids.tolist(),
+                        zip(self._expiry_of[ids].tolist(),
+                            self._seq_of[ids].tolist())))
+        snap.update(self._over)
+        return snap
 
     def contains_batch(self, keys: Sequence[int]) -> np.ndarray:
-        """Residency of each key as a boolean array (dict-backed)."""
+        """Residency of each key as a boolean array: one bitmap gather
+        in dense mode, a dict sweep otherwise."""
+        if self.residency is not None:
+            return self.residency.contains_batch(
+                np.asarray(keys, dtype=np.int64))
         return _dict_contains_batch(self._entries, keys)
 
     def priority_of(self, key: int) -> int:
+        if self.residency is not None:
+            key = int(key)
+            if 0 <= key < self._key_space:
+                if not self.residency.bitmap[key]:
+                    raise KeyError(key)
+                return max(0, int(self._expiry_of[key]) - self._age)
+            expiry, _ = self._over[key]
+            return max(0, expiry - self._age)
         expiry, _, _ = self._entries[key]
         return max(0, expiry - self._age)
 
     @property
     def is_full(self) -> bool:
-        return len(self._entries) >= self.capacity
+        return len(self) >= self.capacity
 
     def insert(self, key: int, priority: int) -> None:
-        if key in self._entries:
+        if key in self:
             self.set_priority(key, priority)
             return
         if self.is_full:
             raise RuntimeError("buffer full; evict first")
         seq = self._next_seq
         self._next_seq += 1
+        if self.residency is not None:
+            key = int(key)
+            self._dense_store(key, priority, seq)
+            self.residency.add(key)
+            self._size += 1
+            return
         self._store(key, priority, seq)
 
     def set_priority(self, key: int, priority: int) -> None:
         """Update priority; also refreshes recency (LRU tie-breaking)."""
-        if key not in self._entries:
+        if key not in self:
             raise KeyError(key)
         seq = self._next_seq
         self._next_seq += 1
+        if self.residency is not None:
+            self._dense_store(int(key), priority, seq)
+            return
         self._store(key, priority, seq)
 
     def set_priority_batch(self, keys: Sequence[int], priority: int) -> None:
         """Scalar :meth:`set_priority` per key, in order (exact seqno
-        semantics); every key must be resident."""
+        semantics); every key must be resident.  Dense mode runs the
+        equivalent last-occurrence scatter in one pass (and, like the
+        clock backend, validates residency before mutating)."""
+        if self.residency is not None:
+            arr = np.asarray(keys, dtype=np.int64)
+            length = int(arr.size)
+            if length == 0:
+                return
+            if arr.min() >= 0 and arr.max() < self._key_space:
+                resident = self.residency.bitmap[arr]
+                if not resident.all():
+                    raise KeyError(int(arr[~resident][0]))
+                uniq, last_pos = _last_occurrence(arr)
+                base = self._next_seq
+                self._expiry_of[uniq] = self._age + int(priority)
+                self._seq_of[uniq] = base + last_pos
+                self._next_seq = base + length
+                return
+            for key in arr.tolist():
+                self.set_priority(key, priority)
+            return
         for key in _as_key_list(keys):
             self.set_priority(key, priority)
 
     def demote(self, key: int) -> None:
         """Mark ``key`` as evict-next: priority 0, older than everything."""
-        if key not in self._entries:
+        if key not in self:
             raise KeyError(key)
         self._min_seq -= 1
+        if self.residency is not None:
+            self._dense_store(int(key), 0, self._min_seq)
+            return
         self._store(key, 0, self._min_seq)
 
     def demote_batch(self, keys: Sequence[int]) -> None:
         """Scalar :meth:`demote` per key, in order (reverse-demote
-        eviction order preserved)."""
+        eviction order preserved; dense mode scatters the equivalent
+        descending seqnos in one pass)."""
+        if self.residency is not None:
+            arr = np.asarray(keys, dtype=np.int64)
+            length = int(arr.size)
+            if length == 0:
+                return
+            if arr.min() >= 0 and arr.max() < self._key_space:
+                resident = self.residency.bitmap[arr]
+                if not resident.all():
+                    raise KeyError(int(arr[~resident][0]))
+                uniq, last_pos = _last_occurrence(arr)
+                base = self._min_seq
+                self._expiry_of[uniq] = self._age
+                self._seq_of[uniq] = base - 1 - last_pos
+                self._min_seq = base - length
+                return
+            for key in arr.tolist():
+                self.demote(key)
+            return
         for key in _as_key_list(keys):
             self.demote(key)
 
@@ -378,7 +640,13 @@ class FastPriorityBuffer:
         produce.  This is the primitive behind the manager's bulk
         demand-serving pre-pass, so it deliberately avoids per-key numpy
         round-trips (batches are often runs of a handful of hits).
+        Dense mode instead runs the whole batch as one last-occurrence
+        scatter (O(1) amortized per key); spillover ids fall back to
+        the scalar sequence.
         """
+        if self.residency is not None:
+            self._put_batch_dense(keys, priority)
+            return
         key_list = _as_key_list(keys)
         length = len(key_list)
         if length == 0:
@@ -401,6 +669,140 @@ class FastPriorityBuffer:
         self._entries[key] = (self._age + priority, seq, self._version)
         self._dirty.add(key)
 
+    # -- dense (key_space) internals -----------------------------------
+    def _dense_store(self, key: int, priority: int, seq: int) -> None:
+        """Write one entry's (expiry, seqno); membership bookkeeping
+        (residency bit, ``_size``) is the caller's job."""
+        expiry = self._age + priority
+        if 0 <= key < self._key_space:
+            self._expiry_of[key] = expiry
+            self._seq_of[key] = seq
+        else:
+            self._over[key] = (expiry, seq)
+
+    def _put_batch_dense(self, keys: Sequence[int], priority: int) -> None:
+        """Array-native ``put_batch``: one residency gather, one
+        last-occurrence pass, two scatters."""
+        arr = np.asarray(keys, dtype=np.int64)
+        length = int(arr.size)
+        if length == 0:
+            return
+        if arr.min() < 0 or arr.max() >= self._key_space:
+            # Spillover ids present: capacity check up front, then the
+            # scalar sequence (rare — unseen keys above the vocabulary).
+            new = sum(1 for key in dict.fromkeys(arr.tolist())
+                      if key not in self.residency)
+            if self._size + new > self.capacity:
+                raise RuntimeError("buffer full; evict first")
+            for key in arr.tolist():
+                if key in self.residency:
+                    self.set_priority(key, priority)
+                else:
+                    self.insert(key, priority)
+            return
+        uniq, last_pos = _last_occurrence(arr)
+        fresh = uniq[~self.residency.bitmap[uniq]]
+        if self._size + fresh.size > self.capacity:
+            raise RuntimeError("buffer full; evict first")
+        base = self._next_seq
+        self._expiry_of[uniq] = self._age + int(priority)
+        self._seq_of[uniq] = base + last_pos
+        if fresh.size:
+            self.residency.bitmap[fresh] = True
+            self._size += int(fresh.size)
+        self._next_seq = base + length
+
+    def _gather_entries(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All resident entries as (keys, expiry, seqno) arrays —
+        the candidate pool for dense victim selection."""
+        ids = np.flatnonzero(self.residency.bitmap)
+        expiry = self._expiry_of[ids]
+        seq = self._seq_of[ids]
+        if self._over:
+            over = self._over
+            okeys = np.fromiter(over, dtype=np.int64, count=len(over))
+            oexp = np.fromiter((entry[0] for entry in over.values()),
+                               dtype=np.int64, count=len(over))
+            oseq = np.fromiter((entry[1] for entry in over.values()),
+                               dtype=np.int64, count=len(over))
+            ids = np.concatenate((ids, okeys))
+            expiry = np.concatenate((expiry, oexp))
+            seq = np.concatenate((seq, oseq))
+        return ids, expiry, seq
+
+    @staticmethod
+    def _choose_zero_victims(expiry: np.ndarray, seq: np.ndarray,
+                             protect: np.ndarray, age: int,
+                             count: int) -> np.ndarray:
+        """Greedy victim choice for :meth:`serve_segment`: up to
+        ``count`` candidate indices from the effective-priority-zero
+        pool in ascending seqno order, where the victim of step ``j``
+        must satisfy ``protect > j`` (its first in-segment touch, if
+        any, comes after eviction ``j`` fires).
+
+        Equivalent to the scalar loop's choice at every step: the
+        zero-class victim is the smallest seqno not yet refreshed by
+        the segment, and a candidate skipped once is refreshed for all
+        later steps too.  Runs one ``argsort`` over the pool plus a
+        short walk over its *protected* members only — unprotected runs
+        between them are assigned wholesale.  A result shorter than
+        ``count`` means the pool ran dry at that step.
+        """
+        pool = np.flatnonzero(expiry <= age)
+        # The greedy needs at most `count` assignments plus however
+        # many protected members get skipped, so only the smallest
+        # (count + protected) seqnos can matter — partition those out
+        # before the (much smaller) sort.
+        depth = count + int(np.count_nonzero(protect[pool] < count))
+        if depth < pool.size:
+            pool = pool[np.argpartition(seq[pool], depth - 1)[:depth]]
+        pool = pool[np.argsort(seq[pool])]
+        pool_prot = protect[pool]
+        prot_positions = np.flatnonzero(pool_prot < count)
+        if not prot_positions.size:
+            return pool[:count]
+        assigned = 0
+        cursor = 0
+        cut = None
+        skipped: List[int] = []
+        for position in prot_positions.tolist():
+            gap = position - cursor
+            if assigned + gap >= count:
+                cut = cursor + (count - assigned)
+                break
+            assigned += gap
+            if int(pool_prot[position]) > assigned:
+                assigned += 1
+                if assigned == count:
+                    cut = position + 1
+                    break
+            else:
+                skipped.append(position)
+            cursor = position + 1
+        if cut is None:
+            tail = pool.size - cursor
+            cut = (cursor + (count - assigned)
+                   if assigned + tail >= count else int(pool.size))
+        kept = [position for position in skipped if position < cut]
+        if not kept:
+            return pool[:cut]
+        mask = np.ones(cut, dtype=bool)
+        mask[kept] = False
+        return pool[:cut][mask]
+
+    def _remove_victims_dense(self, victims: np.ndarray, count: int) -> None:
+        """Drop ``victims`` (residency + spillover entries) and apply
+        the ``count`` aging steps their evictions carry."""
+        self.residency.discard_batch(victims)
+        if self._over:
+            over = self._over
+            key_space = self._key_space
+            for key in victims.tolist():
+                if not 0 <= key < key_space:
+                    del over[key]
+        self._size -= count
+        self._age += count
+
     def _flush_dirty(self) -> None:
         """Push the latest snapshot of every dirty key onto its heap.
 
@@ -422,6 +824,10 @@ class FastPriorityBuffer:
         self._dirty.clear()
 
     def evict_one(self) -> int:
+        if self.residency is not None:
+            if not self._size:
+                raise RuntimeError("cannot evict from an empty buffer")
+            return self._evict_batch_dense(1)[0]
         if not self._entries:
             raise RuntimeError("cannot evict from an empty buffer")
         if self._dirty:
@@ -444,16 +850,261 @@ class FastPriorityBuffer:
 
     def evict_batch(self, n: int) -> List[int]:
         """Evict ``n`` entries; exactly ``n`` consecutive
-        :meth:`evict_one` calls.  No stores interleave, so the dirty
-        set is flushed at most once and the remaining pops run straight
-        off the heaps (aging still applies between victims via
-        ``_age``)."""
+        :meth:`evict_one` calls.  In dict mode no stores interleave, so
+        the dirty set is flushed at most once and the remaining pops
+        run straight off the heaps (aging still applies between victims
+        via ``_age``); dense mode computes the identical victim
+        sequence in one vectorized selection
+        (:func:`_exact_victim_sequence`)."""
         count = int(n)
         if count <= 0:
             return []
-        if count > len(self._entries):
+        if count > len(self):
             raise RuntimeError("cannot evict more entries than resident")
+        if self.residency is not None:
+            return self._evict_batch_dense(count)
         return [self.evict_one() for _ in range(count)]
+
+    def _evict_batch_dense(self, count: int) -> List[int]:
+        keys, expiry, seq = self._gather_entries()
+        order, _ = _exact_victim_sequence(expiry, seq, self._age, count)
+        victims = keys[order]
+        self._remove_victims_dense(victims, count)
+        return victims.tolist()
+
+    def serve_segment(self, segment: np.ndarray, priority: int
+                      ) -> Optional[Tuple[int, np.ndarray, List[int],
+                                          np.ndarray]]:
+        """Bulk exact demand-serve of a maximal segment prefix (dense
+        mode only).
+
+        State- and decision-equivalent to the scalar serving loop::
+
+            for key in segment[:served]:
+                if key in buffer: buffer.set_priority(key, priority)
+                else:
+                    if buffer.is_full: buffer.evict_one()
+                    buffer.insert(key, priority)
+
+        Returns ``None`` in dict mode, else ``(served, first_miss_positions,
+        victims, uniq)``: how many leading accesses were served, the
+        positions (within the served prefix) of each distinct
+        non-resident key's first occurrence — the prefix's only misses
+        — the victims in eviction order, and the served prefix's
+        distinct keys (in first-touch order when every id fits the
+        bitmap, sorted on the spillover fallback — don't rely on
+        either).  ``served`` can fall short of the segment when
+        bulk reclaim would stop being exact mid-segment; it is 0 (and
+        nothing is mutated) only when not even the first access can be
+        bulk-served — callers then serve a short slice through the
+        scalar loop and try again.
+
+        Why pre-reclaiming a prefix is exact: every in-segment store
+        uses the same ``priority`` and draws a seqno above every
+        pre-segment seqno, and eviction ``k`` happens at age
+        ``_age + k`` regardless of how hits interleave with misses.  A
+        victim that (a) holds effective priority zero at its step and
+        (b) has not been touched by the prefix before that step
+        therefore beats every segment-touched entry (smaller seqno
+        within the zero class) and every live entry (zero effective
+        priority) no matter where the prefix's hits land — the victim
+        sequence, and with it every hit/miss decision, matches the
+        scalar loop bit for bit.  Candidates the segment touches
+        *before* an eviction are handled the way the scalar loop would:
+        the refresh protects them, so victim selection skips them for
+        that step onward (:meth:`_choose_zero_victims`).  The prefix is
+        trimmed only where bulk selection genuinely cannot stand behind
+        the outcome: at the first eviction that would need a
+        mid-segment priority release or a positive-priority pop, or at
+        the first re-access of a key evicted earlier in the segment
+        (that access must re-miss, so the snapshot dies there — the
+        eviction itself stays inside the prefix, serving right up to
+        the offending access).
+        """
+        if self.residency is None:
+            return None
+        arr = np.asarray(segment, dtype=np.int64)
+        length = int(arr.size)
+        empty = np.zeros(0, dtype=np.int64)
+        if length == 0:
+            return 0, empty, [], empty
+        size0 = self._size
+        age0 = self._age
+        capacity = self.capacity
+        dense_seg = bool(arr.min() >= 0 and arr.max() < self._key_space)
+        if dense_seg:
+            # Linear segment indexing on the reusable scratch map: the
+            # reversed scatter leaves each key's *first* position (last
+            # write wins — pinned by a regression test), so positions
+            # agreeing with the map are the first touches.  ``uniq``
+            # comes out in first-touch order, not sorted; nothing below
+            # relies on sortedness.
+            idx = np.arange(length, dtype=np.int64)
+            pos = self._scratch_pos
+            pos[arr[::-1]] = idx[::-1]
+            first_mask = pos[arr] == idx
+            first_idx = np.flatnonzero(first_mask)
+            uniq = arr[first_idx]
+            res_u = self.residency.bitmap[uniq]
+        else:
+            uniq, first_idx = np.unique(arr, return_index=True)
+            res_u = self.residency.contains_batch(uniq)
+        if int(uniq.size) > capacity:
+            # Wider than the buffer: trim to the longest prefix whose
+            # distinct keys fit, so bulk serving still covers everything
+            # up to the overflowing first touch.
+            if not dense_seg:
+                first_mask = np.zeros(length, dtype=bool)
+                first_mask[first_idx] = True
+            length = int(np.searchsorted(np.cumsum(first_mask), capacity,
+                                         side="right"))
+            if length == 0:
+                return 0, empty, [], empty
+            arr = arr[:length]
+            keep = first_idx < length
+            uniq = uniq[keep]
+            first_idx = first_idx[keep]
+            res_u = res_u[keep]
+        new_u = ~res_u
+        new_count = int(np.count_nonzero(new_u))
+        n_evict = max(0, size0 + new_count - capacity)
+        victims = empty
+        evict_positions = empty
+        if n_evict:
+            keys, expiry, seq = self._gather_entries()
+            # Eviction j fires right before the (free + 1 + j)-th
+            # first-touch insert.  (Dense-path first_idx is already in
+            # ascending position order; np.unique's is in key order.)
+            first_miss_all = first_idx[new_u]
+            if not dense_seg:
+                first_miss_all = np.sort(first_miss_all)
+            evict_positions = first_miss_all[capacity - size0:]
+            # Per-candidate protection: a resident candidate first
+            # touched by the segment at position t is refreshed (new
+            # seqno above every pre-segment one) before any eviction
+            # firing after t, so it is eligible as the victim of
+            # eviction j only while j < protect — the count of
+            # evictions firing before its touch.  Untouched candidates
+            # carry protect = n_evict (always eligible).  Matching runs
+            # over the (smaller) distinct-key side: the in-range
+            # candidate ids are sorted, so each resident segment key
+            # finds its candidate slot with one searchsorted — unless
+            # spillover candidates could match (rare), which falls back
+            # to scanning the candidate side.
+            touch = np.full(keys.size, length, dtype=np.int64)
+            protect = np.full(keys.size, n_evict, dtype=np.int64)
+            is_seg = np.zeros(keys.size, dtype=bool)
+            res_sel = np.flatnonzero(~new_u)
+            if res_sel.size:
+                res_keys = uniq[res_sel]
+                if dense_seg or not self._over:
+                    # In-range candidates lead the gather in sorted id
+                    # order; spillover candidates (out-of-range ids)
+                    # can never equal an in-range segment key.
+                    limit = keys.size - len(self._over)
+                    slot = np.minimum(np.searchsorted(keys[:limit],
+                                                      res_keys),
+                                      keys.size - 1)
+                    matched = keys[slot] == res_keys
+                    cand = slot[matched]
+                else:
+                    sorted_order = np.argsort(keys)
+                    pos = np.minimum(
+                        np.searchsorted(keys[sorted_order], res_keys),
+                        keys.size - 1)
+                    matched = keys[sorted_order[pos]] == res_keys
+                    cand = sorted_order[pos[matched]]
+                is_seg[cand] = True
+                touch[cand] = first_idx[res_sel[matched]]
+                protect[cand] = np.searchsorted(
+                    evict_positions, touch[cand], side="right")
+            chosen = self._choose_zero_victims(expiry, seq, protect,
+                                               age0, n_evict)
+            trim = length
+            if chosen.size < n_evict:
+                # The priority-zero pool (with protection skips) ran
+                # dry: later victims would need mid-segment priority
+                # releases or positive-priority pops — stop before the
+                # first eviction bulk selection cannot stand behind.
+                trim = int(evict_positions[chosen.size])
+            if chosen.size:
+                # A still-live entry whose priority ripens mid-batch
+                # can preempt with an older seqno; stop before the
+                # first eviction it could reach (conservative, rare).
+                late = (expiry > age0) & (expiry <= age0 + n_evict - 1)
+                if late.any():
+                    smax = int(seq[chosen[-1]])
+                    inter = late & (seq < smax)
+                    if inter.any():
+                        release = int((expiry[inter] - age0).min())
+                        trim = min(trim, int(evict_positions[release]))
+                # A victim evicted before its only touch must re-miss
+                # at that touch: serve right up to it (the eviction
+                # itself stays inside the prefix).
+                chosen_seg = is_seg[chosen]
+                if chosen_seg.any():
+                    trim = min(trim, int(touch[chosen[chosen_seg]].min()))
+            if trim < length:
+                # The protected-greedy selection is prefix-stable, so
+                # the trimmed prefix's analysis is a slice of the full
+                # one — no recomputation.
+                if trim == 0:
+                    return 0, empty, [], empty
+                length = trim
+                arr = arr[:length]
+                keep = first_idx < length
+                uniq = uniq[keep]
+                first_idx = first_idx[keep]
+                new_u = new_u[keep]
+                new_count = int(np.count_nonzero(new_u))
+                n_evict = max(0, size0 + new_count - capacity)
+                evict_positions = evict_positions[:n_evict]
+            if n_evict:
+                # Advances _age to age0 + n_evict; the store expiries
+                # below use the per-position interleaved ages.
+                victims = keys[chosen[:n_evict]]
+                self._remove_victims_dense(victims, n_evict)
+            else:
+                victims = empty
+        base = self._next_seq
+        if dense_seg:
+            # Forward scatter: each key's map entry ends at its *last*
+            # position; ``uniq`` keys all occur in (the possibly
+            # trimmed) ``arr``, so every read is fresh.
+            pos = self._scratch_pos
+            pos[arr] = np.arange(length, dtype=np.int64)
+            last_pos = pos[uniq]
+        else:
+            _, last_pos = _last_occurrence(arr)
+        seq_vals = base + last_pos
+        if n_evict:
+            indicator = np.zeros(length, dtype=np.int64)
+            indicator[evict_positions] = 1
+            store_age = age0 + np.cumsum(indicator)
+            expiry_vals = store_age[last_pos] + int(priority)
+        else:
+            expiry_vals = np.full(uniq.size, age0 + int(priority),
+                                  dtype=np.int64)
+        in_range = (None if dense_seg
+                    else (uniq >= 0) & (uniq < self._key_space))
+        if dense_seg or in_range.all():
+            self._expiry_of[uniq] = expiry_vals
+            self._seq_of[uniq] = seq_vals
+            self.residency.bitmap[uniq] = True
+        else:
+            dense_keys = uniq[in_range]
+            self._expiry_of[dense_keys] = expiry_vals[in_range]
+            self._seq_of[dense_keys] = seq_vals[in_range]
+            over = self._over
+            spill = ~in_range
+            for spill_key, spill_exp, spill_seq in zip(
+                    uniq[spill].tolist(), expiry_vals[spill].tolist(),
+                    seq_vals[spill].tolist()):
+                over[spill_key] = (spill_exp, spill_seq)
+            self.residency.add_batch(uniq)
+        self._size += new_count
+        self._next_seq = base + length
+        return length, first_idx[new_u], victims.tolist(), uniq
 
     def _pop_valid(self, heap: List[Tuple[int, int, int, int]],
                    zero: bool) -> Optional[int]:
@@ -818,10 +1469,13 @@ def make_buffer(impl: str, capacity: int,
                 key_space: Optional[int] = None):
     """Instantiate a buffer backend by registry name.
 
-    ``key_space`` (dense-id universe size) is forwarded to backends
-    that support array-native membership (currently the clock backend,
-    which then answers ``contains_batch`` from a residency bitmap);
-    the exact backends keep their dict semantics and ignore it.
+    ``key_space`` (dense-id universe size) selects array-native
+    membership — a :class:`~repro.cache.residency.ResidencyIndex`
+    bitmap behind ``contains_batch`` on every built-in backend, plus
+    fully array-native entries on the clock and fast backends.  A
+    registered backend that does not declare ``supports_key_space``
+    raises ``ValueError`` instead of silently ignoring the argument
+    (callers passing a dense universe are owed the dense behavior).
     """
     try:
         cls = BUFFER_IMPLS[impl]
@@ -829,6 +1483,10 @@ def make_buffer(impl: str, capacity: int,
         raise ValueError(
             f"unknown buffer_impl {impl!r}; choose from "
             f"{sorted(BUFFER_IMPLS)}") from None
-    if key_space is not None and getattr(cls, "supports_key_space", False):
+    if key_space is not None:
+        if not getattr(cls, "supports_key_space", False):
+            raise ValueError(
+                f"buffer_impl {impl!r} does not support key_space=; it "
+                f"would silently fall back to dict membership")
         return cls(capacity, key_space=key_space)
     return cls(capacity)

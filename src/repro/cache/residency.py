@@ -17,10 +17,14 @@ bitmap — only throughput does.
 
 The index is maintained *incrementally by the buffer backends*
 (:mod:`repro.cache.buffer`): :class:`~repro.cache.buffer.ClockBuffer`
-bulk-sets bits on ``insert``/``put_batch`` and bulk-clears them on
-``evict_one``/``evict_batch``.  The exact backends answer the same
-``contains_batch`` protocol straight off their entry dicts, so call
-sites (``RecMGManager._serve_demand_batched``, ``_apply_caching_bits``,
+and :class:`~repro.cache.buffer.FastPriorityBuffer` built with
+``key_space=N`` bulk-set bits on ``insert``/``put_batch``/
+``serve_segment`` and bulk-clear them on ``evict_one``/``evict_batch``;
+:class:`~repro.cache.buffer.PriorityBuffer` keeps a mirror of its
+entry dict.  Dict-mode backends answer the same ``contains_batch``
+protocol straight off their entry dicts, so call sites
+(``RecMGManager._serve_demand_batched`` and
+``_serve_demand_batched_exact``, ``_apply_caching_bits``,
 ``prefetch.harness``, ``dlrm.inference``) stay backend-agnostic.
 """
 

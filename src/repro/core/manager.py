@@ -14,8 +14,15 @@ prefetch model only on LRU = "LRU+PF" (see :class:`ModelPrefetcher`).
 The buffer backend is selected by ``buffer_impl`` (constructor argument,
 falling back to ``config.buffer_impl``; see :mod:`repro.cache.buffer`):
 
-* ``"fast"`` (default) — exact semantics; ``fast_serve`` uses the bulk
-  pre-pass that is bit-identical to the scalar audit loop.
+* ``"fast"`` (default) — exact semantics; with a fitted encoder the
+  buffer runs in dense (``key_space``) mode and ``fast_serve`` uses the
+  *batched exact engine* (:meth:`RecMGManager._serve_demand_batched_exact`):
+  one residency gather classifies the segment, one vectorized victim
+  selection pre-reclaims the space it needs, and one bulk scatter
+  stores it — decision-for-decision and state-identical to the scalar
+  audit loop (the buffer refuses any segment where bulk reclaim could
+  diverge, and the engine splits or falls back).  Dict mode keeps the
+  lazy-heap bulk pre-pass, likewise bit-identical.
 * ``"reference"`` — exact O(n) audit backend; always served through the
   scalar loop.
 * ``"clock"`` — approximate array-backed CLOCK; ``fast_serve`` switches
@@ -48,6 +55,7 @@ import numpy as np
 
 from ..cache.buffer import (
     FastPriorityBuffer,
+    iter_serve_segments,
     make_buffer,
     reclaim_batch_space,
 )
@@ -85,12 +93,16 @@ class RecMGManager:
 
     #: Block size for bulk serving outside model chunks.
     _SERVE_BLOCK = 512
+    #: Below this length a rejected exact segment goes straight to the
+    #: scalar audit loop instead of splitting further.
+    _SCALAR_FALLBACK = 64
 
     def __init__(self, capacity: int, encoder: FeatureEncoder,
                  config: RecMGConfig,
                  caching_model: Optional[CachingModel] = None,
                  prefetch_model: Optional[PrefetchModel] = None,
-                 buffer_impl: Optional[str] = None) -> None:
+                 buffer_impl: Optional[str] = None,
+                 key_space="auto") -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -101,11 +113,16 @@ class RecMGManager:
         self.buffer_impl = (buffer_impl if buffer_impl is not None
                             else getattr(config, "buffer_impl", "fast"))
         # A fitted encoder fixes the dense-id universe, which lets the
-        # clock backend run array-native membership (residency bitmap);
-        # unseen keys map above the vocabulary and spill safely.
-        key_space = (encoder.vocab_size
-                     if getattr(encoder, "fitted", False)
-                     and encoder.vocab_size > 0 else None)
+        # clock and fast backends run array-native membership (residency
+        # bitmap); unseen keys map above the vocabulary and spill
+        # safely.  ``key_space="auto"`` (the default) fits that
+        # universe; ``None`` forces dict membership (the pre-dense
+        # engines, kept measurable for the perf benches); an int pins
+        # an explicit universe.
+        if key_space == "auto":
+            key_space = (encoder.vocab_size
+                         if getattr(encoder, "fitted", False)
+                         and encoder.vocab_size > 0 else None)
         self.buffer = make_buffer(self.buffer_impl, capacity,
                                   key_space=key_space)
         self._prefetched: Set[int] = set()
@@ -393,13 +410,14 @@ class RecMGManager:
         buffer = self.buffer
         capacity = self.capacity
         prefetched = self._prefetched
+        speed = self.config.eviction_speed
         resident = buffer.contains_batch(segment)
         if resident.all():
             # Pure hit-run: membership cannot change, skip the
             # distinct-key analysis and reclaim loop entirely.
             uniq = np.unique(segment) if prefetched else segment
-            self._account_eviction_free(segment, np.zeros(0, dtype=np.intp),
-                                        uniq)
+            self._account_segment(segment, np.zeros(0, dtype=np.intp), uniq)
+            buffer.put_batch(segment, speed)
             return
         # One unique pass yields the distinct keys *and* each one's
         # first-occurrence position, so per-key residency is a take
@@ -424,13 +442,46 @@ class RecMGManager:
         # occurrence (every occurrence of a non-resident key is a
         # snapshot miss, so the first one is the demand fetch).
         first_miss_pos = first_idx[~resident[first_idx]]
-        self._account_eviction_free(segment, first_miss_pos, uniq)
+        self._account_segment(segment, first_miss_pos, uniq)
+        buffer.put_batch(segment, speed)
 
-    def _account_eviction_free(self, segment: np.ndarray,
-                               first_miss_pos: np.ndarray,
-                               uniq: np.ndarray) -> None:
-        """Counters, recording and the bulk store for a segment known
-        to fit eviction-free (the batched engine's epilogue).
+    def _serve_demand_batched_exact(self, segment: np.ndarray) -> None:
+        """Batched *exact* serving for the dense ``"fast"`` backend —
+        decision-for-decision and state-identical to the scalar loop.
+
+        :meth:`~repro.cache.buffer.FastPriorityBuffer.serve_segment`
+        resolves a maximal segment prefix with one residency gather,
+        one vectorized victim-sequence selection and one bulk store,
+        trimming exactly where bulk reclaim would stop matching the
+        interleaved scalar order (a reclaim victim touched by the
+        segment, a positive-priority victim, a segment wider than the
+        buffer).  Serving a segment equals serving its pieces in
+        sequence, so the engine just loops over the served prefixes; a
+        zero-length serve (not even the first access is bulk-servable)
+        advances through a short scalar slice instead.
+        """
+        segment = np.asarray(segment, dtype=np.int64)
+        prefetched = self._prefetched
+        for chunk in iter_serve_segments(self.buffer, segment,
+                                         self.config.eviction_speed,
+                                         self._SCALAR_FALLBACK):
+            if chunk[0] == "scalar":
+                _, start, span = chunk
+                self._serve_demand_slow(segment[start:start + span])
+                continue
+            _, start, served, first_miss_pos, victims, uniq = chunk
+            if victims:
+                self.evictions += len(victims)
+                if prefetched:
+                    prefetched.difference_update(victims)
+            self._account_segment(segment[start:start + served],
+                                  first_miss_pos, uniq)
+
+    def _account_segment(self, segment: np.ndarray,
+                         first_miss_pos: np.ndarray,
+                         uniq: np.ndarray) -> None:
+        """Counters and decision recording for a bulk-served segment
+        (the batched engines' epilogue; the store is the caller's job).
 
         ``first_miss_pos`` holds the position of each distinct new
         key's first occurrence (its only miss; later occurrences hit);
@@ -458,7 +509,6 @@ class RecMGManager:
                 hit_count -= len(pf_hits)
         breakdown.cache_hits += hit_count
         breakdown.on_demand += new_count
-        self.buffer.put_batch(segment, self.config.eviction_speed)
 
     # ------------------------------------------------------------------
     def run(self, trace: Trace, inference_batch: int = 64,
@@ -470,13 +520,15 @@ class RecMGManager:
         is identical to per-chunk inference (the models are stateless
         across chunks) but an order of magnitude faster, mirroring the
         paper's batched CPU serving.  ``fast_serve`` selects the bulk
-        demand-serving engine for the backend: the pre-pass
-        (:meth:`_serve_demand_fast`) for the exact ``"fast"`` buffer —
-        bit-identical to the per-access audit loop — or the
-        batched-reclaim engine (:meth:`_serve_demand_batched`) for the
-        approximate ``"clock"`` buffer, whose victim order (and hence
-        hit stream) legitimately differs from the scalar loop.  The
-        ``"reference"`` backend always runs the audit loop.
+        demand-serving engine for the backend: the batched exact engine
+        (:meth:`_serve_demand_batched_exact`, dense mode) or the
+        lazy-heap pre-pass (:meth:`_serve_demand_fast`, dict mode) for
+        the exact ``"fast"`` buffer — both bit-identical to the
+        per-access audit loop — or the batched-reclaim engine
+        (:meth:`_serve_demand_batched`) for the approximate ``"clock"``
+        buffer, whose victim order (and hence hit stream) legitimately
+        differs from the scalar loop.  The ``"reference"`` backend
+        always runs the audit loop.
         ``record_decisions`` additionally stores the per-access hit
         booleans in :attr:`last_decisions` (every engine records).
         """
@@ -524,7 +576,12 @@ class RecMGManager:
         elif getattr(self.buffer, "approximate", False):
             serve = self._serve_demand_batched
         elif isinstance(self.buffer, FastPriorityBuffer):
-            serve = self._serve_demand_fast
+            # Dense (key_space) mode serves through the bulk exact
+            # engine; dict mode through the lazy-heap pre-pass.  Both
+            # are decision-identical to the scalar audit loop.
+            serve = (self._serve_demand_batched_exact
+                     if self.buffer.residency is not None
+                     else self._serve_demand_fast)
         else:  # exact audit backend ("reference")
             serve = self._serve_demand_slow
         if bits_all is None and preds_all is None:

@@ -13,7 +13,11 @@ from typing import List, Optional, Protocol
 
 import numpy as np
 
-from ..cache.buffer import make_buffer, reclaim_batch_space
+from ..cache.buffer import (
+    iter_serve_segments,
+    make_buffer,
+    reclaim_batch_space,
+)
 from ..traces.access import Trace
 from .model import DLRM
 from .tiered import TieredMemoryConfig
@@ -150,8 +154,12 @@ class BufferClassifier:
     :meth:`access_batch` serves a whole engine batch at once.  On the
     approximate clock backend it uses the manager's batched-reclaim
     scheme (pre-evict the space the batch needs, then one bulk
-    ``put_batch``); exact backends replay the scalar loop so their
-    per-access eviction interleaving is preserved.
+    ``put_batch``); the dense (``key_space``) exact ``"fast"`` backend
+    serves through
+    :meth:`~repro.cache.buffer.FastPriorityBuffer.serve_segment`, which
+    is bit-identical to the scalar loop — decisions, victims and buffer
+    state included; the remaining exact configurations replay the
+    scalar loop so their per-access eviction interleaving is preserved.
     """
 
     def __init__(self, capacity: int, buffer_impl: str = "clock",
@@ -183,7 +191,21 @@ class BufferClassifier:
             return np.zeros(0, dtype=bool)
         buffer = self.buffer
         if not getattr(buffer, "approximate", False):
-            return self._access_loop(keys)
+            if (not hasattr(buffer, "serve_segment")
+                    or getattr(buffer, "residency", None) is None):
+                return self._access_loop(keys)
+            # Exact bulk path: the shared serve-prefix driver yields
+            # bulk prefixes plus the scalar stretches to replay.
+            hits = np.ones(keys.size, dtype=bool)
+            for chunk in iter_serve_segments(buffer, keys, self.priority):
+                if chunk[0] == "scalar":
+                    _, start, span = chunk
+                    hits[start:start + span] = self._access_loop(
+                        keys[start:start + span])
+                else:
+                    _, start, _, first_miss, _, _ = chunk
+                    hits[start + first_miss] = False
+            return hits
         resident = buffer.contains_batch(keys)
         if resident.all():
             buffer.put_batch(keys, self.priority)

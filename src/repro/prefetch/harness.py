@@ -82,11 +82,15 @@ class LRUBufferWithPrefetch:
     breakdowns are identical to ``"ordered"``); ``"clock"`` runs the
     second-chance CLOCK approximation of LRU (insert and re-reference
     at priority 1) on the array-backed buffer.  ``key_space`` (when the
-    keys are dense, e.g. after ``remap_to_dense``) is forwarded to
-    backends with array-native membership — the clock backend then
-    answers residency from a
+    keys are dense, e.g. after ``remap_to_dense``) selects array-native
+    clock membership — residency then answers from a
     :class:`~repro.cache.residency.ResidencyIndex` bitmap instead of a
-    key→slot dict, with identical behavior.
+    per-key dict sweep, with identical behavior.  The *exact* backends
+    deliberately stay in dict mode here: this harness is a per-access
+    co-simulation loop, and the dense exact mode trades O(log n) scalar
+    heap evictions for O(capacity) batch selections — the right deal
+    only for the batched ``serve_segment`` engines in the manager and
+    ``dlrm.inference``, not for this loop.
     """
 
     def __init__(self, capacity: int, prefetcher: Optional[Prefetcher] = None,
@@ -110,8 +114,13 @@ class LRUBufferWithPrefetch:
             self._refresh_priority = 0
             self._entries: Optional["OrderedDict[int, bool]"] = OrderedDict()
         else:
-            self._buffer = make_buffer(buffer_impl, effective,
-                                       key_space=key_space)
+            # Dense membership only for the approximate backend: the
+            # exact pair's dense mode pays O(capacity) per *scalar*
+            # eviction, and this harness only ever serves scalar
+            # accesses (see class docstring).
+            self._buffer = make_buffer(
+                buffer_impl, effective,
+                key_space=key_space if buffer_impl == "clock" else None)
             self._pf_tags = set()
             # Exact backends at constant priority 0 reduce to LRU
             # (victim = oldest seqno); clock needs priority 1 so a

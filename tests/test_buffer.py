@@ -463,12 +463,30 @@ class TestClockBatchAgingStep:
 class TestClockDenseMode:
     """key_space mode: residency bitmap + dense slot vector."""
 
-    def test_make_buffer_forwards_key_space_to_clock_only(self):
-        clock = make_buffer("clock", 4, key_space=32)
-        assert clock.residency is not None
-        assert clock.residency.key_space == 32
-        fast = make_buffer("fast", 4, key_space=32)  # ignored: dict-backed
-        assert not hasattr(fast, "residency")
+    def test_make_buffer_forwards_key_space_to_every_backend(self):
+        for impl in ("clock", "fast", "reference"):
+            buf = make_buffer(impl, 4, key_space=32)
+            assert buf.residency is not None
+            assert buf.residency.key_space == 32
+            assert make_buffer(impl, 4).residency is None
+
+    def test_make_buffer_rejects_key_space_on_unsupporting_backend(self):
+        """A registered backend without ``supports_key_space`` must
+        raise instead of silently ignoring the dense universe (the
+        exact pair used to no-op here)."""
+        from repro.cache.buffer import BUFFER_IMPLS
+
+        class NoDense:
+            def __init__(self, capacity):
+                self.capacity = capacity
+
+        BUFFER_IMPLS["nodense"] = NoDense
+        try:
+            assert isinstance(make_buffer("nodense", 4), NoDense)
+            with pytest.raises(ValueError, match="key_space"):
+                make_buffer("nodense", 4, key_space=32)
+        finally:
+            del BUFFER_IMPLS["nodense"]
 
     def test_rejects_bad_key_space(self):
         with pytest.raises(ValueError):
@@ -505,3 +523,157 @@ class TestClockDenseMode:
         buf.evict_batch(2)
         assert sorted(snapshot) == [1, 2]   # snapshot, not live
         assert len(buf.residency_map()) == 0
+
+
+class TestFastDenseMode:
+    """key_space mode of the exact pair: residency bitmap + dense
+    (expiry, seqno) vectors on the fast backend, bitmap mirror on the
+    reference backend.  Exhaustive dict/dense equivalence lives in
+    tests/test_buffer_differential.py; these pin the contracts the
+    batched serving engine builds on."""
+
+    def test_numpy_duplicate_index_assignment_keeps_last(self):
+        """serve_segment's linear first/last-occurrence scatters rely
+        on fancy-index assignment writing duplicate indices in order
+        (last value wins).  Pin the semantic so a numpy behavior change
+        fails loudly here instead of corrupting victim selection."""
+        out = np.empty(4, dtype=np.int64)
+        out[np.array([2, 2, 2])] = np.array([10, 11, 12])
+        assert out[2] == 12
+        out[np.array([3, 3, 3])[::-1]] = np.array([7, 8, 9])[::-1]
+        assert out[3] == 7
+
+    def test_spillover_keys_above_key_space(self):
+        """Ids outside the bitmap behave exactly like in-range keys."""
+        buf = FastPriorityBuffer(3, key_space=8)
+        buf.insert(2, 1)
+        buf.insert(100, 1)      # spillover
+        buf.put_batch([2, 101], 0)
+        assert 100 in buf and 101 in buf
+        assert np.array_equal(
+            buf.contains_batch(np.array([2, 100, 101, 5])),
+            np.array([True, True, True, False]))
+        assert buf.priority_of(100) == 1 and buf.priority_of(101) == 0
+        # Exact victim order: 2 first (zero, oldest seqno); the aging
+        # step then ripens 100, whose older seqno beats 101.
+        assert buf.evict_batch(3) == [2, 100, 101]
+        assert buf.residency.count() == 0
+
+    def test_dense_mode_keeps_exact_eviction_contract(self):
+        """The documented (effective_priority, seqno) order, spot-wise:
+        demote beats everything in reverse-demote order, equal priority
+        evicts oldest touch first."""
+        for buf in (FastPriorityBuffer(4, key_space=16),
+                    PriorityBuffer(4, key_space=16)):
+            buf.insert(1, 2)
+            buf.insert(2, 2)
+            buf.insert(3, 5)
+            buf.insert(4, 5)
+            buf.demote(1)
+            buf.demote(2)
+            assert buf.evict_batch(4) == [2, 1, 3, 4]
+
+    def test_batch_ops_validate_before_scatter(self):
+        buf = FastPriorityBuffer(4, key_space=16)
+        buf.put_batch([1, 2, 3], 1)
+        with pytest.raises(KeyError):
+            buf.set_priority_batch(np.array([1, 9]), 2)
+        with pytest.raises(KeyError):
+            buf.demote_batch(np.array([1, 9]))
+        with pytest.raises(RuntimeError):
+            buf.put_batch([4, 5], 1)
+        assert sorted(buf.keys()) == [1, 2, 3]
+
+    def test_residency_map_is_a_snapshot(self):
+        buf = FastPriorityBuffer(4, key_space=16)
+        buf.put_batch([1, 2], 0)
+        snapshot = buf.residency_map()
+        assert sorted(snapshot) == [1, 2]
+        buf.evict_batch(2)
+        assert sorted(snapshot) == [1, 2]   # snapshot, not live
+        assert len(buf.residency_map()) == 0
+
+
+class TestServeSegment:
+    """FastPriorityBuffer.serve_segment: the batched exact serving
+    primitive (scalar-loop equivalence is fuzzed end to end in
+    tests/test_buffer_differential.py)."""
+
+    @staticmethod
+    def _scalar(buf, segment, priority):
+        decisions, victims = [], []
+        for key in segment:
+            key = int(key)
+            if key in buf:
+                decisions.append(True)
+                buf.set_priority(key, priority)
+            else:
+                decisions.append(False)
+                if buf.is_full:
+                    victims.append(buf.evict_one())
+                buf.insert(key, priority)
+        return decisions, victims
+
+    def test_dict_mode_returns_none(self):
+        assert FastPriorityBuffer(4).serve_segment(
+            np.array([1, 2]), 1) is None
+
+    def test_full_segment_serve_matches_scalar(self):
+        a = FastPriorityBuffer(6, key_space=16)
+        b = FastPriorityBuffer(6, key_space=16)
+        for buf in (a, b):  # two old entries that the misses evict
+            buf.put_batch([11, 12], 0)
+        segment = np.array([5, 6, 5, 7, 8, 8, 9], dtype=np.int64)
+        decisions_b, victims_b = self._scalar(b, segment, 2)
+        served, first_miss, victims_a, uniq = a.serve_segment(segment, 2)
+        assert served == len(segment)
+        assert victims_a == [11]
+        decisions_a = [True] * served
+        for position in first_miss.tolist():
+            decisions_a[position] = False
+        assert decisions_a == decisions_b
+        assert victims_a == victims_b
+        assert sorted(uniq.tolist()) == [5, 6, 7, 8, 9]
+        assert sorted(a.keys()) == sorted(b.keys())
+        for key in a.keys():
+            assert a.priority_of(key) == b.priority_of(key)
+
+    def test_partial_serve_stops_before_reaccess_of_victim(self):
+        """A key evicted mid-segment and re-accessed later forces a
+        prefix serve: the re-access must re-miss, so the bulk call
+        stops right before it and the next call re-misses it."""
+        a = FastPriorityBuffer(2, key_space=16)
+        a.put_batch([1, 2], 1)
+        a.evict_batch(2)  # age entries to zero quickly
+        a.put_batch([1, 2], 0)
+        # Segment: 3 misses (evicts 1), then 1 re-accessed -> must stop
+        # before that access.
+        segment = np.array([3, 2, 1, 2], dtype=np.int64)
+        served, first_miss, victims, _ = a.serve_segment(segment, 0)
+        assert victims == [1]
+        assert served == 2
+        assert first_miss.tolist() == [0]
+        served2, first_miss2, victims2, _ = a.serve_segment(
+            segment[served:], 0)
+        assert served2 >= 1
+        assert 0 in first_miss2.tolist()  # the re-miss of key 1
+
+    def test_zero_serve_when_first_access_needs_unservable_eviction(self):
+        """If even the first access cannot be bulk-served (its eviction
+        would pop a positive-priority victim), serve_segment refuses
+        without mutating."""
+        buf = FastPriorityBuffer(1, key_space=8)
+        buf.insert(1, 5)   # lone entry, still live
+        before = (len(buf), buf.priority_of(1), buf._next_seq)
+        result = buf.serve_segment(np.array([2], dtype=np.int64), 1)
+        assert result[0] == 0
+        assert (len(buf), buf.priority_of(1), buf._next_seq) == before
+
+    def test_segment_wider_than_buffer_serves_fitting_prefix(self):
+        buf = FastPriorityBuffer(2, key_space=16)
+        segment = np.array([1, 2, 1, 3, 4], dtype=np.int64)
+        served, first_miss, victims, _ = buf.serve_segment(segment, 0)
+        assert served == 3          # distinct keys {1, 2} fit; 3 spills
+        assert first_miss.tolist() == [0, 1]
+        assert victims == []
+        assert sorted(buf.keys()) == [1, 2]

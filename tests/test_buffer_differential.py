@@ -1,25 +1,36 @@
 """Differential fuzz: one op stream, every buffer backend.
 
 ~200 randomized operation sequences (insert / set_priority / demote /
-put_batch / evict_one / evict_batch interleavings) drive every backend
-behind the ``buffer_impl`` knob:
+put_batch / set_priority_batch / demote_batch / evict_one / evict_batch
+interleavings) drive every backend behind the ``buffer_impl`` knob:
 
-* the exact pair (:class:`PriorityBuffer`, :class:`FastPriorityBuffer`)
-  must agree *key-for-key*: identical victims, identical resident sets,
-  identical effective priorities after every operation;
+* the exact four (:class:`PriorityBuffer`, :class:`FastPriorityBuffer`,
+  each in dict mode and dense ``key_space`` mode, the dense bitmaps
+  chosen *smaller* than the fuzzed key range so spillover ids are
+  exercised) must agree *key-for-key*: identical victims, identical
+  resident sets, identical effective priorities after every operation;
 * the approximate :class:`ClockBuffer` is checked against its contract
   instead: capacity never exceeded, the resident set is always a subset
   of the keys ever inserted, and within one ``evict_batch`` call the
   victims come out in nondecreasing pre-call priority and never outrank
   a survivor ("evictions prefer lower priority within a sweep");
 * the clock backend runs twice — dict mode and dense
-  (``key_space``) residency-bitmap mode, with the key space chosen
-  *smaller* than the fuzzed key range so the spillover path is
-  exercised — and the two must agree victim-for-victim: identical
-  resident sets, priorities and eviction order;
+  (``key_space``) residency-bitmap mode — and the two must agree
+  victim-for-victim: identical resident sets, priorities and eviction
+  order;
 * after **every** op, every backend's ``contains_batch`` must agree
   with scalar ``in`` membership over a probe range that includes
   out-of-range and negative ids (bitmap/dict residency agreement).
+
+A second differential (:func:`test_exact_serving_decision_equivalence`)
+runs the *manager* end to end on 200 seeded synthetic traces: the dense
+``"fast"`` backend's batched serving engine
+(``RecMGManager._serve_demand_batched_exact`` over
+``FastPriorityBuffer.serve_segment``) must reproduce the scalar audit
+loop decision-for-decision (``run(record_decisions=True)``), counter
+for counter, and leave the identical buffer state — including runs
+whose encoder is fitted on a prefix only, so unseen keys exercise the
+spillover path mid-serving.
 """
 
 import random
@@ -46,6 +57,8 @@ OP_WEIGHTS = [
     ("set_priority", 4),
     ("demote", 2),
     ("put_batch", 3),
+    ("set_priority_batch", 2),
+    ("demote_batch", 1),
     ("evict_one", 4),
     ("evict_batch", 3),
 ]
@@ -75,41 +88,55 @@ def _assert_contains_batch_agrees(buffer) -> None:
     assert np.array_equal(bulk, scalar)
 
 
-def _apply_exact_pair(ref: PriorityBuffer, fast: FastPriorityBuffer, op):
-    """Apply one op to both exact backends, asserting key-for-key
-    agreement on victims; validity is decided by the shared state."""
+def _apply_exact_group(ref: PriorityBuffer, others, op):
+    """Apply one op to every exact backend (dict- and dense-mode
+    reference + fast), asserting key-for-key agreement on victims;
+    validity is decided by the shared state."""
     kind, key, priority, batch, count = op
+    group = (ref, *others)
     if kind == "insert":
         if key in ref:
-            ref.set_priority(key, priority)
-            fast.set_priority(key, priority)
+            for buffer in group:
+                buffer.set_priority(key, priority)
         elif not ref.is_full:
-            ref.insert(key, priority)
-            fast.insert(key, priority)
+            for buffer in group:
+                buffer.insert(key, priority)
     elif kind == "set_priority" and key in ref:
-        ref.set_priority(key, priority)
-        fast.set_priority(key, priority)
+        for buffer in group:
+            buffer.set_priority(key, priority)
     elif kind == "demote" and key in ref:
-        ref.demote(key)
-        fast.demote(key)
+        for buffer in group:
+            buffer.demote(key)
     elif kind == "put_batch":
         new = {k for k in batch if k not in ref}
         if len(ref) + len(new) > ref.capacity:
-            with pytest.raises(RuntimeError):
-                ref.put_batch(batch, priority)
-            with pytest.raises(RuntimeError):
-                fast.put_batch(batch, priority)
+            for buffer in group:
+                with pytest.raises(RuntimeError):
+                    buffer.put_batch(batch, priority)
         else:
-            ref.put_batch(batch, priority)
-            fast.put_batch(batch, priority)
+            for buffer in group:
+                buffer.put_batch(batch, priority)
+    elif kind == "set_priority_batch":
+        resident = [k for k in batch if k in ref]
+        for buffer in group:
+            buffer.set_priority_batch(resident, priority)
+    elif kind == "demote_batch":
+        resident = [k for k in batch if k in ref]
+        for buffer in group:
+            buffer.demote_batch(resident)
     elif kind == "evict_one" and len(ref):
-        assert ref.evict_one() == fast.evict_one()
+        victim = ref.evict_one()
+        for buffer in others:
+            assert buffer.evict_one() == victim
     elif kind == "evict_batch" and len(ref):
         n = min(count, len(ref))
-        assert ref.evict_batch(n) == fast.evict_batch(n)
-    assert len(ref) == len(fast)
-    _assert_contains_batch_agrees(ref)
-    _assert_contains_batch_agrees(fast)
+        victims = ref.evict_batch(n)
+        for buffer in others:
+            assert buffer.evict_batch(n) == victims
+    for buffer in others:
+        assert len(buffer) == len(ref)
+    for buffer in group:
+        _assert_contains_batch_agrees(buffer)
 
 
 def _assert_clock_modes_agree(clock: ClockBuffer, dense: ClockBuffer):
@@ -153,6 +180,17 @@ def _apply_clock(clock: ClockBuffer, dense: ClockBuffer,
             dense.put_batch(batch, priority)
             inserted_ever.update(batch)
             assert all(clock.priority_of(k) == priority for k in batch)
+    elif kind == "set_priority_batch":
+        resident = [k for k in batch if k in clock]
+        clock.set_priority_batch(resident, priority)
+        dense.set_priority_batch(resident, priority)
+        assert all(clock.priority_of(k) == max(0, priority)
+                   for k in resident)
+    elif kind == "demote_batch":
+        resident = [k for k in batch if k in clock]
+        clock.demote_batch(resident)
+        dense.demote_batch(resident)
+        assert all(clock.priority_of(k) == 0 for k in resident)
     elif kind == "evict_one" and len(clock):
         victim = clock.evict_one()
         assert victim not in clock
@@ -187,25 +225,36 @@ def test_differential_op_sequences(seed):
     ops = _gen_ops(rng)
 
     ref = PriorityBuffer(capacity)
-    fast = FastPriorityBuffer(capacity)
+    exact_others = [
+        PriorityBuffer(capacity, key_space=DENSE_SPACE),
+        FastPriorityBuffer(capacity),
+        FastPriorityBuffer(capacity, key_space=DENSE_SPACE),
+    ]
     clock = ClockBuffer(capacity)
     dense = ClockBuffer(capacity, key_space=DENSE_SPACE)
     inserted_ever: set = set()
 
     for op in ops:
-        _apply_exact_pair(ref, fast, op)
+        _apply_exact_group(ref, exact_others, op)
         if op[0] in ("insert", "put_batch"):
             inserted_ever.update([op[1]] if op[0] == "insert" else op[3])
         _apply_clock(clock, dense, inserted_ever, op)
 
-    # Exact pair: full key-for-key state agreement at the end.
-    assert sorted(ref.keys()) == sorted(fast.keys())
-    for key in ref.keys():
-        assert ref.priority_of(key) == fast.priority_of(key)
+    # Exact group: full key-for-key state agreement at the end.
+    ref_keys = sorted(ref.keys())
+    for buffer in exact_others:
+        assert sorted(buffer.keys()) == ref_keys
+        for key in ref_keys:
+            assert buffer.priority_of(key) == ref.priority_of(key)
+    fast_dense = exact_others[-1]
+    assert fast_dense.residency.count() == len(ref)
     # Drain everything: the remaining victim order must agree too.
     remaining = len(ref)
     if remaining:
-        assert ref.evict_batch(remaining) == fast.evict_batch(remaining)
+        drained = ref.evict_batch(remaining)
+        for buffer in exact_others:
+            assert buffer.evict_batch(remaining) == drained
+    assert fast_dense.residency.count() == 0
     clock_remaining = len(clock)
     if clock_remaining:
         drained = clock.evict_batch(clock_remaining)
@@ -216,15 +265,87 @@ def test_differential_op_sequences(seed):
     assert dense.residency.count() == 0
 
 
-def test_exact_pair_priority_parity_mid_sequence():
+def test_exact_group_priority_parity_mid_sequence():
     """Spot-check that parity holds *during* a sequence, not only at the
-    end (priorities age differently per eviction)."""
+    end (priorities age differently per eviction) — dense modes
+    included."""
     rng = random.Random(4242)
     ref = PriorityBuffer(8)
-    fast = FastPriorityBuffer(8)
+    others = [PriorityBuffer(8, key_space=DENSE_SPACE),
+              FastPriorityBuffer(8),
+              FastPriorityBuffer(8, key_space=DENSE_SPACE)]
     for _ in range(4):
         for op in _gen_ops(rng):
-            _apply_exact_pair(ref, fast, op)
-            assert sorted(ref.keys()) == sorted(fast.keys())
-            for key in ref.keys():
-                assert ref.priority_of(key) == fast.priority_of(key)
+            _apply_exact_group(ref, others, op)
+            ref_keys = sorted(ref.keys())
+            for buffer in others:
+                assert sorted(buffer.keys()) == ref_keys
+                for key in ref_keys:
+                    assert buffer.priority_of(key) == ref.priority_of(key)
+
+
+# ---------------------------------------------------------------------------
+# Batched exact serving engine vs the scalar audit loop, end to end.
+
+SERVING_SEEDS = 200
+
+
+def _serving_trace(rng: random.Random):
+    from repro.traces import SyntheticTraceConfig, generate_trace
+
+    config = SyntheticTraceConfig(
+        num_tables=rng.choice([1, 2, 4]),
+        rows_per_table=rng.choice([40, 90, 160]),
+        num_accesses=rng.choice([300, 600, 900]),
+        num_clusters=rng.choice([4, 8]),
+        cluster_block=4,
+        periodic_items=rng.choice([0, 20, 60]),
+        periodic_spacing=rng.choice([3, 7]),
+        seed=rng.randrange(10_000),
+    )
+    return generate_trace(config)
+
+
+@pytest.mark.parametrize("seed", range(SERVING_SEEDS))
+def test_exact_serving_decision_equivalence(seed):
+    """The dense ``"fast"`` batched serving engine reproduces the
+    scalar audit loop decision-for-decision on randomized traces —
+    counters, victims (via eviction counts), per-access hit stream and
+    the final buffer state all identical.  Encoders fitted on a prefix
+    only make the tail map above the vocabulary, exercising the
+    spillover fallback mid-serving."""
+    from repro.core import RecMGConfig
+    from repro.core.features import FeatureEncoder
+    from repro.core.manager import RecMGManager
+
+    rng = random.Random(7100 + seed)
+    trace = _serving_trace(rng)
+    config = RecMGConfig(eviction_speed=rng.choice([1, 2, 4, 9]))
+    fit_on = trace if rng.random() < 0.7 else trace.head(
+        max(1, len(trace) // 2))
+    encoder = FeatureEncoder(config).fit(fit_on)
+    capacity = max(1, int(trace.num_unique * rng.choice([0.05, 0.2, 0.6])))
+
+    def run(fast_serve):
+        manager = RecMGManager(capacity, encoder, config,
+                               buffer_impl="fast")
+        stats = manager.run(trace, fast_serve=fast_serve,
+                            record_decisions=True)
+        return manager, stats
+
+    batched_manager, batched = run(fast_serve=True)
+    scalar_manager, scalar = run(fast_serve=False)
+    assert batched_manager.buffer.residency is not None, \
+        "fitted encoder must select the dense engine"
+    assert batched == scalar
+    assert np.array_equal(batched_manager.last_decisions,
+                          scalar_manager.last_decisions)
+    # Identical buffer state: same residents, priorities, and victim
+    # order for a full drain.
+    b_buf, s_buf = batched_manager.buffer, scalar_manager.buffer
+    assert sorted(b_buf.keys()) == sorted(s_buf.keys())
+    for key in s_buf.keys():
+        assert b_buf.priority_of(key) == s_buf.priority_of(key)
+    remaining = len(s_buf)
+    if remaining:
+        assert b_buf.evict_batch(remaining) == s_buf.evict_batch(remaining)

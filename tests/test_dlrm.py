@@ -127,6 +127,38 @@ class TestInferenceEngine:
         assert 0.0 < report.hit_rate < 1.0
         assert len(classifier.buffer) <= 300
 
+    def test_buffer_classifier_dense_fast_matches_scalar(self, tiny_trace):
+        """The exact ``"fast"`` classifier with its dense universe
+        (``key_space``) serves batches through ``serve_segment`` — the
+        per-batch hit masks, report, and final buffer state must be
+        bit-identical to the dict-mode scalar replay."""
+        from repro.dlrm import BufferClassifier
+        from repro.traces.access import Trace, remap_to_dense
+
+        head = tiny_trace.head(2000)
+        dense_keys, _ = remap_to_dense(head)
+        dense_trace = Trace(table_ids=np.zeros(len(dense_keys),
+                                               dtype=np.int64),
+                            row_ids=dense_keys)
+        key_space = int(dense_keys.max()) + 1
+        engine = InferenceEngine(accesses_per_batch=512)
+        batched = BufferClassifier(300, buffer_impl="fast",
+                                   key_space=key_space)
+        scalar = BufferClassifier(300, buffer_impl="fast")
+        assert batched.buffer.residency is not None
+        report_batched = engine.run(dense_trace, batched)
+        report_scalar = engine.run(dense_trace, scalar)
+        assert report_batched.hits == report_scalar.hits
+        assert report_batched.misses == report_scalar.misses
+        assert (sorted(batched.buffer.keys())
+                == sorted(scalar.buffer.keys()))
+        for key in scalar.buffer.keys():
+            assert (batched.buffer.priority_of(key)
+                    == scalar.buffer.priority_of(key))
+        remaining = len(scalar.buffer)
+        assert (batched.buffer.evict_batch(remaining)
+                == scalar.buffer.evict_batch(remaining))
+
 
 class TestPerformanceModel:
     def test_controlled_cache_hits_target(self, tiny_trace):
