@@ -29,6 +29,14 @@ from .buffer import (
     make_buffer,
 )
 from .residency import ResidencyIndex
+from .sharding import (
+    SHARD_POLICIES,
+    ContiguousRangeRouter,
+    ModuloRouter,
+    ShardedBuffer,
+    backend_for_key,
+    make_router,
+)
 
 __all__ = [
     "CacheStats", "CachePolicy", "simulate", "capacity_from_fraction",
@@ -42,4 +50,6 @@ __all__ = [
     "MockingjayReplacement", "PredictorReplacement",
     "PriorityBuffer", "FastPriorityBuffer", "ClockBuffer",
     "BUFFER_IMPLS", "make_buffer", "ResidencyIndex",
+    "SHARD_POLICIES", "ContiguousRangeRouter", "ModuloRouter",
+    "ShardedBuffer", "backend_for_key", "make_router",
 ]

@@ -100,6 +100,19 @@ pair, and a differential fuzz suite
 the dense (``key_space``) clock mode against the dict mode — through
 randomized op sequences, checking bitmap/dict residency agreement after
 every operation.
+
+**Sharding.**  ``make_buffer(..., num_shards=N, shard_policy=...)``
+(N > 1, ``key_space`` required) wraps N independent dense-mode shards
+in a :class:`~repro.cache.sharding.ShardedBuffer`: every key routes to
+exactly one shard (contiguous-range or modulo partition of
+``[0, key_space)``), each bulk op runs as one scatter, per-shard
+batched calls, and one gather, and capacity/eviction are **per shard**
+— a full shard evicts its own victim even while another shard has free
+slots, so the victim order of a sharded ``evict_batch`` is per-shard
+(grouped in shard-id order), *not* the global ``(effective_priority,
+seqno)`` contract above.  See :mod:`repro.cache.sharding` for the full
+routing contract; a 1-shard wrapper is differential-tested identical
+to the bare backend in ``tests/test_sharding.py``.
 """
 
 from __future__ import annotations
@@ -135,7 +148,8 @@ def _dict_contains_batch(entries: Dict, keys: Sequence[int]) -> np.ndarray:
 
 
 def reclaim_batch_space(buffer, uniq: np.ndarray, new_count: int,
-                        on_victims=None) -> Tuple[int, bool]:
+                        on_victims=None, protect: bool = False
+                        ) -> Tuple[int, bool]:
     """Evict until ``len(buffer) + new_count <= capacity`` (the
     batched-reclaim core shared by the manager's clock engine and
     ``dlrm.inference.BufferClassifier``).
@@ -151,11 +165,22 @@ def reclaim_batch_space(buffer, uniq: np.ndarray, new_count: int,
     result, in order, for the caller's accounting.  Returns the final
     ``new_count`` and whether any victim invalidated the caller's
     residency snapshot.
+
+    ``protect=True`` passes ``uniq`` as the ``avoid=`` set of a
+    backend whose ``evict_batch`` supports protected eviction
+    (:meth:`ClockBuffer.evict_batch`): no victim is ever a segment
+    key, so the reclaim resolves in one call instead of looping on
+    victim/segment collisions — the sharded serving engine's scheme.
     """
     stale = False
     while True:
         needed = len(buffer) + new_count - buffer.capacity
         if needed <= 0:
+            return new_count, stale
+        if protect:
+            victims = buffer.evict_batch(needed, avoid=uniq)
+            if on_victims is not None:
+                on_victims(victims)
             return new_count, stale
         victims = buffer.evict_batch(needed)
         if on_victims is not None:
@@ -1417,20 +1442,55 @@ class ClockBuffer:
             raise RuntimeError("cannot evict from an empty buffer")
         return self.evict_batch(1)[0]
 
-    def evict_batch(self, n: int) -> List[int]:
+    def _avoid_slot_mask(self, avoid: Sequence[int]) -> np.ndarray:
+        """Boolean per-slot mask of the resident ``avoid`` keys (one
+        gather for the in-range ids; only spillover ids loop)."""
+        mask = np.zeros(self.capacity, dtype=bool)
+        arr = np.asarray(avoid, dtype=np.int64)
+        if arr.size == 0:
+            return mask
+        if self._slot_of is not None:
+            in_range = (arr >= 0) & (arr < self._key_space)
+            slots = self._slot_of[arr[in_range]]
+            mask[slots[slots >= 0]] = True
+            arr = arr[~in_range]
+        for key in arr.tolist():
+            slot = self._slot_for(int(key))
+            if slot >= 0:
+                mask[slot] = True
+        return mask
+
+    def evict_batch(self, n: int,
+                    avoid: Optional[Sequence[int]] = None) -> List[int]:
         """Reclaim ``n`` slots with a batched clock sweep; returns the
         victim keys in eviction order (see class docstring for the
-        ordering guarantees)."""
+        ordering guarantees).
+
+        ``avoid`` (optional) *protects* the given keys: the sweep
+        harvests and ages as if their slots were not there, so none of
+        them is ever a victim — the clock analogue of the exact
+        engine's protection-aware victim selection
+        (:meth:`FastPriorityBuffer._choose_zero_victims`).  The batched
+        serving engines pass the segment being served, so a reclaim
+        never evicts a key it is about to refresh (which a scalar
+        pre-touch loop would re-fetch one access later).  At least
+        ``n`` non-protected entries must be resident
+        (``RuntimeError`` otherwise).
+        """
         count = int(n)
         if count <= 0:
             return []
-        if count > len(self):
-            raise RuntimeError("cannot evict more entries than resident")
-        victims: List[int] = []
         valid = self._valid
         prio = self._prio
+        if avoid is not None:
+            eligible = valid & ~self._avoid_slot_mask(avoid)
+        else:
+            eligible = valid
+        if count > int(np.count_nonzero(eligible)):
+            raise RuntimeError("cannot evict more entries than resident")
+        victims: List[int] = []
         while count:
-            zeros = np.flatnonzero(valid & (prio == 0))
+            zeros = np.flatnonzero(eligible & (prio == 0))
             if zeros.size:
                 # Circular hand order: slots at/after the hand first.
                 split = int(np.searchsorted(zeros, self._hand))
@@ -1438,21 +1498,29 @@ class ClockBuffer:
                 take = ordered[:count]
                 victim_keys = self._key[take]
                 valid[take] = False
+                if eligible is not valid:
+                    eligible[take] = False
                 self._map_discard_batch(victim_keys)
                 self._free.extend(take.tolist())
                 victims.extend(victim_keys.tolist())
                 count -= int(take.size)
                 self._hand = int(take[-1] + 1) % self.capacity
             if count:
-                # Sweep ran dry: every survivor holds a positive
-                # priority (all zeros were consumed), and −1 passes
-                # that harvest nothing only delay the inevitable — age
-                # by the minimum surviving priority in one vectorized
-                # subtraction.  Victims are identical to repeated −1
-                # sweeps; the cost drops from O(min_prio · capacity) to
-                # O(capacity).
-                step = prio[valid].min()
+                # Sweep ran dry: every eligible survivor holds a
+                # positive priority (all zeros were consumed), and −1
+                # passes that harvest nothing only delay the inevitable
+                # — age by the minimum surviving priority in a single
+                # vectorized subtraction.  Victims are identical to
+                # repeated −1 sweeps; the cost drops from
+                # O(min_prio · capacity) to O(capacity).  Aging applies
+                # to every valid slot (protected ones age too, exactly
+                # as they would if the sweep passed over them).
+                step = prio[eligible].min()
                 np.subtract(prio, step, out=prio, where=valid)
+                if avoid is not None:
+                    # Protected slots can sit below the eligible
+                    # minimum; priorities are floored at zero.
+                    np.maximum(prio, 0, out=prio)
         return victims
 
 
@@ -1466,7 +1534,9 @@ BUFFER_IMPLS = {
 
 
 def make_buffer(impl: str, capacity: int,
-                key_space: Optional[int] = None):
+                key_space: Optional[int] = None,
+                num_shards: int = 1,
+                shard_policy: str = "contiguous"):
     """Instantiate a buffer backend by registry name.
 
     ``key_space`` (dense-id universe size) selects array-native
@@ -1476,7 +1546,39 @@ def make_buffer(impl: str, capacity: int,
     registered backend that does not declare ``supports_key_space``
     raises ``ValueError`` instead of silently ignoring the argument
     (callers passing a dense universe are owed the dense behavior).
+
+    ``num_shards > 1`` wraps ``num_shards`` independent dense-mode
+    backends in a :class:`~repro.cache.sharding.ShardedBuffer`
+    partitioning ``[0, key_space)`` by ``shard_policy`` (see
+    :data:`~repro.cache.sharding.SHARD_POLICIES`); it *requires*
+    ``key_space`` — the routers partition the dense id universe, so a
+    dict-membership sharded buffer would have nothing to route over —
+    and raises ``ValueError`` without it, mirroring the
+    ``supports_key_space`` rejection above.  ``num_shards=1`` (the
+    default) returns the bare backend: only real sharding pays the
+    routing layer.
     """
+    num_shards = 1 if num_shards is None else int(num_shards)
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if num_shards > 1:
+        if key_space is None:
+            raise ValueError(
+                f"num_shards={num_shards} requires key_space=; the shard "
+                f"routers partition the dense id universe [0, key_space)")
+        if impl not in BUFFER_IMPLS:
+            raise ValueError(
+                f"unknown buffer_impl {impl!r}; choose from "
+                f"{sorted(BUFFER_IMPLS)}")
+        if not getattr(BUFFER_IMPLS[impl], "supports_key_space", False):
+            raise ValueError(
+                f"buffer_impl {impl!r} does not support key_space=; it "
+                f"would silently fall back to dict membership")
+        from .sharding import ShardedBuffer  # lazy: sharding imports us
+
+        return ShardedBuffer(impl, capacity, key_space=key_space,
+                             num_shards=num_shards,
+                             shard_policy=shard_policy)
     try:
         cls = BUFFER_IMPLS[impl]
     except KeyError:

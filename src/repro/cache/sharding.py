@@ -1,0 +1,374 @@
+"""Sharded buffer: partition a dense key space across N backend shards.
+
+Production embedding caches do not serve millions of users from one
+buffer: the id space is *partitioned* across shards, each shard owns an
+independent slice of the capacity, and a request batch is scattered to
+its shards, served per shard, and gathered back.  This module builds
+that layer on top of the single-shard backends in
+:mod:`repro.cache.buffer`.
+
+**Routing contract.**  A :class:`ShardedBuffer` is constructed over a
+dense id universe ``[0, key_space)`` (the same universe the
+:class:`~repro.cache.residency.ResidencyIndex` bitmaps cover) and a
+*router* — one of :data:`SHARD_POLICIES`:
+
+* ``"contiguous"`` (:class:`ContiguousRangeRouter`) — shard ``s`` owns
+  the contiguous id range ``[ceil(s*K/N), ceil((s+1)*K/N))``.  Dense
+  ids are assigned in sorted packed-key order
+  (:func:`repro.traces.access.remap_to_dense` keeps same-table rows
+  contiguous), so contiguous ranges map to contiguous (table, row)
+  regions — the natural partition for range-partitioned embedding
+  tables, and the one hot-shard workloads stress.
+* ``"modulo"`` (:class:`ModuloRouter`) — shard ``s`` owns every id
+  congruent to ``s`` mod N; a hash-free striping that spreads
+  contiguous hot ranges evenly across shards.
+
+Routing is **total and deterministic**: every int64 key — including ids
+outside ``[0, key_space)``, which the manager assigns to keys unseen at
+encoder-fit time — maps to exactly one shard, and the scalar and batch
+forms agree key for key (out-of-range ids route by ``key mod N`` under
+both policies, so spillover correctness never depends on the id fitting
+the universe).  Because a key can only ever live in its router shard,
+the per-shard residency bitmaps are pairwise disjoint and their union
+*is* the global residency — ``contains_batch`` answers by scattering
+the query to shards and gathering the per-shard gathers back
+(property-tested after every op in ``tests/test_sharding.py``).
+
+**Capacity and eviction.**  The total capacity splits as evenly as the
+remainder allows: shard ``s`` gets ``capacity // N`` slots, plus one
+for ``s < capacity % N``.  Eviction decisions are therefore **local to
+a shard**: a full shard evicts its own ``(effective_priority, seqno)``
+(or clock-order) victim even while another shard has free slots, and
+:meth:`ShardedBuffer.evict_batch` — which levels the fullest shards
+down by water-filling — returns victims grouped per shard in shard-id
+order, *not* in the single-buffer global ``(effective_priority,
+seqno)`` order.  This is the documented price of sharding; the
+single-shard backends keep the exact global contract.
+
+**Bulk protocol.**  Every op of the single-shard bulk protocol
+(``contains_batch`` / ``put_batch`` / ``set_priority_batch`` /
+``demote_batch`` / ``evict_batch``) is implemented as one vectorized
+scatter of the keys to shards (:meth:`ShardRouter.route_batch`),
+per-shard *batched* backend calls, and one gather back — no per-key
+python loop.  Within a shard the original key order is preserved, and
+ops on distinct shards commute (disjoint key sets), so the batch forms
+keep the single-shard semantics per shard.
+
+A 1-shard :class:`ShardedBuffer` is decision-for-decision identical to
+the bare backend (200-seed differential in ``tests/test_sharding.py``);
+``make_buffer(..., num_shards=1)`` therefore returns the bare backend
+and only ``num_shards > 1`` pays the routing layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from .buffer import make_buffer
+
+
+class ContiguousRangeRouter:
+    """Contiguous-range partition of ``[0, key_space)`` into N shards.
+
+    ``route(key) = key * N // key_space`` for in-universe keys — shard
+    ``s`` owns ``[ceil(s*K/N), ceil((s+1)*K/N))`` (:meth:`range_of`).
+    Out-of-universe keys (spillover ids above the vocabulary, or
+    negative probes) route by ``key mod N``.
+    """
+
+    name = "contiguous"
+
+    def __init__(self, num_shards: int, key_space: int) -> None:
+        self.num_shards = int(num_shards)
+        self.key_space = int(key_space)
+
+    def route(self, key: int) -> int:
+        key = int(key)
+        if 0 <= key < self.key_space:
+            return key * self.num_shards // self.key_space
+        return key % self.num_shards
+
+    def route_batch(self, keys: Sequence[int]) -> np.ndarray:
+        arr = np.asarray(keys, dtype=np.int64)
+        shards = np.clip(arr, 0, self.key_space - 1) \
+            * self.num_shards // self.key_space
+        out = (arr < 0) | (arr >= self.key_space)
+        if out.any():
+            shards[out] = np.mod(arr[out], self.num_shards)
+        return shards
+
+    def range_of(self, shard: int) -> Tuple[int, int]:
+        """In-universe id range ``[lo, hi)`` owned by ``shard``."""
+        n, k = self.num_shards, self.key_space
+        lo = -((-shard * k) // n)        # ceil(shard * k / n)
+        hi = -((-(shard + 1) * k) // n)
+        return lo, hi
+
+
+class ModuloRouter:
+    """Modulo striping: shard ``s`` owns every id congruent to s mod N
+    (in- and out-of-universe keys alike)."""
+
+    name = "modulo"
+
+    def __init__(self, num_shards: int, key_space: int) -> None:
+        self.num_shards = int(num_shards)
+        self.key_space = int(key_space)
+
+    def route(self, key: int) -> int:
+        return int(key) % self.num_shards
+
+    def route_batch(self, keys: Sequence[int]) -> np.ndarray:
+        return np.mod(np.asarray(keys, dtype=np.int64), self.num_shards)
+
+
+#: Registry behind the ``shard_policy=`` knob (``make_buffer``,
+#: ``RecMGConfig``, ``RecMGManager``, ``dlrm.inference``,
+#: ``prefetch.harness``).
+SHARD_POLICIES = {
+    "contiguous": ContiguousRangeRouter,
+    "modulo": ModuloRouter,
+}
+
+
+def make_router(shard_policy: str, num_shards: int, key_space: int):
+    """Instantiate a shard router by policy name."""
+    try:
+        cls = SHARD_POLICIES[shard_policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown shard_policy {shard_policy!r}; choose from "
+            f"{sorted(SHARD_POLICIES)}") from None
+    return cls(num_shards, key_space)
+
+
+def backend_for_key(buffer, key: int):
+    """The single-shard backend responsible for ``key``: the routed
+    shard of a :class:`ShardedBuffer`, or ``buffer`` itself otherwise.
+
+    Scalar serving loops (the manager's audit path, the harness and
+    classifier per-access loops) use this so eviction-for-space happens
+    in the shard that actually needs the slot.
+    """
+    route = getattr(buffer, "shard_backend_for", None)
+    return buffer if route is None else route(key)
+
+
+def _allocate_evictions(lengths: np.ndarray, count: int) -> np.ndarray:
+    """Per-shard eviction counts for a global ``evict_batch(count)``.
+
+    Deterministic water-filling: the fullest shards are levelled down
+    until ``count`` victims are allocated, so repeated global eviction
+    drives shard occupancies toward equal — the natural policy for a
+    shared capacity pool.  Ties in fullness break by ascending shard
+    id; when the final level cannot be met exactly, the least-full
+    shards among the levelled group give up one victim fewer.  Raises
+    ``RuntimeError`` when fewer than ``count`` entries are resident,
+    matching the single-shard backends.
+    """
+    total = int(lengths.sum())
+    if count > total:
+        raise RuntimeError("cannot evict more entries than resident")
+    take = np.zeros(lengths.size, dtype=np.int64)
+    if count <= 0:
+        return take
+    order = np.argsort(-lengths, kind="stable")  # fullest first, id ties
+    sorted_len = lengths[order]
+    prefix = np.cumsum(sorted_len)
+    for k in range(1, lengths.size + 1):
+        floor_level = int(sorted_len[k]) if k < lengths.size else 0
+        if int(prefix[k - 1]) - k * floor_level >= count:
+            level = (int(prefix[k - 1]) - count) // k
+            base = sorted_len[:k] - level
+            excess = int(base.sum()) - count
+            if excess:
+                base[k - excess:k] -= 1
+            take[order[:k]] = base
+            return take
+    raise RuntimeError("eviction allocation failed")  # pragma: no cover
+
+
+class ShardedBuffer:
+    """N independent backend shards behind the single-buffer protocol.
+
+    See the module docstring for the routing/capacity/eviction
+    contract.  ``impl`` names any registered backend
+    (:data:`repro.cache.buffer.BUFFER_IMPLS`); every shard is built in
+    dense ``key_space`` mode, so the bulk protocol runs array-native
+    end to end.  ``approximate`` is inherited from the shard backend —
+    the serving engines pick the batched-reclaim or batched-exact
+    per-shard scheme off it exactly as they do for bare backends.
+    """
+
+    def __init__(self, impl: str, capacity: int, key_space: int,
+                 num_shards: int, shard_policy: str = "contiguous") -> None:
+        num_shards = int(num_shards)
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if key_space is None:
+            raise ValueError(
+                "ShardedBuffer requires key_space= (the routers partition "
+                "the dense id universe)")
+        if capacity < num_shards:
+            raise ValueError(
+                f"capacity {capacity} cannot give every one of "
+                f"{num_shards} shards at least one slot")
+        self.impl = impl
+        self.capacity = int(capacity)
+        self.key_space = int(key_space)
+        self.num_shards = num_shards
+        self.shard_policy = shard_policy
+        self.router = make_router(shard_policy, num_shards, self.key_space)
+        base, remainder = divmod(self.capacity, num_shards)
+        self.shard_capacities = [base + (1 if s < remainder else 0)
+                                 for s in range(num_shards)]
+        self.shards = [make_buffer(impl, shard_capacity,
+                                   key_space=self.key_space)
+                       for shard_capacity in self.shard_capacities]
+        #: Victim order approximates/honors the per-shard contract of
+        #: the underlying backend; never the cross-shard global order.
+        self.approximate = bool(getattr(self.shards[0], "approximate",
+                                        False))
+
+    # -- routing -------------------------------------------------------
+    def shard_id_of(self, key: int) -> int:
+        """Shard index owning ``key`` (total: any int64 routes)."""
+        return self.router.route(key)
+
+    def shard_backend_for(self, key: int):
+        """The backend shard owning ``key`` (see
+        :func:`backend_for_key`)."""
+        return self.shards[self.router.route(key)]
+
+    def route_batch(self, keys: Sequence[int]) -> np.ndarray:
+        """Shard index per key — the scatter step of every bulk op."""
+        return self.router.route_batch(keys)
+
+    def iter_shard_segments(self, keys: np.ndarray):
+        """Scatter ``keys`` to shards: yields ``(shard_index, backend,
+        positions, sub_keys)`` per non-empty shard, where ``positions``
+        indexes ``keys`` (ascending, so per-shard order follows the
+        access stream) and ``sub_keys = keys[positions]``."""
+        arr = np.asarray(keys, dtype=np.int64)
+        shard_ids = self.router.route_batch(arr)
+        for shard_index in range(self.num_shards):
+            positions = np.flatnonzero(shard_ids == shard_index)
+            if positions.size:
+                yield (shard_index, self.shards[shard_index], positions,
+                       arr[positions])
+
+    # -- read protocol -------------------------------------------------
+    def __contains__(self, key: int) -> bool:
+        return int(key) in self.shard_backend_for(int(key))
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def keys(self) -> Iterator[int]:
+        for shard in self.shards:
+            yield from shard.keys()
+
+    def priority_of(self, key: int) -> int:
+        return self.shard_backend_for(int(key)).priority_of(int(key))
+
+    @property
+    def is_full(self) -> bool:
+        """True when *every* shard is full.  A single full shard
+        already refuses inserts routed to it — scalar call sites must
+        gate on the routed shard (:func:`backend_for_key`), not on
+        this global view."""
+        return all(shard.is_full for shard in self.shards)
+
+    def residency_map(self) -> Dict[int, object]:
+        """Merged read-only view keyed by resident key (a snapshot —
+        bulk call sites should prefer :meth:`contains_batch`)."""
+        merged: Dict[int, object] = {}
+        for shard in self.shards:
+            merged.update(shard.residency_map())
+        return merged
+
+    def contains_batch(self, keys: Sequence[int]) -> np.ndarray:
+        """Residency of each key: scatter to shards, one bitmap gather
+        per shard, gather back by position."""
+        arr = np.asarray(keys, dtype=np.int64)
+        out = np.zeros(arr.size, dtype=bool)
+        for _, shard, positions, sub in self.iter_shard_segments(arr):
+            out[positions] = shard.contains_batch(sub)
+        return out
+
+    # -- scalar writes (route + forward) -------------------------------
+    def insert(self, key: int, priority: int) -> None:
+        """Insert (or refresh) ``key`` in its shard; the caller must
+        ensure space *in that shard* (``RuntimeError`` otherwise, like
+        the single-shard backends)."""
+        self.shard_backend_for(int(key)).insert(int(key), priority)
+
+    def set_priority(self, key: int, priority: int) -> None:
+        self.shard_backend_for(int(key)).set_priority(int(key), priority)
+
+    def demote(self, key: int) -> None:
+        self.shard_backend_for(int(key)).demote(int(key))
+
+    # -- bulk writes (scatter / per-shard batch / no gather needed) ----
+    def put_batch(self, keys: Sequence[int], priority: int) -> None:
+        """Bulk insert-or-refresh, one batched call per shard.
+
+        Capacity is per shard: the whole batch is validated against
+        every shard's free space *before* any shard mutates, so a
+        ``RuntimeError`` (a sub-batch overflowing its shard, even while
+        other shards have room) leaves the buffer untouched — the same
+        raise-before-mutate contract as the single-shard backends.
+        """
+        arr = np.asarray(keys, dtype=np.int64)
+        if arr.size == 0:
+            return
+        segments = list(self.iter_shard_segments(arr))
+        for _, shard, _, sub in segments:
+            fresh = int(np.count_nonzero(
+                ~shard.contains_batch(np.unique(sub))))
+            if len(shard) + fresh > shard.capacity:
+                raise RuntimeError("buffer full; evict first")
+        for _, shard, _, sub in segments:
+            shard.put_batch(sub, priority)
+
+    def set_priority_batch(self, keys: Sequence[int], priority: int) -> None:
+        arr = np.asarray(keys, dtype=np.int64)
+        for _, shard, _, sub in self.iter_shard_segments(arr):
+            shard.set_priority_batch(sub, priority)
+
+    def demote_batch(self, keys: Sequence[int]) -> None:
+        arr = np.asarray(keys, dtype=np.int64)
+        for _, shard, _, sub in self.iter_shard_segments(arr):
+            shard.demote_batch(sub)
+
+    # -- eviction ------------------------------------------------------
+    def evict_one(self) -> int:
+        """Evict one entry from the fullest shard (ties break by
+        ascending shard id) — the ``count=1`` case of the levelling
+        policy.  Serving paths that need space *for a key* must instead
+        evict from that key's shard (:func:`backend_for_key`)."""
+        if not len(self):
+            raise RuntimeError("cannot evict from an empty buffer")
+        lengths = np.asarray([len(shard) for shard in self.shards])
+        return self.shards[int(np.argmax(lengths))].evict_one()
+
+    def evict_batch(self, n: int) -> List[int]:
+        """Evict ``n`` entries globally, levelling the fullest shards
+        down (:func:`_allocate_evictions`).  Victims come out grouped
+        per shard in shard-id order; *within* a shard they follow that
+        shard's own eviction order — there is no cross-shard
+        ``(effective_priority, seqno)`` interleaving (see module
+        docstring)."""
+        count = int(n)
+        if count <= 0:
+            return []
+        lengths = np.asarray([len(shard) for shard in self.shards],
+                             dtype=np.int64)
+        allocation = _allocate_evictions(lengths, count)
+        victims: List[int] = []
+        for shard, share in zip(self.shards, allocation.tolist()):
+            if share:
+                victims.extend(shard.evict_batch(share))
+        return victims

@@ -54,6 +54,15 @@ class RecMGConfig:
     #: eviction — the throughput-serving choice).  See
     #: :mod:`repro.cache.buffer`.
     buffer_impl: str = "fast"
+    #: Number of buffer shards the dense id universe is partitioned
+    #: across (1 = the bare backend; > 1 requires a fitted encoder so
+    #: the manager can hand the routers a ``key_space``).  See
+    #: :mod:`repro.cache.sharding`.
+    num_shards: int = 1
+    #: Shard routing policy: ``"contiguous"`` (range partition) or
+    #: ``"modulo"`` (striping).  See
+    #: :data:`repro.cache.sharding.SHARD_POLICIES`.
+    shard_policy: str = "contiguous"
 
     @property
     def eval_window(self) -> int:
@@ -74,8 +83,15 @@ class RecMGConfig:
         if self.eviction_speed < 1:
             raise ValueError("eviction_speed must be >= 1")
         from ..cache.buffer import BUFFER_IMPLS
+        from ..cache.sharding import SHARD_POLICIES
 
         if self.buffer_impl not in BUFFER_IMPLS:
             raise ValueError(
                 f"buffer_impl must be one of {sorted(BUFFER_IMPLS)}, "
                 f"got {self.buffer_impl!r}")
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.shard_policy not in SHARD_POLICIES:
+            raise ValueError(
+                f"shard_policy must be one of {sorted(SHARD_POLICIES)}, "
+                f"got {self.shard_policy!r}")

@@ -32,6 +32,19 @@ falling back to ``config.buffer_impl``; see :mod:`repro.cache.buffer`):
   streams may differ from the exact backends (approximate victim
   order), but counters stay conserved and capacity is never exceeded.
 
+``num_shards > 1`` (constructor argument or ``config.num_shards``,
+with ``shard_policy`` picking the router) partitions the dense id
+universe across independent shards
+(:class:`repro.cache.sharding.ShardedBuffer`); ``fast_serve`` then
+routes whole demand segments shard-wise
+(:meth:`RecMGManager._serve_demand_sharded`): one vectorized scatter,
+the matching per-shard batched scheme (batched-reclaim on clock
+shards, bulk-exact ``serve_segment`` on fast shards), one gather back
+into segment-order accounting.  Eviction-for-space is per shard — the
+scalar paths route through
+:func:`repro.cache.sharding.backend_for_key` so a miss evicts from the
+shard that will hold the key.
+
 Serving is backend-agnostic through the **bulk residency/priority
 protocol** (see :mod:`repro.cache.buffer`): every backend answers
 ``contains_batch(keys) -> bool[:]`` and accepts
@@ -49,7 +62,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Set
+from typing import Deque, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -59,6 +72,7 @@ from ..cache.buffer import (
     make_buffer,
     reclaim_batch_space,
 )
+from ..cache.sharding import ShardedBuffer, backend_for_key
 from ..prefetch.base import Prefetcher
 from ..prefetch.harness import AccessBreakdown
 from ..traces.access import Trace
@@ -102,7 +116,9 @@ class RecMGManager:
                  caching_model: Optional[CachingModel] = None,
                  prefetch_model: Optional[PrefetchModel] = None,
                  buffer_impl: Optional[str] = None,
-                 key_space="auto") -> None:
+                 key_space="auto",
+                 num_shards: Optional[int] = None,
+                 shard_policy: Optional[str] = None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -112,19 +128,29 @@ class RecMGManager:
         self.prefetch_model = prefetch_model
         self.buffer_impl = (buffer_impl if buffer_impl is not None
                             else getattr(config, "buffer_impl", "fast"))
+        self.num_shards = (num_shards if num_shards is not None
+                           else getattr(config, "num_shards", 1))
+        self.shard_policy = (shard_policy if shard_policy is not None
+                             else getattr(config, "shard_policy",
+                                          "contiguous"))
         # A fitted encoder fixes the dense-id universe, which lets the
         # clock and fast backends run array-native membership (residency
         # bitmap); unseen keys map above the vocabulary and spill
         # safely.  ``key_space="auto"`` (the default) fits that
         # universe; ``None`` forces dict membership (the pre-dense
         # engines, kept measurable for the perf benches); an int pins
-        # an explicit universe.
+        # an explicit universe.  ``num_shards > 1`` partitions that
+        # universe across independent shards (see
+        # :mod:`repro.cache.sharding`) — it therefore requires a
+        # resolvable key_space (``make_buffer`` rejects otherwise).
         if key_space == "auto":
             key_space = (encoder.vocab_size
                          if getattr(encoder, "fitted", False)
                          and encoder.vocab_size > 0 else None)
         self.buffer = make_buffer(self.buffer_impl, capacity,
-                                  key_space=key_space)
+                                  key_space=key_space,
+                                  num_shards=self.num_shards,
+                                  shard_policy=self.shard_policy)
         self._prefetched: Set[int] = set()
         self.breakdown = AccessBreakdown()
         self.prefetches_issued = 0
@@ -136,10 +162,16 @@ class RecMGManager:
         self._record_hits: Optional[List[bool]] = None
 
     # ------------------------------------------------------------------
-    def _evict_for_space(self) -> Optional[int]:
+    def _evict_for_space(self, key: Optional[int] = None) -> Optional[int]:
+        """Evict until there is room for one insert — of ``key``, when
+        given: on a sharded buffer space must come from the shard that
+        will hold the key (other shards' free slots are unreachable),
+        so the loop targets ``key``'s routed shard."""
+        buffer = (backend_for_key(self.buffer, key) if key is not None
+                  else self.buffer)
         victim = None
-        while self.buffer.is_full:
-            victim = self.buffer.evict_one()
+        while buffer.is_full:
+            victim = buffer.evict_one()
             self._prefetched.discard(victim)
             self.evictions += 1
         return victim
@@ -158,7 +190,7 @@ class RecMGManager:
             self.buffer.set_priority(key, speed)
             return None
         self.breakdown.on_demand += 1
-        victim = self._evict_for_space()
+        victim = self._evict_for_space(key)
         self.buffer.insert(key, speed)
         return victim
 
@@ -221,7 +253,7 @@ class RecMGManager:
                 continue
             issued += 1
             self.prefetches_issued += 1
-            self._evict_for_space()
+            self._evict_for_space(key)
             self.buffer.insert(key, speed)
             self._prefetched.add(key)
 
@@ -477,9 +509,178 @@ class RecMGManager:
             self._account_segment(segment[start:start + served],
                                   first_miss_pos, uniq)
 
+    def _serve_demand_sharded(self, segment: np.ndarray) -> None:
+        """Shard-wise serving for :class:`ShardedBuffer` backends.
+
+        One vectorized route scatters the whole demand segment to its
+        shards; each shard then serves its sub-segment through the same
+        per-backend scheme the single-shard engines use — the
+        batched-reclaim path for approximate (clock) shards, the
+        ``serve_segment`` bulk-exact path for dense ``"fast"`` shards,
+        the scalar audit loop otherwise — and the per-shard miss
+        positions gather back into one segment-order accounting pass.
+        Shards hold disjoint key sets and never touch each other's
+        slots, so serving the sub-segments in shard order is exactly
+        serving N independent buffers: for exact shards the engine is
+        decision-for-decision identical to the scalar audit loop over
+        the sharded buffer (fuzz-checked in ``tests/test_sharding.py``).
+        """
+        segment = np.asarray(segment, dtype=np.int64)
+        if segment.size == 0:
+            return
+        buffer = self.buffer
+        miss_chunks: List[np.ndarray] = []
+        pf_hits = 0
+        for _, shard, positions, sub in buffer.iter_shard_segments(segment):
+            sub_miss, sub_pf = self._serve_subsegment(shard, sub)
+            pf_hits += sub_pf
+            if sub_miss.size:
+                miss_chunks.append(positions[sub_miss])
+        first_miss_pos = (np.concatenate(miss_chunks) if miss_chunks
+                          else np.zeros(0, dtype=np.int64))
+        self._account_segment(segment, first_miss_pos, segment,
+                              pf_hits=pf_hits)
+
+    def _consume_prefetch_tags(self, keys) -> int:
+        """Consume the prefetch tags of the (resident) ``keys`` just
+        served; returns how many scored a prefetch hit.  Called per
+        served chunk — *before* any later chunk's eviction can drop a
+        tag whose key already hit — so the sharded engine counts the
+        same prefetch hits the per-chunk single-shard engines do."""
+        prefetched = self._prefetched
+        if not prefetched:
+            return 0
+        hits = prefetched.intersection(
+            keys.tolist() if isinstance(keys, np.ndarray) else keys)
+        if hits:
+            prefetched.difference_update(hits)
+        return len(hits)
+
+    def _serve_subsegment(self, shard,
+                          sub: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Serve ``sub`` (all keys route to ``shard``) on one backend
+        shard; returns the positions (relative to ``sub``) of its
+        demand misses and the number of prefetch hits it consumed.
+        Mirrors the single-shard engines minus the hit/miss counter
+        writes, which :meth:`_serve_demand_sharded` runs once for the
+        gathered segment; evictions and prefetch-tag bookkeeping land
+        on the global state as they happen (a tag is consumed in the
+        chunk where its key is first served, and dropped when its key
+        is evicted — in that order, chunk by chunk)."""
+        speed = self.config.eviction_speed
+        prefetched = self._prefetched
+
+        def on_victims(victims):
+            self.evictions += len(victims)
+            if prefetched:
+                prefetched.difference_update(victims)
+
+        if getattr(shard, "approximate", False):
+            misses: List[np.ndarray] = []
+            pf_hits = 0
+            start = 0
+            total = int(sub.size)
+            while start < total:
+                rest = sub[start:]
+                resident = shard.contains_batch(rest)
+                if resident.all():
+                    shard.put_batch(rest, speed)
+                    if prefetched:
+                        pf_hits += self._consume_prefetch_tags(
+                            np.unique(rest))
+                    break
+                uniq, first_idx = np.unique(rest, return_index=True)
+                if uniq.size > shard.capacity:
+                    # Wider than the shard (per-shard capacity is a
+                    # fraction of the total): trim to the longest
+                    # prefix whose distinct keys fit, serve it through
+                    # the same batched-reclaim scheme, and continue
+                    # with the remainder — no per-key scalar loop.
+                    first_mask = np.zeros(rest.size, dtype=bool)
+                    first_mask[first_idx] = True
+                    cut = int(np.searchsorted(np.cumsum(first_mask),
+                                              shard.capacity, side="right"))
+                    rest = rest[:cut]
+                    resident = resident[:cut]
+                    keep = first_idx < cut
+                    uniq = uniq[keep]
+                    first_idx = first_idx[keep]
+                else:
+                    cut = int(rest.size)
+                # Protected reclaim (avoid=uniq): one evict_batch call,
+                # no victim/segment collision loop, and no segment key
+                # is evicted right before its own refresh.
+                reclaim_batch_space(
+                    shard, uniq,
+                    int(np.count_nonzero(~resident[first_idx])),
+                    on_victims=on_victims, protect=True)
+                shard.put_batch(rest, speed)
+                # Reclaim victims (never chunk keys — they are
+                # protected) dropped their tags above; every tagged
+                # chunk key was resident, so it hit.
+                pf_hits += self._consume_prefetch_tags(uniq)
+                prefix_miss = first_idx[~resident[first_idx]]
+                if prefix_miss.size:
+                    misses.append(start + prefix_miss)
+                start += cut
+            return ((np.concatenate(misses) if misses
+                     else np.zeros(0, dtype=np.int64)), pf_hits)
+        if (getattr(shard, "residency", None) is not None
+                and hasattr(shard, "serve_segment")):
+            misses: List[np.ndarray] = []
+            pf_hits = 0
+            for chunk in iter_serve_segments(shard, sub, speed,
+                                             self._SCALAR_FALLBACK):
+                if chunk[0] == "scalar":
+                    _, start, span = chunk
+                    scalar_miss, scalar_pf = self._scalar_subserve(
+                        shard, sub[start:start + span])
+                    pf_hits += scalar_pf
+                    if scalar_miss.size:
+                        misses.append(start + scalar_miss)
+                else:
+                    _, start, _, first_miss, victims, uniq = chunk
+                    if victims:
+                        on_victims(victims)
+                    # A victim's in-prefix touch would have trimmed the
+                    # prefix before it, so victims never overlap uniq:
+                    # every tagged prefix key was resident and hit.
+                    pf_hits += self._consume_prefetch_tags(uniq)
+                    if len(first_miss):
+                        misses.append(start + first_miss)
+            return ((np.concatenate(misses) if misses
+                     else np.zeros(0, dtype=np.int64)), pf_hits)
+        return self._scalar_subserve(shard, sub)
+
+    def _scalar_subserve(self, shard,
+                         sub: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Scalar serving loop against one shard backend; returns the
+        relative miss positions and consumed prefetch-hit count (the
+        remaining counter updates are the caller's job; evictions and
+        tag drops land globally)."""
+        speed = self.config.eviction_speed
+        prefetched = self._prefetched
+        misses: List[int] = []
+        pf_hits = 0
+        for position, key in enumerate(sub.tolist()):
+            if key in shard:
+                if key in prefetched:
+                    prefetched.discard(key)
+                    pf_hits += 1
+                shard.set_priority(key, speed)
+                continue
+            misses.append(position)
+            if shard.is_full:
+                victim = shard.evict_one()
+                prefetched.discard(victim)
+                self.evictions += 1
+            shard.insert(key, speed)
+        return np.asarray(misses, dtype=np.int64), pf_hits
+
     def _account_segment(self, segment: np.ndarray,
                          first_miss_pos: np.ndarray,
-                         uniq: np.ndarray) -> None:
+                         uniq: np.ndarray,
+                         pf_hits: Optional[int] = None) -> None:
         """Counters and decision recording for a bulk-served segment
         (the batched engines' epilogue; the store is the caller's job).
 
@@ -488,25 +689,25 @@ class RecMGManager:
         ``uniq`` holds the segment's distinct keys and is consulted
         only while prefetch tags exist.  Prefetched keys are always
         resident (the tag is dropped on eviction), so each one present
-        scores exactly one prefetch hit.
+        scores exactly one prefetch hit.  The sharded engine consumes
+        tags chunk by chunk instead (a later chunk's eviction may drop
+        a tag whose key already hit) and passes the consumed count as
+        ``pf_hits``; ``uniq`` is then ignored.
         """
         length = segment.size
         new_count = int(first_miss_pos.size)
         breakdown = self.breakdown
-        prefetched = self._prefetched
         record = self._record_hits
         if record is not None:
             segment_hits = np.ones(length, dtype=bool)
             segment_hits[first_miss_pos] = False
             record.extend(segment_hits.tolist())
-        hit_count = length - new_count
-        if prefetched:
-            pf_hits = prefetched.intersection(uniq.tolist())
-            if pf_hits:
-                prefetched.difference_update(pf_hits)
-                breakdown.prefetch_hits += len(pf_hits)
-                self.prefetches_useful += len(pf_hits)
-                hit_count -= len(pf_hits)
+        if pf_hits is None:
+            pf_hits = self._consume_prefetch_tags(uniq)
+        hit_count = length - new_count - pf_hits
+        if pf_hits:
+            breakdown.prefetch_hits += pf_hits
+            self.prefetches_useful += pf_hits
         breakdown.cache_hits += hit_count
         breakdown.on_demand += new_count
 
@@ -573,6 +774,11 @@ class RecMGManager:
 
         if not fast_serve:
             serve = self._serve_demand_slow
+        elif isinstance(self.buffer, ShardedBuffer):
+            # Shard-wise engine: route whole segments, serve per shard
+            # through the matching single-shard scheme (exact shards
+            # stay decision-identical to the scalar audit loop).
+            serve = self._serve_demand_sharded
         elif getattr(self.buffer, "approximate", False):
             serve = self._serve_demand_batched
         elif isinstance(self.buffer, FastPriorityBuffer):
@@ -599,8 +805,12 @@ class RecMGManager:
                 if preds_all is not None:
                     self._apply_prefetches(preds_all[chunk_idx])
             tail = num_chunks * length
-        for start in range(tail, n, self._SERVE_BLOCK):
-            serve(dense[start:start + self._SERVE_BLOCK])
+        # Sharded serving splits every block N ways, so scale the block
+        # to keep the per-shard sub-segments at single-shard size (the
+        # scatter itself is one vectorized route).
+        block = self._SERVE_BLOCK * getattr(self.buffer, "num_shards", 1)
+        for start in range(tail, n, block):
+            serve(dense[start:start + block])
         if record_decisions:
             self.last_decisions = np.asarray(self._record_hits, dtype=bool)
             self._record_hits = None

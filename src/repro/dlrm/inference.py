@@ -18,6 +18,7 @@ from ..cache.buffer import (
     make_buffer,
     reclaim_batch_space,
 )
+from ..cache.sharding import backend_for_key
 from ..traces.access import Trace
 from .model import DLRM
 from .tiered import TieredMemoryConfig
@@ -160,17 +161,32 @@ class BufferClassifier:
     is bit-identical to the scalar loop — decisions, victims and buffer
     state included; the remaining exact configurations replay the
     scalar loop so their per-access eviction interleaving is preserved.
+
+    ``num_shards > 1`` (with ``key_space``, which the routers require)
+    partitions the id universe across shards
+    (:class:`~repro.cache.sharding.ShardedBuffer`):
+    :meth:`access_batch` scatters the batch shard-wise with one
+    vectorized route and classifies each shard's sub-batch through the
+    matching scheme above; the scalar path evicts from the routed
+    shard.
     """
 
     def __init__(self, capacity: int, buffer_impl: str = "clock",
                  priority: int = 4,
-                 key_space: Optional[int] = None) -> None:
+                 key_space: Optional[int] = None,
+                 num_shards: int = 1,
+                 shard_policy: str = "contiguous") -> None:
         self.buffer = make_buffer(buffer_impl, capacity,
-                                  key_space=key_space)
+                                  key_space=key_space,
+                                  num_shards=num_shards,
+                                  shard_policy=shard_policy)
         self.priority = priority
 
     def access(self, key: int, pc: int = 0) -> bool:
-        buffer = self.buffer
+        return self._serve_scalar(backend_for_key(self.buffer, int(key)),
+                                  int(key))
+
+    def _serve_scalar(self, buffer, key: int) -> bool:
         if key in buffer:
             buffer.set_priority(key, self.priority)
             return True
@@ -179,9 +195,10 @@ class BufferClassifier:
         buffer.insert(key, self.priority)
         return False
 
-    def _access_loop(self, keys: np.ndarray) -> np.ndarray:
-        return np.fromiter((self.access(int(key)) for key in keys),
-                           dtype=bool, count=len(keys))
+    def _access_loop(self, buffer, keys: np.ndarray) -> np.ndarray:
+        return np.fromiter(
+            (self._serve_scalar(buffer, int(key)) for key in keys),
+            dtype=bool, count=len(keys))
 
     def access_batch(self, keys: np.ndarray,
                      pcs: Optional[np.ndarray] = None) -> np.ndarray:
@@ -190,10 +207,22 @@ class BufferClassifier:
         if keys.size == 0:
             return np.zeros(0, dtype=bool)
         buffer = self.buffer
+        segments = getattr(buffer, "iter_shard_segments", None)
+        if segments is None:
+            return self._classify_batch(buffer, keys)
+        # Sharded: one vectorized scatter, per-shard classification,
+        # one gather back into batch order.
+        hits = np.empty(keys.size, dtype=bool)
+        for _, shard, positions, sub in segments(keys):
+            hits[positions] = self._classify_batch(shard, sub)
+        return hits
+
+    def _classify_batch(self, buffer, keys: np.ndarray) -> np.ndarray:
+        """Hit booleans for ``keys`` against one single-shard backend."""
         if not getattr(buffer, "approximate", False):
             if (not hasattr(buffer, "serve_segment")
                     or getattr(buffer, "residency", None) is None):
-                return self._access_loop(keys)
+                return self._access_loop(buffer, keys)
             # Exact bulk path: the shared serve-prefix driver yields
             # bulk prefixes plus the scalar stretches to replay.
             hits = np.ones(keys.size, dtype=bool)
@@ -201,7 +230,7 @@ class BufferClassifier:
                 if chunk[0] == "scalar":
                     _, start, span = chunk
                     hits[start:start + span] = self._access_loop(
-                        keys[start:start + span])
+                        buffer, keys[start:start + span])
                 else:
                     _, start, _, first_miss, _, _ = chunk
                     hits[start + first_miss] = False
@@ -213,7 +242,7 @@ class BufferClassifier:
         uniq, first_idx = np.unique(keys, return_index=True)
         if uniq.size > buffer.capacity:
             # Batch wider than the buffer: cannot pre-reclaim.
-            return self._access_loop(keys)
+            return self._access_loop(buffer, keys)
         _, stale = reclaim_batch_space(
             buffer, uniq, int(np.count_nonzero(~resident[first_idx])))
         if stale:  # victims inside the batch re-miss

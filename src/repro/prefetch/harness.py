@@ -36,6 +36,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..cache.buffer import make_buffer
+from ..cache.sharding import backend_for_key
 from ..traces.access import Trace
 from ..traces.reuse import reuse_distances_from_keys
 from .base import Prefetcher
@@ -91,13 +92,22 @@ class LRUBufferWithPrefetch:
     heap evictions for O(capacity) batch selections — the right deal
     only for the batched ``serve_segment`` engines in the manager and
     ``dlrm.inference``, not for this loop.
+
+    ``num_shards > 1`` (with ``key_space``, required by the routers;
+    unsupported on the OrderedDict backend) partitions the id universe
+    across shards (:class:`~repro.cache.sharding.ShardedBuffer`):
+    residency and refresh route through the buffer, while
+    eviction-for-space targets the routed shard — per-shard LRU/CLOCK
+    recency, not the global order.
     """
 
     def __init__(self, capacity: int, prefetcher: Optional[Prefetcher] = None,
                  max_prefetches_per_access: int = 4,
                  metadata_fraction: float = 0.0,
                  buffer_impl: str = "ordered",
-                 key_space: Optional[int] = None) -> None:
+                 key_space: Optional[int] = None,
+                 num_shards: int = 1,
+                 shard_policy: str = "contiguous") -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         effective = max(1, int(capacity * (1.0 - metadata_fraction)))
@@ -109,18 +119,25 @@ class LRUBufferWithPrefetch:
         # prefetched?) for the classic path, or a priority-buffer
         # backend plus a prefetch-tag set.
         if buffer_impl == "ordered":
+            if num_shards != 1:
+                raise ValueError(
+                    "the OrderedDict LRU backend cannot shard; pick a "
+                    "registered buffer_impl for num_shards > 1")
             self._buffer = None
             self._pf_tags: Optional[set] = None
             self._refresh_priority = 0
             self._entries: Optional["OrderedDict[int, bool]"] = OrderedDict()
         else:
-            # Dense membership only for the approximate backend: the
-            # exact pair's dense mode pays O(capacity) per *scalar*
+            # Dense membership only for the approximate backend (or
+            # when sharding, whose routers require the dense universe):
+            # the exact pair's dense mode pays O(capacity) per *scalar*
             # eviction, and this harness only ever serves scalar
             # accesses (see class docstring).
+            dense = buffer_impl == "clock" or num_shards > 1
             self._buffer = make_buffer(
                 buffer_impl, effective,
-                key_space=key_space if buffer_impl == "clock" else None)
+                key_space=key_space if dense else None,
+                num_shards=num_shards, shard_policy=shard_policy)
             self._pf_tags = set()
             # Exact backends at constant priority 0 reduce to LRU
             # (victim = oldest seqno); clock needs priority 1 so a
@@ -143,8 +160,12 @@ class LRUBufferWithPrefetch:
             if key in buffer:
                 buffer.set_priority(key, self._refresh_priority)
                 return
-            if buffer.is_full:
-                victim = buffer.evict_one()
+            # Space must come from the shard that will hold the key
+            # (the routed shard of a ShardedBuffer, the buffer itself
+            # otherwise).
+            target = backend_for_key(buffer, key)
+            if target.is_full:
+                victim = target.evict_one()
                 self._pf_tags.discard(victim)
             buffer.insert(key, self._refresh_priority)
             if prefetched:
@@ -206,7 +227,9 @@ def run_breakdown(trace: Trace, capacity: int,
                   metadata_fraction: float = 0.0,
                   use_dense_keys: bool = True,
                   engine: str = "fast",
-                  buffer_impl: str = "ordered") -> AccessBreakdown:
+                  buffer_impl: str = "ordered",
+                  num_shards: int = 1,
+                  shard_policy: str = "contiguous") -> AccessBreakdown:
     """Simulate ``trace`` through an LRU buffer (+ optional prefetcher).
 
     ``use_dense_keys`` remaps packed keys into a dense index space so
@@ -220,7 +243,10 @@ def run_breakdown(trace: Trace, capacity: int,
     residency backend (see :class:`LRUBufferWithPrefetch`); the
     closed-form path only models the exact-LRU backends (``"ordered"``,
     ``"reference"``, ``"fast"``), so the approximate ``"clock"`` backend
-    always simulates.
+    always simulates.  ``num_shards > 1`` partitions the dense key
+    space across independent shards (requires ``use_dense_keys`` for
+    the routers' universe); per-shard LRU differs from global LRU, so
+    sharded runs always simulate too.
     """
     if engine not in ("fast", "reference"):
         raise ValueError(f"unknown breakdown engine: {engine!r}")
@@ -231,7 +257,8 @@ def run_breakdown(trace: Trace, capacity: int,
     else:
         keys = trace.keys()
     exact_lru = buffer_impl in ("ordered", "reference", "fast")
-    if prefetcher is None and engine == "fast" and exact_lru:
+    if (prefetcher is None and engine == "fast" and exact_lru
+            and num_shards == 1):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         effective = max(1, int(capacity * (1.0 - metadata_fraction)))
@@ -248,7 +275,9 @@ def run_breakdown(trace: Trace, capacity: int,
     buffer = LRUBufferWithPrefetch(capacity, prefetcher=prefetcher,
                                    metadata_fraction=metadata_fraction,
                                    buffer_impl=buffer_impl,
-                                   key_space=key_space)
+                                   key_space=key_space,
+                                   num_shards=num_shards,
+                                   shard_policy=shard_policy)
     for i in range(len(keys)):
         buffer.access(int(keys[i]), pc=int(tables[i]))
     return buffer.breakdown

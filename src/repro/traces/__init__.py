@@ -1,7 +1,14 @@
 """Embedding-access trace substrate: datatypes, synthesis, analysis."""
 
 from .access import Access, Trace, pack_key, unpack_key, remap_to_dense, ROW_BITS
-from .synthetic import SyntheticTraceConfig, generate_trace
+from .synthetic import (
+    SyntheticTraceConfig,
+    generate_trace,
+    skew_sweep_configs,
+    generate_skew_sweep,
+    generate_hot_shard_trace,
+    generate_multi_tenant_trace,
+)
 from .datasets import (
     DATASET_NAMES,
     TABLE1_CONFIGS,
@@ -37,6 +44,8 @@ from .io import save_trace, load_trace
 __all__ = [
     "Access", "Trace", "pack_key", "unpack_key", "remap_to_dense", "ROW_BITS",
     "SyntheticTraceConfig", "generate_trace",
+    "skew_sweep_configs", "generate_skew_sweep",
+    "generate_hot_shard_trace", "generate_multi_tenant_trace",
     "DATASET_NAMES", "TABLE1_CONFIGS", "dataset_config", "load_dataset",
     "load_all_datasets", "table1_trace",
     "COLD_MISS", "FenwickTree", "count_left_leq",

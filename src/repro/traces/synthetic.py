@@ -24,8 +24,8 @@ indices are semantically related.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -199,3 +199,150 @@ def generate_trace(config: SyntheticTraceConfig) -> Trace:
         offsets = np.append(offsets, config.num_accesses)
     return Trace(table_ids, row_ids, query_offsets=offsets,
                  name=f"synthetic-seed{config.seed}")
+
+
+# ---------------------------------------------------------------------------
+# Scenario-diverse generators (sharded-serving workloads).
+#
+# The sharded serving stack (repro.cache.sharding) is only interesting
+# under the traffic shapes real multi-tenant embedding caches see:
+# varying popularity skew, one shard drawing most of the traffic, and
+# tenants time-sharing the buffer from disjoint id regions.  The three
+# generators below synthesize exactly those.  They draw (table, row)
+# pairs from the *table-major flat grid* g = table * rows_per_table +
+# row: packed keys sort in that same order, remap_to_dense assigns
+# dense ids in sorted-key order, and the contiguous shard router
+# partitions dense ids by ranges — so a contiguous band of the flat
+# grid lands (up to ids that never appear) in a contiguous band of
+# dense ids, i.e. on one contiguous-router shard.
+
+
+def _grid_to_trace(flat: np.ndarray, rows_per_table: int,
+                   name: str) -> Trace:
+    """Flat table-major grid ids -> a Trace (one query per access)."""
+    offsets = np.arange(flat.size + 1, dtype=np.int64)
+    return Trace(flat // rows_per_table, flat % rows_per_table,
+                 query_offsets=offsets, name=name)
+
+
+def _band_draw(rng: np.random.Generator, lo: int, hi: int, count: int,
+               zipf_s: float) -> np.ndarray:
+    """``count`` Zipf-skewed draws from the flat-grid band [lo, hi)."""
+    weights = _zipf_popularity(hi - lo, zipf_s)
+    return lo + rng.choice(hi - lo, size=count, p=weights)
+
+
+def skew_sweep_configs(base: SyntheticTraceConfig,
+                       exponents: Sequence[float]
+                       ) -> List[SyntheticTraceConfig]:
+    """One config per Zipf exponent, all else (seed included) shared —
+    the knob sweep behind the sharded-serving skew benchmarks."""
+    return [replace(base, zipf_s=float(s)) for s in exponents]
+
+
+def generate_skew_sweep(base: SyntheticTraceConfig,
+                        exponents: Sequence[float]) -> List[Trace]:
+    """Generate one trace per Zipf exponent (see
+    :func:`skew_sweep_configs`): a popularity-skew sweep over otherwise
+    identical workloads, from near-uniform (small ``s``) to hammering a
+    few clusters (large ``s``)."""
+    return [generate_trace(config)
+            for config in skew_sweep_configs(base, exponents)]
+
+
+def generate_hot_shard_trace(config: SyntheticTraceConfig,
+                             num_shards: int = 4,
+                             hot_shard: int = 0,
+                             hot_fraction: float = 0.8) -> Trace:
+    """Hot-shard imbalance: ``hot_fraction`` of accesses concentrate on
+    one contiguous band of the id space.
+
+    The table-major flat grid ``[0, num_tables * rows_per_table)``
+    splits into ``num_shards`` equal contiguous bands; a
+    ``hot_fraction`` share of accesses draws (Zipf ``config.zipf_s``)
+    from band ``hot_shard``, the rest Zipf-spread over the whole grid.
+    Under the contiguous shard router one shard therefore absorbs
+    ~``hot_fraction`` of the traffic (the worst case a static range
+    partition can see), while the modulo router stripes the same hot
+    band across every shard — the pair the sharded benchmarks compare.
+    """
+    if not 1 <= num_shards:
+        raise ValueError("num_shards must be >= 1")
+    if not 0 <= hot_shard < num_shards:
+        raise ValueError("hot_shard must lie in [0, num_shards)")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must lie in [0, 1]")
+    rng = np.random.default_rng(config.seed)
+    universe = config.num_tables * config.rows_per_table
+    if universe < num_shards:
+        raise ValueError("id universe smaller than num_shards")
+    lo = hot_shard * universe // num_shards
+    hi = (hot_shard + 1) * universe // num_shards
+    n = config.num_accesses
+    hot_mask = rng.random(n) < hot_fraction
+    flat = np.empty(n, dtype=np.int64)
+    hot_count = int(hot_mask.sum())
+    if hot_count:
+        flat[hot_mask] = _band_draw(rng, lo, hi, hot_count, config.zipf_s)
+    if n - hot_count:
+        flat[~hot_mask] = _band_draw(rng, 0, universe, n - hot_count,
+                                     config.zipf_s)
+    return _grid_to_trace(
+        flat, config.rows_per_table,
+        name=(f"hot-shard{hot_shard}of{num_shards}"
+              f"-f{hot_fraction:g}-seed{config.seed}"))
+
+
+def generate_multi_tenant_trace(config: SyntheticTraceConfig,
+                                num_tenants: int = 4,
+                                tenant_shares: Optional[Sequence[float]]
+                                = None,
+                                phase_length: int = 256) -> Trace:
+    """Multi-tenant interleave: tenants with disjoint contiguous id
+    bands time-share the buffer in phases.
+
+    The flat grid splits into ``num_tenants`` equal contiguous bands
+    (one per tenant).  The trace is a sequence of ``phase_length``
+    -access phases; each phase belongs to one tenant drawn with
+    probability ``tenant_shares`` (uniform when omitted), and its
+    accesses are Zipf-skewed *within that tenant's band* — tenant-local
+    hot sets with no cross-tenant reuse.  Under contiguous routing each
+    tenant maps to a stable shard subset (per-tenant isolation); under
+    modulo routing every tenant touches every shard.
+    """
+    if num_tenants < 1:
+        raise ValueError("num_tenants must be >= 1")
+    if phase_length < 1:
+        raise ValueError("phase_length must be >= 1")
+    if tenant_shares is None:
+        shares = np.full(num_tenants, 1.0 / num_tenants)
+    else:
+        shares = np.asarray(tenant_shares, dtype=np.float64)
+        if shares.size != num_tenants or (shares < 0).any():
+            raise ValueError("tenant_shares must be num_tenants "
+                             "non-negative weights")
+        if shares.sum() <= 0:
+            raise ValueError("tenant_shares must not sum to zero")
+        shares = shares / shares.sum()
+    rng = np.random.default_rng(config.seed)
+    universe = config.num_tables * config.rows_per_table
+    if universe < num_tenants:
+        raise ValueError("id universe smaller than num_tenants")
+    n = config.num_accesses
+    num_phases = -(-n // phase_length)
+    tenant_of_phase = rng.choice(num_tenants, size=num_phases, p=shares)
+    flat = np.empty(num_phases * phase_length, dtype=np.int64)
+    for tenant in range(num_tenants):
+        phases = np.flatnonzero(tenant_of_phase == tenant)
+        if not phases.size:
+            continue
+        lo = tenant * universe // num_tenants
+        hi = (tenant + 1) * universe // num_tenants
+        draws = _band_draw(rng, lo, hi, phases.size * phase_length,
+                           config.zipf_s)
+        positions = (phases[:, None] * phase_length
+                     + np.arange(phase_length)[None, :]).ravel()
+        flat[positions] = draws
+    return _grid_to_trace(
+        flat[:n], config.rows_per_table,
+        name=f"multi-tenant{num_tenants}-seed{config.seed}")

@@ -1,0 +1,112 @@
+"""Tests for benchmarks/compare_bench.py (the CI hot-path regression
+gate), driven by synthetic BENCH_hotpaths.json fixtures.
+
+The script is CI tooling that fails builds, so its three verdicts each
+get a test: clean pass (exit 0), a gated speedup regressing more than
+the threshold (exit 1), and a gated hot path vanishing from the fresh
+run (exit 1) — plus the policy details: ungated entries never gate,
+new paths are informational, and ``--max-regression`` moves the floor.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" \
+    / "compare_bench.py"
+
+
+@pytest.fixture(scope="module")
+def compare_bench():
+    spec = importlib.util.spec_from_file_location("compare_bench", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _payload(entries):
+    """BENCH_hotpaths.json shape from {name: (speedup, gated)} (a bare
+    float means gated=True; None omits the speedup entirely)."""
+    hot_paths = {}
+    for name, value in entries.items():
+        speedup, gated = (value if isinstance(value, tuple)
+                          else (value, True))
+        entry = {"accesses": 50_000, "seconds": 0.05}
+        if speedup is not None:
+            entry["speedup"] = speedup
+        if gated:
+            entry["gated"] = True
+        hot_paths[name] = entry
+    return {"source": "test", "hot_paths": hot_paths}
+
+
+def _write(tmp_path, name, entries):
+    path = tmp_path / name
+    path.write_text(json.dumps(_payload(entries)))
+    return str(path)
+
+
+def test_clean_pass(compare_bench, tmp_path, capsys):
+    baseline = _write(tmp_path, "base.json",
+                      {"optgen": 20.0, "serving": 4.0})
+    fresh = _write(tmp_path, "fresh.json",
+                   {"optgen": 18.5, "serving": 4.2})
+    assert compare_bench.main([baseline, fresh]) == 0
+    out = capsys.readouterr().out
+    assert "All 2 gated hot paths" in out
+    assert "FAIL" not in out
+
+
+def test_regression_beyond_threshold_fails(compare_bench, tmp_path,
+                                           capsys):
+    baseline = _write(tmp_path, "base.json",
+                      {"optgen": 20.0, "serving": 4.0})
+    fresh = _write(tmp_path, "fresh.json",
+                   {"optgen": 20.0, "serving": 2.0})  # 50% drop
+    assert compare_bench.main([baseline, fresh]) == 1
+    captured = capsys.readouterr()
+    assert "FAIL serving" in captured.out
+    assert "regressed" in captured.err
+
+
+def test_regression_within_threshold_passes(compare_bench, tmp_path):
+    baseline = _write(tmp_path, "base.json", {"serving": 4.0})
+    fresh = _write(tmp_path, "fresh.json", {"serving": 3.0})  # 25% drop
+    assert compare_bench.main([baseline, fresh]) == 0
+    # A tighter floor flips the verdict.
+    assert compare_bench.main([baseline, fresh,
+                               "--max-regression", "0.20"]) == 1
+
+
+def test_vanished_gated_path_fails(compare_bench, tmp_path, capsys):
+    baseline = _write(tmp_path, "base.json",
+                      {"optgen": 20.0, "serving": 4.0})
+    fresh = _write(tmp_path, "fresh.json", {"optgen": 20.0})
+    assert compare_bench.main([baseline, fresh]) == 1
+    assert "missing from the" in capsys.readouterr().err
+
+
+def test_ungated_entries_never_gate(compare_bench, tmp_path, capsys):
+    """Informational entries (no gated flag, or no speedup at all) are
+    excluded on both sides: regressing or vanishing is fine."""
+    baseline = _write(tmp_path, "base.json",
+                      {"gated": 5.0,
+                       "parity": (1.0, False),
+                       "raw-only": (None, False)})
+    fresh = _write(tmp_path, "fresh.json",
+                   {"gated": 5.0, "parity": (0.2, False)})
+    assert compare_bench.main([baseline, fresh]) == 0
+    assert "All 1 gated hot paths" in capsys.readouterr().out
+
+
+def test_new_gated_path_is_informational(compare_bench, tmp_path,
+                                         capsys):
+    """A fresh-only path cannot gate until its baseline is committed —
+    but it is surfaced as NEW so the committer sees it."""
+    baseline = _write(tmp_path, "base.json", {"optgen": 20.0})
+    fresh = _write(tmp_path, "fresh.json",
+                   {"optgen": 20.0, "sharded": 1.05})
+    assert compare_bench.main([baseline, fresh]) == 0
+    assert "NEW sharded" in capsys.readouterr().out

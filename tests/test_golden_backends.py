@@ -34,6 +34,25 @@ GOLDEN_MANAGER = {
     ("clock", "auto"): (7616, 4384, 4187),
 }
 
+#: (cache_hits, on_demand, evictions) per (buffer_impl, num_shards,
+#: shard_policy) sharded manager config at the same 20% total capacity
+#: on the golden trace.  Sharded serving is legitimately its own
+#: policy: capacity splits per shard (so eviction pressure is local)
+#: and the clock engine pre-reclaims with *protected* eviction — hence
+#: the clock rows beat the unsharded clock golden, while the exact
+#: rows stay within noise of the exact trio (per-shard exact serving of
+#: a partitioned stream).
+GOLDEN_SHARDED = {
+    ("fast", 2, "contiguous"): (7666, 4334, 4137),
+    ("fast", 2, "modulo"): (7655, 4345, 4148),
+    ("fast", 4, "contiguous"): (7674, 4326, 4129),
+    ("fast", 4, "modulo"): (7668, 4332, 4135),
+    ("clock", 2, "contiguous"): (8358, 3642, 3445),
+    ("clock", 2, "modulo"): (8375, 3625, 3428),
+    ("clock", 4, "contiguous"): (8257, 3743, 3546),
+    ("clock", 4, "modulo"): (8264, 3736, 3539),
+}
+
 #: (cache_hits, on_demand) for the no-prefetcher LRU harness on the
 #: same trace/capacity: closed form == simulation (exact LRU), clock =
 #: second-chance approximation.
@@ -72,6 +91,41 @@ def test_manager_backend_matches_golden(golden_trace, golden_capacity,
         f"{observed} != committed golden")
     assert stats.breakdown.total == len(golden_trace)
     assert stats.breakdown.prefetch_hits == 0  # no models deployed
+
+
+@pytest.mark.parametrize("impl,num_shards,policy",
+                         sorted(GOLDEN_SHARDED, key=repr))
+def test_sharded_manager_matches_golden(golden_trace, golden_capacity,
+                                        impl, num_shards, policy):
+    config = RecMGConfig()
+    encoder = FeatureEncoder(config).fit(golden_trace)
+    manager = RecMGManager(golden_capacity, encoder, config,
+                           buffer_impl=impl, num_shards=num_shards,
+                           shard_policy=policy)
+    stats = manager.run(golden_trace)
+    observed = (stats.breakdown.cache_hits, stats.breakdown.on_demand,
+                stats.evictions)
+    assert observed == GOLDEN_SHARDED[(impl, num_shards, policy)], (
+        f"{impl!r}/{num_shards} shards/{policy!r} shifted sharded "
+        f"policy behavior: {observed} != committed golden")
+    assert stats.breakdown.total == len(golden_trace)
+    assert stats.breakdown.prefetch_hits == 0  # no models deployed
+    # Per-shard capacities partition the total exactly.
+    assert sum(manager.buffer.shard_capacities) == golden_capacity
+
+
+def test_sharded_goldens_are_self_consistent():
+    """Exact sharded configs stay close to the exact trio (per-shard
+    exact serving); protected-reclaim clock configs must not fall below
+    the unsharded clock golden (that is the point of the protection)."""
+    exact_hits = GOLDEN_MANAGER[("fast", "auto")][0]
+    clock_hits = GOLDEN_MANAGER[("clock", "auto")][0]
+    for (impl, _, _), (hits, misses, evictions) in GOLDEN_SHARDED.items():
+        assert hits + misses == 12_000
+        if impl == "fast":
+            assert abs(hits - exact_hits) <= 20
+        else:
+            assert hits >= clock_hits
 
 
 def test_exact_backends_identical_on_golden_trace():

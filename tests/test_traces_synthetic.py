@@ -4,9 +4,11 @@ import numpy as np
 import pytest
 
 from repro.traces import (
-    DATASET_NAMES, SyntheticTraceConfig, dataset_config, generate_trace,
-    load_dataset, long_reuse_fraction, reuse_distances, table1_trace,
-    top_fraction_share,
+    DATASET_NAMES, SyntheticTraceConfig, dataset_config,
+    generate_hot_shard_trace, generate_multi_tenant_trace,
+    generate_skew_sweep, generate_trace, load_dataset,
+    long_reuse_fraction, reuse_distances, skew_sweep_configs,
+    table1_trace, top_fraction_share,
 )
 
 
@@ -66,6 +68,94 @@ class TestPaperProperties:
             return np.mean([len(set(arr[i:i + w].tolist()))
                             for i in range(0, len(arr) - w, w)])
         assert window_distinct(keys) < window_distinct(shuffled)
+
+
+class TestScenarioGenerators:
+    """Sharded-serving workloads: skew sweep, hot-shard, multi-tenant."""
+
+    BASE = SyntheticTraceConfig(num_tables=4, rows_per_table=256,
+                                num_accesses=8000, seed=12)
+
+    @staticmethod
+    def _flat(trace, rows_per_table=256):
+        return trace.table_ids * rows_per_table + trace.row_ids
+
+    def test_skew_sweep_varies_only_the_exponent(self):
+        configs = skew_sweep_configs(self.BASE, [0.4, 1.1, 2.2])
+        assert [c.zipf_s for c in configs] == [0.4, 1.1, 2.2]
+        assert all(c.seed == self.BASE.seed
+                   and c.num_accesses == self.BASE.num_accesses
+                   for c in configs)
+
+    def test_skew_sweep_concentrates_with_exponent(self):
+        mild, heavy = generate_skew_sweep(self.BASE, [0.2, 2.5])
+        assert len(mild) == len(heavy) == self.BASE.num_accesses
+        assert (top_fraction_share(heavy, 0.05)
+                > top_fraction_share(mild, 0.05))
+
+    def test_hot_shard_band_concentration(self):
+        trace = generate_hot_shard_trace(self.BASE, num_shards=4,
+                                         hot_shard=2, hot_fraction=0.8)
+        assert len(trace) == self.BASE.num_accesses
+        universe = 4 * 256
+        flat = self._flat(trace)
+        band = (flat >= 2 * universe // 4) & (flat < 3 * universe // 4)
+        # The hot band holds its own share plus its slice of the cold
+        # remainder.
+        assert band.mean() > 0.75
+        # Deterministic per seed.
+        again = generate_hot_shard_trace(self.BASE, num_shards=4,
+                                         hot_shard=2, hot_fraction=0.8)
+        assert np.array_equal(trace.keys(), again.keys())
+
+    def test_hot_shard_maps_to_one_contiguous_router_shard(self):
+        """The point of the generator: under contiguous routing of the
+        dense-remapped universe, one shard absorbs the hot traffic."""
+        from repro.cache import make_router
+        from repro.traces.access import remap_to_dense
+
+        trace = generate_hot_shard_trace(self.BASE, num_shards=4,
+                                         hot_shard=1, hot_fraction=0.85)
+        dense, _ = remap_to_dense(trace)
+        router = make_router("contiguous", 4, int(dense.max()) + 1)
+        shares = np.bincount(router.route_batch(dense), minlength=4) \
+            / dense.size
+        assert shares.max() > 0.6  # one shard dominates
+        modulo = make_router("modulo", 4, int(dense.max()) + 1)
+        mod_shares = np.bincount(modulo.route_batch(dense), minlength=4) \
+            / dense.size
+        assert mod_shares.max() < shares.max()  # striping spreads it
+
+    def test_hot_shard_validation(self):
+        with pytest.raises(ValueError):
+            generate_hot_shard_trace(self.BASE, num_shards=4, hot_shard=4)
+        with pytest.raises(ValueError):
+            generate_hot_shard_trace(self.BASE, hot_fraction=1.5)
+
+    def test_multi_tenant_phases_and_shares(self):
+        trace = generate_multi_tenant_trace(self.BASE, num_tenants=4,
+                                            tenant_shares=[4, 2, 1, 1],
+                                            phase_length=200)
+        assert len(trace) == self.BASE.num_accesses
+        universe = 4 * 256
+        tenant = self._flat(trace) * 4 // universe
+        # Phases are single-tenant (tenant bands are disjoint).
+        whole = tenant[: (len(trace) // 200) * 200].reshape(-1, 200)
+        assert (whole == whole[:, :1]).all()
+        # Shares are respected within sampling noise.
+        shares = np.bincount(tenant, minlength=4) / tenant.size
+        assert shares[0] > shares[2] and shares[0] > shares[3]
+
+    def test_multi_tenant_validation(self):
+        with pytest.raises(ValueError):
+            generate_multi_tenant_trace(self.BASE, num_tenants=0)
+        with pytest.raises(ValueError):
+            generate_multi_tenant_trace(self.BASE, tenant_shares=[1, 2])
+        with pytest.raises(ValueError):
+            generate_multi_tenant_trace(self.BASE,
+                                        tenant_shares=[0, 0, 0, 0])
+        with pytest.raises(ValueError):
+            generate_multi_tenant_trace(self.BASE, phase_length=0)
 
 
 class TestDatasets:
