@@ -13,12 +13,14 @@ Packages:
 * :mod:`repro.core` -- the RecMG caching + prefetch models and manager
 * :mod:`repro.dlrm` -- numpy DLRM, tiered-memory latency model, end-to-end
   inference timing, linear performance model
+* :mod:`repro.serving` -- concurrent serving front-end (admission queue,
+  batcher, per-shard worker pool, latency/SLO metrics)
 * :mod:`repro.analysis` -- geomean and ASCII table/figure rendering
 """
 
-from . import nn, traces, cache, prefetch, core, dlrm, analysis
+from . import nn, traces, cache, prefetch, core, dlrm, serving, analysis
 
 __version__ = "1.0.0"
 
-__all__ = ["nn", "traces", "cache", "prefetch", "core", "dlrm", "analysis",
-           "__version__"]
+__all__ = ["nn", "traces", "cache", "prefetch", "core", "dlrm", "serving",
+           "analysis", "__version__"]

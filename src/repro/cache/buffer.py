@@ -110,9 +110,16 @@ batched calls, and one gather, and capacity/eviction are **per shard**
 — a full shard evicts its own victim even while another shard has free
 slots, so the victim order of a sharded ``evict_batch`` is per-shard
 (grouped in shard-id order), *not* the global ``(effective_priority,
-seqno)`` contract above.  See :mod:`repro.cache.sharding` for the full
-routing contract; a 1-shard wrapper is differential-tested identical
-to the bare backend in ``tests/test_sharding.py``.
+seqno)`` contract above.  That caveat is a load-bearing part of the
+bulk protocol, not prose: callers that fold ``evict_batch`` victims
+back into per-key state (the manager's gather, the sharded serving
+engines) rely on the grouping, and
+``tests/test_sharding.py::test_evict_batch_victim_order_is_per_shard``
+pins it — shard-id-grouped, water-filled counts, each group in that
+shard's own standalone eviction order.  See
+:mod:`repro.cache.sharding` for the full routing contract; a 1-shard
+wrapper is differential-tested identical to the bare backend in
+``tests/test_sharding.py``.
 """
 
 from __future__ import annotations

@@ -360,7 +360,9 @@ class ShardedBuffer:
         per shard in shard-id order; *within* a shard they follow that
         shard's own eviction order — there is no cross-shard
         ``(effective_priority, seqno)`` interleaving (see module
-        docstring)."""
+        docstring and the Sharding note in :mod:`repro.cache.buffer`).
+        This ordering is contract, pinned by
+        ``tests/test_sharding.py::test_evict_batch_victim_order_is_per_shard``."""
         count = int(n)
         if count <= 0:
             return []

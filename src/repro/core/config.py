@@ -63,6 +63,15 @@ class RecMGConfig:
     #: ``"modulo"`` (striping).  See
     #: :data:`repro.cache.sharding.SHARD_POLICIES`.
     shard_policy: str = "contiguous"
+    #: Demand-serving dispatch: ``"serial"`` (shard loop inline on the
+    #: calling thread) or ``"threads"`` (per-shard worker pool;
+    #: requires ``num_shards > 1``).  Bit-identical decisions either
+    #: way — see :mod:`repro.serving` and
+    #: :data:`repro.core.manager.CONCURRENCY_MODES`.
+    concurrency: str = "serial"
+    #: Worker threads for ``concurrency="threads"`` (``None`` = one per
+    #: shard; smaller values time-share shards over fewer workers).
+    num_workers: int | None = None
 
     @property
     def eval_window(self) -> int:
@@ -95,3 +104,13 @@ class RecMGConfig:
             raise ValueError(
                 f"shard_policy must be one of {sorted(SHARD_POLICIES)}, "
                 f"got {self.shard_policy!r}")
+        if self.concurrency not in ("serial", "threads"):
+            raise ValueError(
+                "concurrency must be one of ('serial', 'threads'), "
+                f"got {self.concurrency!r}")
+        if self.concurrency == "threads" and self.num_shards < 2:
+            raise ValueError(
+                "concurrency='threads' dispatches per-shard workers "
+                "and requires num_shards > 1")
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1 (or None)")

@@ -45,6 +45,26 @@ scalar paths route through
 :func:`repro.cache.sharding.backend_for_key` so a miss evicts from the
 shard that will hold the key.
 
+``concurrency="threads"`` (constructor argument or
+``config.concurrency``; requires a sharded buffer) moves the per-shard
+serves onto a persistent
+:class:`repro.serving.workers.ShardWorkerPool`: each shard is pinned
+to one worker thread (``num_workers`` may be smaller than the shard
+count; shards then time-share workers FIFO), sub-segments are
+dispatched shard-wise and the results gathered back **in shard order**
+— so counters, decision streams and final buffer state are
+*bit-identical* to the serial shard-wise loop (the 40-seed sharded
+differential in ``tests/test_sharding.py`` and the multi-worker stress
+suite in ``tests/test_serving_concurrent.py`` both pin this).  Without
+model chunks, :meth:`RecMGManager.run` additionally *pipelines* serving
+blocks: up to a bounded number of blocks are in flight at once, so a
+worker never idles at a block boundary waiting for its siblings.
+Per-batch wall latency, queue depth and per-shard utilization land in
+:attr:`RecMGManager.serving_metrics`
+(:class:`repro.serving.metrics.ServingMetrics`);
+:meth:`RecMGManager.serve_batch` is the front door the admission
+queue/batcher stack (:mod:`repro.serving.admission`) drives.
+
 Serving is backend-agnostic through the **bulk residency/priority
 protocol** (see :mod:`repro.cache.buffer`): every backend answers
 ``contains_batch(keys) -> bool[:]`` and accepts
@@ -60,6 +80,7 @@ no call site branches on the backend.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Set, Tuple
@@ -75,11 +96,17 @@ from ..cache.buffer import (
 from ..cache.sharding import ShardedBuffer, backend_for_key
 from ..prefetch.base import Prefetcher
 from ..prefetch.harness import AccessBreakdown
+from ..serving.metrics import ServingMetrics
+from ..serving.workers import ShardWorkerPool
 from ..traces.access import Trace
 from .caching_model import CachingModel
 from .config import RecMGConfig
 from .features import FeatureEncoder
 from .prefetch_model import PrefetchModel
+
+#: Engine-dispatch policies accepted by ``concurrency=`` (constructor
+#: argument and :class:`RecMGConfig` field).
+CONCURRENCY_MODES = ("serial", "threads")
 
 
 @dataclass
@@ -110,6 +137,10 @@ class RecMGManager:
     #: Below this length a rejected exact segment goes straight to the
     #: scalar audit loop instead of splitting further.
     _SCALAR_FALLBACK = 64
+    #: Upper bound on serving blocks in flight when the concurrent
+    #: engine pipelines a whole trace (bounds gather-buffer memory
+    #: while keeping every shard worker fed across block boundaries).
+    _MAX_INFLIGHT_BLOCKS = 8
 
     def __init__(self, capacity: int, encoder: FeatureEncoder,
                  config: RecMGConfig,
@@ -118,7 +149,9 @@ class RecMGManager:
                  buffer_impl: Optional[str] = None,
                  key_space="auto",
                  num_shards: Optional[int] = None,
-                 shard_policy: Optional[str] = None) -> None:
+                 shard_policy: Optional[str] = None,
+                 concurrency: Optional[str] = None,
+                 num_workers: Optional[int] = None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -151,6 +184,30 @@ class RecMGManager:
                                   key_space=key_space,
                                   num_shards=self.num_shards,
                                   shard_policy=self.shard_policy)
+        # Concurrent dispatch (see module docstring): "serial" keeps the
+        # single-threaded engines; "threads" serves shard sub-segments
+        # on a persistent per-shard worker pool, gathered in shard
+        # order (decision-identical to serial).  The pool is built
+        # lazily on first concurrent serve, so serial managers never
+        # pay a thread.
+        self.concurrency = (concurrency if concurrency is not None
+                            else getattr(config, "concurrency", "serial"))
+        if self.concurrency not in CONCURRENCY_MODES:
+            raise ValueError(
+                f"concurrency must be one of {CONCURRENCY_MODES}, "
+                f"got {self.concurrency!r}")
+        self.num_workers = (num_workers if num_workers is not None
+                            else getattr(config, "num_workers", None))
+        if self.concurrency == "threads" and not isinstance(
+                self.buffer, ShardedBuffer):
+            raise ValueError(
+                "concurrency='threads' dispatches per-shard workers and "
+                "therefore requires num_shards > 1 (a ShardedBuffer); "
+                f"got num_shards={self.num_shards}")
+        self._pool: Optional[ShardWorkerPool] = None
+        #: Per-batch latency / queue-depth / batch-size telemetry; the
+        #: concurrent engine and :meth:`serve_batch` record into it.
+        self.serving_metrics = ServingMetrics()
         self._prefetched: Set[int] = set()
         self.breakdown = AccessBreakdown()
         self.prefetches_issued = 0
@@ -160,6 +217,27 @@ class RecMGManager:
         #: record_decisions=True)``; None otherwise.
         self.last_decisions: Optional[np.ndarray] = None
         self._record_hits: Optional[List[bool]] = None
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ShardWorkerPool:
+        """The persistent shard worker pool (built on first use)."""
+        if self._pool is None or self._pool.closed:
+            self._pool = ShardWorkerPool(self.buffer.num_shards,
+                                         self.num_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Join the worker pool, if one was ever built (idempotent;
+        serial managers no-op).  The manager remains usable — a later
+        concurrent serve simply builds a fresh pool."""
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "RecMGManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _evict_for_space(self, key: Optional[int] = None) -> Optional[int]:
@@ -418,16 +496,19 @@ class RecMGManager:
         """Batched-reclaim serving for approximate (clock) backends.
 
         Instead of deciding one eviction per miss, the whole segment is
-        made eviction-free up front: one
+        made eviction-free up front: one *protected*
         :meth:`~repro.cache.buffer.ClockBuffer.evict_batch` call
-        reclaims exactly the space the segment's non-resident keys
-        need, then every access resolves through the bulk eviction-free
-        path.  A reclaim victim can itself be a segment key (it then
-        counts as a miss — coherent, since it really was evicted before
-        serving began), so the residency classification loops until the
-        segment fits; each round evicts at least one entry, and the
-        loop is entered at all only when the segment's distinct keys
-        fit in the buffer.
+        (``avoid=uniq``) reclaims exactly the space the segment's
+        non-resident keys need, then every access resolves through the
+        bulk eviction-free path.  Protection means a reclaim victim is
+        never a segment key — the clock hand skips over them — so the
+        residency snapshot stays valid (no victim/segment collision
+        re-classification loop) and no key is evicted moments before
+        its own refresh; the same scheme the sharded clock sub-engine
+        (:meth:`_serve_subsegment`) uses, and it is why the clock hit
+        rate sits *above* the exact backends on looping workloads.
+        Reclaim is possible at all only when the segment's distinct
+        keys fit in the buffer (checked below).
 
         Everything is array-native: residency classifies through
         ``contains_batch`` (a single bitmap gather on the dense clock
@@ -465,11 +546,11 @@ class RecMGManager:
             if prefetched:
                 prefetched.difference_update(victims)
 
-        _, stale = reclaim_batch_space(
+        # Protected reclaim: victims never collide with the segment,
+        # so the residency snapshot taken above stays valid.
+        reclaim_batch_space(
             buffer, uniq, int(np.count_nonzero(~resident[first_idx])),
-            on_victims=on_victims)
-        if stale:  # reclaim victims invalidated the residency snapshot
-            resident = buffer.contains_batch(segment)
+            on_victims=on_victims, protect=True)
         # Distinct new keys miss exactly once, at their first
         # occurrence (every occurrence of a non-resident key is a
         # snapshot miss, so the first one is the demand fetch).
@@ -531,15 +612,138 @@ class RecMGManager:
         buffer = self.buffer
         miss_chunks: List[np.ndarray] = []
         pf_hits = 0
+        evicted = 0
         for _, shard, positions, sub in buffer.iter_shard_segments(segment):
-            sub_miss, sub_pf = self._serve_subsegment(shard, sub)
+            sub_miss, sub_pf, sub_ev = self._serve_subsegment(shard, sub)
             pf_hits += sub_pf
+            evicted += sub_ev
             if sub_miss.size:
                 miss_chunks.append(positions[sub_miss])
+        self.evictions += evicted
         first_miss_pos = (np.concatenate(miss_chunks) if miss_chunks
                           else np.zeros(0, dtype=np.int64))
         self._account_segment(segment, first_miss_pos, segment,
                               pf_hits=pf_hits)
+
+    def _submit_block(self, segment: np.ndarray) -> List[Tuple]:
+        """Route ``segment`` and dispatch one :meth:`_serve_subsegment`
+        job per touched shard to the worker pool; returns the
+        ``(positions, future)`` jobs **in shard order** — the order the
+        gather must consume them to reproduce the serial engine."""
+        pool = self._ensure_pool()
+        return [
+            (positions, pool.submit(index, self._serve_subsegment,
+                                    shard, sub))
+            for index, shard, positions, sub
+            in self.buffer.iter_shard_segments(segment)
+        ]
+
+    def _gather_block(self, segment: np.ndarray, jobs: List[Tuple]) -> None:
+        """Join a dispatched block's shard jobs in shard order and run
+        the segment-order accounting pass — the single point where
+        worker results touch the shared counters (so the workers never
+        race on them)."""
+        miss_chunks: List[np.ndarray] = []
+        pf_hits = 0
+        evicted = 0
+        for positions, future in jobs:
+            sub_miss, sub_pf, sub_ev = future.result()
+            pf_hits += sub_pf
+            evicted += sub_ev
+            if sub_miss.size:
+                miss_chunks.append(positions[sub_miss])
+        self.evictions += evicted
+        first_miss_pos = (np.concatenate(miss_chunks) if miss_chunks
+                          else np.zeros(0, dtype=np.int64))
+        self._account_segment(segment, first_miss_pos, segment,
+                              pf_hits=pf_hits)
+
+    def _serve_demand_concurrent(self, segment: np.ndarray) -> None:
+        """Concurrent shard-wise serving (``concurrency="threads"``).
+
+        Same route → serve → gather shape as
+        :meth:`_serve_demand_sharded`, with the per-shard sub-segments
+        dispatched to the persistent :class:`ShardWorkerPool` instead
+        of served inline.  Decision identity with the serial loop is
+        structural, not probabilistic: shards hold disjoint key sets,
+        every shard is pinned to exactly one single-thread worker (so a
+        shard's sub-segments execute FIFO in submission order), and the
+        gather consumes futures in shard order — the exact iteration
+        order of the serial engine.  Worker results are pure values
+        (miss positions, prefetch hits, eviction count); all shared
+        counters are written by the gather on the calling thread.
+
+        This is the per-segment *barrier* form — it blocks until the
+        whole segment is gathered, which model-boundary chunks require
+        (a chunk's caching bits/prefetches must land before the next
+        chunk is served).  The no-model streaming path pipelines blocks
+        through :meth:`_serve_stream` instead.
+        """
+        segment = np.asarray(segment, dtype=np.int64)
+        if segment.size == 0:
+            return
+        self._gather_block(segment, self._submit_block(segment))
+
+    def _serve_stream(self, dense: np.ndarray, start: int,
+                      block: int) -> None:
+        """Pipelined concurrent serving of the model-free stream tail:
+        keep up to :attr:`_MAX_INFLIGHT_BLOCKS` blocks dispatched ahead
+        of the gather, so shard workers never idle at a block boundary
+        waiting for the slowest sibling.  Per-shard FIFO (all
+        ``_submit_block`` calls happen on this thread, in block order)
+        means each shard still serves its sub-segments in exactly the
+        serial order, and the gathers run in block order here — so
+        counters, decision streams and buffer state stay bit-identical
+        to the serial engine.  Each gathered block records its wall
+        latency (dispatch → gathered) and the in-flight depth into
+        :attr:`serving_metrics`."""
+        pending: Deque[Tuple[np.ndarray, List[Tuple], float]] = deque()
+        metrics = self.serving_metrics
+
+        def drain_one() -> None:
+            segment, jobs, submitted_at = pending.popleft()
+            self._gather_block(segment, jobs)
+            metrics.record_batch(int(segment.size),
+                                 time.perf_counter() - submitted_at,
+                                 queue_depth=len(pending))
+
+        for lo in range(start, len(dense), block):
+            segment = np.asarray(dense[lo:lo + block], dtype=np.int64)
+            pending.append((segment, self._submit_block(segment),
+                            time.perf_counter()))
+            if len(pending) >= self._MAX_INFLIGHT_BLOCKS:
+                drain_one()
+        while pending:
+            drain_one()
+
+    def serve_batch(self, keys: np.ndarray,
+                    queue_depth: Optional[int] = None) -> np.ndarray:
+        """Serve one coalesced demand segment — the front door the
+        admission queue/batcher stack (:mod:`repro.serving.admission`)
+        drives, and what an RPC handler would call per batch.
+
+        Dispatches through the same engine selection as :meth:`run`
+        (concurrent when ``concurrency="threads"``), records the
+        batch's wall latency, size and ``queue_depth`` (the admission
+        queue's depth when the batch formed, if the caller tracks one)
+        into :attr:`serving_metrics`, and returns the per-access hit
+        booleans (``True`` = served from the buffer, demand or
+        prefetched; ``False`` = on-demand fetch) in access order.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        serve = self._select_engine()
+        outer = self._record_hits
+        self._record_hits = []
+        begin = time.perf_counter()
+        try:
+            serve(keys)
+            hits = np.asarray(self._record_hits, dtype=bool)
+        finally:
+            self._record_hits = outer
+        self.serving_metrics.record_batch(
+            int(keys.size), time.perf_counter() - begin,
+            queue_depth=queue_depth)
+        return hits
 
     def _consume_prefetch_tags(self, keys) -> int:
         """Consume the prefetch tags of the (resident) ``keys`` just
@@ -557,21 +761,30 @@ class RecMGManager:
         return len(hits)
 
     def _serve_subsegment(self, shard,
-                          sub: np.ndarray) -> Tuple[np.ndarray, int]:
+                          sub: np.ndarray) -> Tuple[np.ndarray, int, int]:
         """Serve ``sub`` (all keys route to ``shard``) on one backend
         shard; returns the positions (relative to ``sub``) of its
-        demand misses and the number of prefetch hits it consumed.
-        Mirrors the single-shard engines minus the hit/miss counter
-        writes, which :meth:`_serve_demand_sharded` runs once for the
-        gathered segment; evictions and prefetch-tag bookkeeping land
-        on the global state as they happen (a tag is consumed in the
-        chunk where its key is first served, and dropped when its key
-        is evicted — in that order, chunk by chunk)."""
+        demand misses, the number of prefetch hits it consumed, and
+        the number of entries it evicted.  Mirrors the single-shard
+        engines minus the shared-counter writes, which the gather
+        (:meth:`_serve_demand_sharded` / :meth:`_gather_block`) runs
+        once for the whole segment — evictions in particular are
+        *returned*, not added to :attr:`evictions` here, because under
+        ``concurrency="threads"`` this method runs on worker threads
+        and ``+=`` on a shared int is a lost-update race.  Prefetch-tag
+        bookkeeping does land on :attr:`_prefetched` as it happens (a
+        tag is consumed in the chunk where its key is first served,
+        dropped when its key is evicted — in that order, chunk by
+        chunk): every key and victim this shard touches routes only to
+        this shard, so concurrent workers mutate disjoint tag subsets,
+        and each individual set op is atomic under the GIL."""
         speed = self.config.eviction_speed
         prefetched = self._prefetched
+        evicted = 0
 
         def on_victims(victims):
-            self.evictions += len(victims)
+            nonlocal evicted
+            evicted += len(victims)
             if prefetched:
                 prefetched.difference_update(victims)
 
@@ -624,7 +837,7 @@ class RecMGManager:
                     misses.append(start + prefix_miss)
                 start += cut
             return ((np.concatenate(misses) if misses
-                     else np.zeros(0, dtype=np.int64)), pf_hits)
+                     else np.zeros(0, dtype=np.int64)), pf_hits, evicted)
         if (getattr(shard, "residency", None) is not None
                 and hasattr(shard, "serve_segment")):
             misses: List[np.ndarray] = []
@@ -633,9 +846,10 @@ class RecMGManager:
                                              self._SCALAR_FALLBACK):
                 if chunk[0] == "scalar":
                     _, start, span = chunk
-                    scalar_miss, scalar_pf = self._scalar_subserve(
+                    scalar_miss, scalar_pf, scalar_ev = self._scalar_subserve(
                         shard, sub[start:start + span])
                     pf_hits += scalar_pf
+                    evicted += scalar_ev
                     if scalar_miss.size:
                         misses.append(start + scalar_miss)
                 else:
@@ -649,19 +863,21 @@ class RecMGManager:
                     if len(first_miss):
                         misses.append(start + first_miss)
             return ((np.concatenate(misses) if misses
-                     else np.zeros(0, dtype=np.int64)), pf_hits)
+                     else np.zeros(0, dtype=np.int64)), pf_hits, evicted)
         return self._scalar_subserve(shard, sub)
 
     def _scalar_subserve(self, shard,
-                         sub: np.ndarray) -> Tuple[np.ndarray, int]:
+                         sub: np.ndarray) -> Tuple[np.ndarray, int, int]:
         """Scalar serving loop against one shard backend; returns the
-        relative miss positions and consumed prefetch-hit count (the
-        remaining counter updates are the caller's job; evictions and
-        tag drops land globally)."""
+        relative miss positions, consumed prefetch-hit count and
+        eviction count (the shared-counter updates are the gather's
+        job — see :meth:`_serve_subsegment` on why; tag drops land on
+        the shared set as they happen)."""
         speed = self.config.eviction_speed
         prefetched = self._prefetched
         misses: List[int] = []
         pf_hits = 0
+        evicted = 0
         for position, key in enumerate(sub.tolist()):
             if key in shard:
                 if key in prefetched:
@@ -673,9 +889,9 @@ class RecMGManager:
             if shard.is_full:
                 victim = shard.evict_one()
                 prefetched.discard(victim)
-                self.evictions += 1
+                evicted += 1
             shard.insert(key, speed)
-        return np.asarray(misses, dtype=np.int64), pf_hits
+        return np.asarray(misses, dtype=np.int64), pf_hits, evicted
 
     def _account_segment(self, segment: np.ndarray,
                          first_miss_pos: np.ndarray,
@@ -712,6 +928,33 @@ class RecMGManager:
         breakdown.on_demand += new_count
 
     # ------------------------------------------------------------------
+    def _select_engine(self, fast_serve: bool = True):
+        """The bulk demand-serving engine for the configured backend —
+        one dispatch shared by :meth:`run` and :meth:`serve_batch` (the
+        engine semantics are documented on :meth:`run`)."""
+        if not fast_serve:
+            return self._serve_demand_slow
+        if isinstance(self.buffer, ShardedBuffer):
+            # Shard-wise engine: route whole segments, serve per shard
+            # through the matching single-shard scheme (exact shards
+            # stay decision-identical to the scalar audit loop).  The
+            # concurrent engine dispatches the same per-shard serves to
+            # the worker pool and is bit-identical to the serial loop.
+            if self.concurrency == "threads":
+                return self._serve_demand_concurrent
+            return self._serve_demand_sharded
+        if getattr(self.buffer, "approximate", False):
+            return self._serve_demand_batched
+        if isinstance(self.buffer, FastPriorityBuffer):
+            # Dense (key_space) mode serves through the bulk exact
+            # engine; dict mode through the lazy-heap pre-pass.  Both
+            # are decision-identical to the scalar audit loop.
+            return (self._serve_demand_batched_exact
+                    if self.buffer.residency is not None
+                    else self._serve_demand_fast)
+        # Exact audit backend ("reference").
+        return self._serve_demand_slow
+
     def run(self, trace: Trace, inference_batch: int = 64,
             fast_serve: bool = True,
             record_decisions: bool = False) -> ManagerStats:
@@ -729,7 +972,11 @@ class RecMGManager:
         (:meth:`_serve_demand_batched`) for the approximate ``"clock"``
         buffer, whose victim order (and hence hit stream) legitimately
         differs from the scalar loop.  The ``"reference"`` backend
-        always runs the audit loop.
+        always runs the audit loop.  Sharded buffers route shard-wise
+        (:meth:`_serve_demand_sharded`), and ``concurrency="threads"``
+        swaps in the bit-identical concurrent engine
+        (:meth:`_serve_demand_concurrent`) — pipelined across blocks
+        via :meth:`_serve_stream` once the model chunks are done.
         ``record_decisions`` additionally stores the per-access hit
         booleans in :attr:`last_decisions` (every engine records).
         """
@@ -772,24 +1019,7 @@ class RecMGManager:
                          for lo in range(0, num_chunks, inference_batch)]
                 preds_all = np.concatenate(parts, axis=0)
 
-        if not fast_serve:
-            serve = self._serve_demand_slow
-        elif isinstance(self.buffer, ShardedBuffer):
-            # Shard-wise engine: route whole segments, serve per shard
-            # through the matching single-shard scheme (exact shards
-            # stay decision-identical to the scalar audit loop).
-            serve = self._serve_demand_sharded
-        elif getattr(self.buffer, "approximate", False):
-            serve = self._serve_demand_batched
-        elif isinstance(self.buffer, FastPriorityBuffer):
-            # Dense (key_space) mode serves through the bulk exact
-            # engine; dict mode through the lazy-heap pre-pass.  Both
-            # are decision-identical to the scalar audit loop.
-            serve = (self._serve_demand_batched_exact
-                     if self.buffer.residency is not None
-                     else self._serve_demand_fast)
-        else:  # exact audit backend ("reference")
-            serve = self._serve_demand_slow
+        serve = self._select_engine(fast_serve)
         if bits_all is None and preds_all is None:
             # No model ever touches the buffer between chunks, so chunk
             # boundaries are irrelevant: serve the whole trace in large
@@ -809,8 +1039,13 @@ class RecMGManager:
         # to keep the per-shard sub-segments at single-shard size (the
         # scatter itself is one vectorized route).
         block = self._SERVE_BLOCK * getattr(self.buffer, "num_shards", 1)
-        for start in range(tail, n, block):
-            serve(dense[start:start + block])
+        if serve == self._serve_demand_concurrent:
+            # No model barriers past ``tail``: pipeline the blocks so
+            # shard workers stay busy across block boundaries.
+            self._serve_stream(dense, tail, block)
+        else:
+            for start in range(tail, n, block):
+                serve(dense[start:start + block])
         if record_decisions:
             self.last_decisions = np.asarray(self._record_hits, dtype=bool)
             self._record_hits = None

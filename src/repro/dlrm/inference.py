@@ -19,6 +19,7 @@ from ..cache.buffer import (
     reclaim_batch_space,
 )
 from ..cache.sharding import backend_for_key
+from ..serving.workers import ShardWorkerPool
 from ..traces.access import Trace
 from .model import DLRM
 from .tiered import TieredMemoryConfig
@@ -168,19 +169,41 @@ class BufferClassifier:
     :meth:`access_batch` scatters the batch shard-wise with one
     vectorized route and classifies each shard's sub-batch through the
     matching scheme above; the scalar path evicts from the routed
-    shard.
+    shard.  ``concurrency="threads"`` dispatches the per-shard
+    classifications to a persistent
+    :class:`~repro.serving.workers.ShardWorkerPool` (shard-pinned
+    workers, shard-order gather — the manager's concurrent engine in
+    miniature), which is bit-identical to the serial shard loop.
     """
 
     def __init__(self, capacity: int, buffer_impl: str = "clock",
                  priority: int = 4,
                  key_space: Optional[int] = None,
                  num_shards: int = 1,
-                 shard_policy: str = "contiguous") -> None:
+                 shard_policy: str = "contiguous",
+                 concurrency: str = "serial",
+                 num_workers: Optional[int] = None) -> None:
+        if concurrency not in ("serial", "threads"):
+            raise ValueError(
+                "concurrency must be one of ('serial', 'threads'), "
+                f"got {concurrency!r}")
+        if concurrency == "threads" and num_shards < 2:
+            raise ValueError(
+                "concurrency='threads' dispatches per-shard workers "
+                "and requires num_shards > 1")
         self.buffer = make_buffer(buffer_impl, capacity,
                                   key_space=key_space,
                                   num_shards=num_shards,
                                   shard_policy=shard_policy)
         self.priority = priority
+        self.concurrency = concurrency
+        self.num_workers = num_workers
+        self._pool: Optional[ShardWorkerPool] = None
+
+    def close(self) -> None:
+        """Join the worker pool, if one was built (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
 
     def access(self, key: int, pc: int = 0) -> bool:
         return self._serve_scalar(backend_for_key(self.buffer, int(key)),
@@ -213,6 +236,19 @@ class BufferClassifier:
         # Sharded: one vectorized scatter, per-shard classification,
         # one gather back into batch order.
         hits = np.empty(keys.size, dtype=bool)
+        if self.concurrency == "threads":
+            # Shard-pinned workers; only the gather writes ``hits``.
+            if self._pool is None or self._pool.closed:
+                self._pool = ShardWorkerPool(buffer.num_shards,
+                                             self.num_workers)
+            jobs = [
+                (positions,
+                 self._pool.submit(index, self._classify_batch, shard, sub))
+                for index, shard, positions, sub in segments(keys)
+            ]
+            for positions, future in jobs:
+                hits[positions] = future.result()
+            return hits
         for _, shard, positions, sub in segments(keys):
             hits[positions] = self._classify_batch(shard, sub)
         return hits

@@ -1,0 +1,33 @@
+"""Concurrent serving front-end: admission, batching, shard workers,
+and latency/SLO metrics.
+
+The layer that turns the sharded serving library into a traffic-bearing
+engine (see ROADMAP "Serving architecture"):
+
+    producers -> RequestQueue -> Batcher -> RecMGManager.serve_batch
+                                              |  route (scatter)
+                                              v
+                                   ShardWorkerPool (per-shard FIFO)
+                                              |  gather (shard order)
+                                              v
+                                       ServingMetrics
+
+:mod:`repro.core.manager` consumes :class:`ShardWorkerPool` and
+:class:`ServingMetrics` when ``concurrency="threads"``;
+``examples/serving_daemon.py`` drives the whole stack.
+"""
+
+from .admission import Batch, Batcher, QueueClosed, Request, RequestQueue
+from .metrics import LatencyWindow, ServingMetrics
+from .workers import ShardWorkerPool
+
+__all__ = [
+    "Batch",
+    "Batcher",
+    "LatencyWindow",
+    "QueueClosed",
+    "Request",
+    "RequestQueue",
+    "ServingMetrics",
+    "ShardWorkerPool",
+]

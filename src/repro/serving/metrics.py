@@ -1,0 +1,182 @@
+"""Latency/SLO observability for the concurrent serving front-end.
+
+The serving path so far reported one number per run — accesses/sec.  A
+traffic-bearing front end needs the latency *distribution* (tail
+latency is the SLO currency: a p99 of 20 ms matters even when the mean
+is 2 ms), the admission queue's depth (the leading indicator of
+overload), the batch-size mix the batcher actually produced, and how
+busy each shard worker was.  :class:`ServingMetrics` records all four
+with O(1) per-batch cost and summarizes them on demand:
+
+* **per-batch wall latency** — a fixed-size ring buffer
+  (:class:`LatencyWindow`) of the most recent ``window`` batch
+  latencies; p50/p95/p99 are computed on demand from the window, so
+  recording stays allocation-free on the serving path and the
+  percentiles track the *current* regime rather than the whole
+  history;
+* **queue depth** — mean/max over the recorded samples (the admission
+  queue's depth at each flush, or the engine's in-flight block count);
+* **batch-size histogram** — power-of-two buckets (a batch of 1500
+  keys lands in the ``1024-2047`` bucket), enough to see whether the
+  batcher is flushing on size or on deadline;
+* **per-shard busy time** — accumulated by
+  :class:`repro.serving.workers.ShardWorkerPool` and merged into the
+  summary as utilization (busy seconds / wall seconds).
+
+Recording is **single-consumer**: one thread (the gather/drive loop)
+calls :meth:`ServingMetrics.record_batch`.  Shard busy times are
+written by the worker threads but each shard's accumulator is only
+ever touched by the worker that owns the shard, so no lock is needed
+anywhere on the hot path.
+
+The summary feeds two places: the serving daemon's live printout
+(``examples/serving_daemon.py``) and the committed perf baseline —
+``benchmarks/test_perf_hotpaths.py`` exports ``latency_p50_ms`` /
+``latency_p95_ms`` / ``latency_p99_ms`` and queue-depth stats next to
+accesses/sec in ``BENCH_hotpaths.json``, so tail latency is tracked
+across PRs alongside throughput.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+class LatencyWindow:
+    """Ring buffer over the most recent ``window`` latency samples.
+
+    ``record`` is O(1) (one scalar store, no growth); ``percentile``
+    sorts the live window on demand — cheap at summary time, free on
+    the serving path.  ``count`` / ``total_seconds`` cover the *whole*
+    history, so throughput math never loses evicted samples.
+    """
+
+    def __init__(self, window: int = 4096) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = int(window)
+        self._ring = np.zeros(self.window, dtype=np.float64)
+        self._next = 0
+        self.count = 0
+        self.total_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        self._ring[self._next] = seconds
+        self._next = (self._next + 1) % self.window
+        self.count += 1
+        self.total_seconds += seconds
+
+    def _live(self) -> np.ndarray:
+        return self._ring[: min(self.count, self.window)]
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (seconds) over the live window; 0.0 when
+        nothing has been recorded yet."""
+        live = self._live()
+        if live.size == 0:
+            return 0.0
+        return float(np.percentile(live, q))
+
+    def percentiles(self, qs: Sequence[float]) -> Dict[float, float]:
+        live = self._live()
+        if live.size == 0:
+            return {float(q): 0.0 for q in qs}
+        values = np.percentile(live, list(qs))
+        return {float(q): float(v) for q, v in zip(qs, values)}
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+def _size_bucket(size: int) -> str:
+    """Power-of-two bucket label for a batch size (``"1024-2047"``)."""
+    if size <= 0:
+        return "0"
+    lo = 1 << (int(size).bit_length() - 1)
+    return f"{lo}-{2 * lo - 1}" if lo > 1 else "1"
+
+
+class ServingMetrics:
+    """Per-batch serving telemetry (see module docstring).
+
+    One instance rides on each :class:`repro.core.manager.RecMGManager`;
+    the concurrent engine and :meth:`RecMGManager.serve_batch` record
+    into it, the serving daemon and the perf benches read
+    :meth:`summary`.
+    """
+
+    PERCENTILES = (50.0, 95.0, 99.0)
+
+    def __init__(self, window: int = 4096) -> None:
+        self.latency = LatencyWindow(window)
+        self.batches = 0
+        self.keys_served = 0
+        self.batch_size_histogram: Dict[str, int] = {}
+        self.queue_depth_samples = 0
+        self.queue_depth_sum = 0
+        self.queue_depth_max = 0
+        self._started = time.perf_counter()
+
+    # -- recording (single consumer) -----------------------------------
+    def record_batch(self, size: int, latency_seconds: float,
+                     queue_depth: Optional[int] = None) -> None:
+        """Record one served batch: its key count, wall latency, and
+        (when the caller knows it) the admission-queue depth at the
+        moment the batch was formed."""
+        size = int(size)
+        self.batches += 1
+        self.keys_served += size
+        self.latency.record(latency_seconds)
+        bucket = _size_bucket(size)
+        self.batch_size_histogram[bucket] = \
+            self.batch_size_histogram.get(bucket, 0) + 1
+        if queue_depth is not None:
+            depth = int(queue_depth)
+            self.queue_depth_samples += 1
+            self.queue_depth_sum += depth
+            if depth > self.queue_depth_max:
+                self.queue_depth_max = depth
+
+    # -- reading -------------------------------------------------------
+    @property
+    def queue_depth_mean(self) -> float:
+        if not self.queue_depth_samples:
+            return 0.0
+        return self.queue_depth_sum / self.queue_depth_samples
+
+    def summary(self, shard_busy_seconds: Optional[Sequence[float]] = None,
+                wall_seconds: Optional[float] = None) -> Dict[str, object]:
+        """Flat summary dict (floats/ints only, JSON-ready).
+
+        ``shard_busy_seconds`` (e.g.
+        :meth:`~repro.serving.workers.ShardWorkerPool.busy_seconds`)
+        adds per-shard utilization against ``wall_seconds`` (defaults
+        to the metrics object's own lifetime).
+        """
+        wall = (wall_seconds if wall_seconds is not None
+                else time.perf_counter() - self._started)
+        pct = self.latency.percentiles(self.PERCENTILES)
+        out: Dict[str, object] = {
+            "batches": self.batches,
+            "keys_served": self.keys_served,
+            "latency_p50_ms": pct[50.0] * 1e3,
+            "latency_p95_ms": pct[95.0] * 1e3,
+            "latency_p99_ms": pct[99.0] * 1e3,
+            "latency_mean_ms": self.latency.mean_seconds * 1e3,
+            "queue_depth_mean": self.queue_depth_mean,
+            "queue_depth_max": self.queue_depth_max,
+            "batch_size_histogram": dict(sorted(
+                self.batch_size_histogram.items(),
+                key=lambda item: int(item[0].split("-")[0]))),
+        }
+        if self.latency.total_seconds > 0:
+            out["keys_per_sec_busy"] = \
+                self.keys_served / self.latency.total_seconds
+        if shard_busy_seconds is not None and wall > 0:
+            out["shard_utilization"] = [
+                busy / wall for busy in shard_busy_seconds]
+        return out

@@ -1,0 +1,122 @@
+"""Persistent per-shard worker pool for the concurrent serving engine.
+
+A :class:`ShardWorkerPool` owns ``num_workers`` single-thread
+executors and pins every shard to exactly one of them (shard ``s`` →
+worker ``s % num_workers``).  Two properties follow, and both are what
+make the concurrent engine *decision-identical* to the serial
+shard-wise loop:
+
+* **shard exclusivity** — a shard's tasks only ever run on its one
+  worker thread, so no two tasks touch the same shard concurrently
+  and the shard backends need no locks;
+* **per-shard FIFO** — tasks are submitted from a single dispatcher
+  thread and each worker is a single-thread executor, so a shard's
+  sub-segments execute in exactly the order they were submitted —
+  the order the serial loop would serve them.
+
+Workers are **persistent**: the pool is created once per manager and
+reused across every segment, so steady-state serving pays no thread
+start/stop cost.  ``num_workers`` may be smaller than the shard count
+(shards then time-share workers, still per-shard FIFO) — the knob the
+multi-worker determinism stress test sweeps (1/2/4/8 workers must all
+reproduce the serial decision stream).
+
+Each task execution is timed into a per-shard busy accumulator; a
+shard's accumulator is only written by the worker that owns the shard,
+so the counters are race-free by construction and feed the per-shard
+utilization row of :class:`repro.serving.metrics.ServingMetrics`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, List, Optional
+
+
+class ShardWorkerPool:
+    """N single-thread executors with a static shard → worker pinning."""
+
+    def __init__(self, num_shards: int, num_workers: Optional[int] = None,
+                 thread_name_prefix: str = "shard-worker") -> None:
+        num_shards = int(num_shards)
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if num_workers is None:
+            num_workers = num_shards
+        num_workers = int(num_workers)
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        # More workers than shards would leave the extras permanently
+        # idle (a shard never migrates off its pinned worker).
+        self.num_shards = num_shards
+        self.num_workers = min(num_workers, num_shards)
+        self._executors = [
+            ThreadPoolExecutor(
+                max_workers=1,
+                thread_name_prefix=f"{thread_name_prefix}-{w}")
+            for w in range(self.num_workers)
+        ]
+        self._busy_seconds = [0.0] * num_shards
+        self._started_at = time.perf_counter()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def worker_of(self, shard_index: int) -> int:
+        """Worker owning ``shard_index`` (static pinning)."""
+        return shard_index % self.num_workers
+
+    def submit(self, shard_index: int, fn: Callable, *args) -> Future:
+        """Run ``fn(*args)`` on ``shard_index``'s worker; FIFO per
+        shard when called from a single dispatcher thread."""
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        shard_index = int(shard_index)
+        if not 0 <= shard_index < self.num_shards:
+            raise IndexError(f"shard_index {shard_index} out of range "
+                             f"[0, {self.num_shards})")
+        executor = self._executors[self.worker_of(shard_index)]
+        return executor.submit(self._timed, shard_index, fn, args)
+
+    def _timed(self, shard_index: int, fn: Callable, args) -> object:
+        start = time.perf_counter()
+        try:
+            return fn(*args)
+        finally:
+            # Only this shard's pinned worker writes this cell.
+            self._busy_seconds[shard_index] += time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    def busy_seconds(self) -> List[float]:
+        """Per-shard accumulated task seconds (utilization numerator)."""
+        return list(self._busy_seconds)
+
+    @property
+    def wall_seconds(self) -> float:
+        return time.perf_counter() - self._started_at
+
+    def utilization(self) -> List[float]:
+        """Per-shard busy fraction of the pool's lifetime."""
+        wall = self.wall_seconds
+        if wall <= 0:
+            return [0.0] * self.num_shards
+        return [busy / wall for busy in self._busy_seconds]
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Drain and join every worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for executor in self._executors:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

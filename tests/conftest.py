@@ -14,6 +14,19 @@ from repro.core import RecMG, RecMGConfig
 from repro.traces import SyntheticTraceConfig, generate_trace
 
 
+def pytest_configure(config):
+    if not config.pluginmanager.hasplugin("timeout"):
+        # pytest-timeout is a CI dependency (requirements-ci.txt); when
+        # it is absent locally the marker must still be known so the
+        # concurrency suite runs warning-free (the limit is then simply
+        # not enforced).
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): per-test wall-clock limit, enforced by "
+            "pytest-timeout where installed (a hung worker/queue test "
+            "fails instead of wedging CI)")
+
+
 TINY_CONFIG = SyntheticTraceConfig(
     num_tables=4,
     rows_per_table=512,

@@ -47,3 +47,16 @@ def test_example_runs_on_tiny_trace(name, monkeypatch, capsys):
     module.main()
     out = capsys.readouterr().out
     assert out.strip(), f"examples/{name}.py printed nothing"
+
+
+def test_serving_daemon_runs_on_tiny_stream(capsys):
+    """The serving daemon generates its own multi-tenant stream (no
+    ``load_dataset``), so it is smoke-run through its ``main()``
+    keywords instead: a tiny trace, 2 shards, a 2-thread pool."""
+    module = _load_example("serving_daemon")
+    module.main(total_accesses=4000, num_shards=2, num_workers=2,
+                max_batch_keys=256, queue_size=16, report_every=0)
+    out = capsys.readouterr().out
+    assert "hit rate" in out
+    assert "latency ms" in out
+    assert "shard utilization" in out

@@ -9,6 +9,13 @@ shift (a changed victim order, a misclassified access, an off-by-one
 in batch accounting) breaks this file loudly instead of drifting the
 paper's figures.
 
+The clock goldens were last regenerated when the single-shard
+batched-reclaim engine adopted *protected* eviction
+(``evict_batch(avoid=segment)``, matching the sharded sub-engine):
+victims can no longer collide with the segment being served, which
+legitimately raises clock hits (7616 -> 7638 here; larger on looping
+workloads — see ``benchmarks/test_perf_hotpaths.py``).
+
 If a change legitimately alters policy behavior (it should say so in
 its PR), regenerate the constants by running the printed expressions
 — every entry is a plain (cache_hits, on_demand, evictions) tuple.
@@ -30,8 +37,8 @@ GOLDEN_MANAGER = {
     ("reference", "auto"): (7666, 4334, 4137),
     ("fast", None): (7666, 4334, 4137),
     ("fast", "auto"): (7666, 4334, 4137),
-    ("clock", None): (7616, 4384, 4187),
-    ("clock", "auto"): (7616, 4384, 4187),
+    ("clock", None): (7638, 4362, 4165),
+    ("clock", "auto"): (7638, 4362, 4165),
 }
 
 #: (cache_hits, on_demand, evictions) per (buffer_impl, num_shards,

@@ -1,0 +1,424 @@
+"""Concurrent serving front-end: admission units + determinism stress.
+
+Three layers of checking for :mod:`repro.serving` and the manager's
+``concurrency="threads"`` engine:
+
+* **Unit** — :class:`RequestQueue` (FIFO, bounded backpressure, close
+  semantics), :class:`Batcher` (max-size / max-wait flush policy),
+  :class:`ServingMetrics` / :class:`LatencyWindow` (percentiles over a
+  ring window, counts over the whole history, size histogram), and
+  :class:`ShardWorkerPool` (static pinning, per-shard FIFO, busy
+  accounting, idempotent close).
+* **Integration** — producer threads → queue → batcher →
+  :meth:`RecMGManager.serve_batch`: the coalesced stream must be served
+  decision-for-decision like the same access stream fed straight to
+  the engine, with admission telemetry recorded.
+* **Determinism stress** — the tentpole invariant: the multi-tenant
+  trace served with ``concurrency="threads"`` at 1/2/4/8 workers,
+  repeatedly, must reproduce the serial shard-wise engine *bit for
+  bit* — counters, per-access decision stream, and the union of
+  per-shard residents.  Any cross-thread ordering leak (a shard served
+  off its pinned worker, a gather out of shard order, a racy shared
+  counter) shows up here as a diff, not a flake.
+
+The blocking tests carry ``pytest.mark.timeout`` so a deadlocked queue
+or wedged worker fails fast in CI (pytest-timeout; marker is a no-op
+when the plugin is absent — see ``conftest.py``).
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import RecMGConfig
+from repro.core.features import FeatureEncoder
+from repro.core.manager import RecMGManager
+from repro.serving import (
+    Batcher,
+    LatencyWindow,
+    QueueClosed,
+    Request,
+    RequestQueue,
+    ServingMetrics,
+    ShardWorkerPool,
+)
+from repro.traces import SyntheticTraceConfig, generate_multi_tenant_trace
+
+TENANT_CONFIG = SyntheticTraceConfig(
+    num_tables=4,
+    rows_per_table=256,
+    num_accesses=6000,
+    num_clusters=12,
+    cluster_block=8,
+    seed=77,
+)
+
+
+# ---------------------------------------------------------------------------
+# RequestQueue.
+
+
+@pytest.mark.timeout(30)
+def test_request_queue_fifo_and_depth():
+    queue = RequestQueue(maxsize=8)
+    for tenant in range(5):
+        queue.put(Request(keys=np.array([tenant]), tenant=tenant))
+    assert queue.depth() == 5
+    order = [queue.get().tenant for _ in range(5)]
+    assert order == [0, 1, 2, 3, 4]
+    assert queue.depth() == 0
+
+
+def test_request_queue_validation():
+    with pytest.raises(ValueError):
+        RequestQueue(maxsize=0)
+
+
+@pytest.mark.timeout(30)
+def test_request_queue_put_times_out_when_full():
+    queue = RequestQueue(maxsize=1)
+    queue.put(Request(keys=np.array([1])))
+    with pytest.raises(TimeoutError):
+        queue.put(Request(keys=np.array([2])), timeout=0.01)
+
+
+@pytest.mark.timeout(30)
+def test_request_queue_get_times_out_when_empty():
+    queue = RequestQueue(maxsize=1)
+    assert queue.get(timeout=0.01) is None
+
+
+@pytest.mark.timeout(30)
+def test_request_queue_close_wakes_producer_and_drains():
+    queue = RequestQueue(maxsize=1)
+    queue.put(Request(keys=np.array([1])))
+    errors = []
+
+    def blocked_producer():
+        try:
+            queue.put(Request(keys=np.array([2])))  # full -> blocks
+        except QueueClosed as exc:
+            errors.append(exc)
+
+    producer = threading.Thread(target=blocked_producer)
+    producer.start()
+    time.sleep(0.02)  # let it park on the full queue
+    queue.close()
+    producer.join(timeout=5)
+    assert not producer.is_alive()
+    assert len(errors) == 1  # woken with QueueClosed, not wedged
+    # Pending requests stay drainable after close; then the stop signal.
+    assert queue.get().keys.tolist() == [1]
+    assert queue.get() is None
+    with pytest.raises(QueueClosed):
+        queue.put(Request(keys=np.array([3])))
+
+
+@pytest.mark.timeout(30)
+def test_request_queue_backpressure_bounds_depth():
+    """A fast producer against a slow consumer never overshoots
+    ``maxsize`` — puts block instead of queueing unboundedly."""
+    queue = RequestQueue(maxsize=4)
+    seen_depths = []
+
+    def producer():
+        for i in range(32):
+            queue.put(Request(keys=np.array([i])))
+        queue.close()
+
+    thread = threading.Thread(target=producer)
+    thread.start()
+    drained = []
+    while True:
+        request = queue.get(timeout=1.0)
+        if request is None:
+            break
+        seen_depths.append(queue.depth())
+        drained.append(int(request.keys[0]))
+    thread.join(timeout=5)
+    assert drained == list(range(32))  # FIFO end to end
+    assert max(seen_depths) <= 4
+
+
+# ---------------------------------------------------------------------------
+# Batcher.
+
+
+def test_batcher_validation():
+    queue = RequestQueue()
+    with pytest.raises(ValueError):
+        Batcher(queue, max_batch_keys=0)
+    with pytest.raises(ValueError):
+        Batcher(queue, max_wait_s=-1.0)
+
+
+@pytest.mark.timeout(30)
+def test_batcher_flushes_on_size_bound():
+    queue = RequestQueue()
+    for lo in range(0, 12, 3):
+        queue.put(Request(keys=np.arange(lo, lo + 3)))
+    queue.close()
+    # Generous deadline: the size bound (6 keys = 2 requests) must be
+    # what flushes, not the clock.
+    batches = list(Batcher(queue, max_batch_keys=6,
+                           max_wait_s=10.0).batches())
+    assert [batch.num_requests for batch in batches] == [2, 2]
+    assert np.concatenate([b.keys for b in batches]).tolist() == \
+        list(range(12))  # arrival order preserved across flushes
+    for batch in batches:
+        assert batch.queue_wait_seconds >= 0.0
+
+
+@pytest.mark.timeout(30)
+def test_batcher_flushes_lone_request_on_deadline():
+    queue = RequestQueue()
+    queue.put(Request(keys=np.array([7, 8])))
+    batcher = Batcher(queue, max_batch_keys=1024, max_wait_s=0.01)
+    iterator = batcher.batches()
+    batch = next(iterator)  # must yield after ~max_wait_s, not block
+    assert batch.keys.tolist() == [7, 8]
+    assert batch.num_requests == 1
+    queue.close()
+    assert list(iterator) == []
+
+
+@pytest.mark.timeout(30)
+def test_batcher_drains_after_close():
+    queue = RequestQueue()
+    for i in range(5):
+        queue.put(Request(keys=np.array([i])))
+    queue.close()
+    batches = list(Batcher(queue, max_batch_keys=2,
+                           max_wait_s=0.0).batches())
+    assert np.concatenate([b.keys for b in batches]).tolist() == \
+        [0, 1, 2, 3, 4]
+
+
+# ---------------------------------------------------------------------------
+# Metrics.
+
+
+def test_latency_window_percentiles_and_totals():
+    window = LatencyWindow(window=4)
+    for value in (0.010, 0.020, 0.030, 0.040, 0.050, 0.060):
+        window.record(value)
+    # Counts/totals span the whole history, percentiles the window.
+    assert window.count == 6
+    assert window.total_seconds == pytest.approx(0.210)
+    assert window.percentile(50.0) == pytest.approx(0.045)
+    assert window.percentile(100.0) == pytest.approx(0.060)
+    assert window.mean_seconds == pytest.approx(0.035)
+
+
+def test_serving_metrics_summary_shape():
+    metrics = ServingMetrics()
+    for size, latency, depth in [(100, 0.001, 0), (300, 0.002, 2),
+                                 (600, 0.004, 4)]:
+        metrics.record_batch(size, latency, queue_depth=depth)
+    summary = metrics.summary(shard_busy_seconds=[0.004, 0.002],
+                              wall_seconds=0.010)
+    assert summary["batches"] == 3
+    assert summary["keys_served"] == 1000
+    assert summary["latency_p50_ms"] == pytest.approx(2.0)
+    assert summary["latency_p99_ms"] <= 4.0 + 1e-9
+    assert summary["queue_depth_mean"] == pytest.approx(2.0)
+    assert summary["queue_depth_max"] == 4
+    assert summary["batch_size_histogram"] == {
+        "64-127": 1, "256-511": 1, "512-1023": 1}
+    assert summary["shard_utilization"] == [
+        pytest.approx(0.4), pytest.approx(0.2)]
+
+
+def test_serving_metrics_empty_summary():
+    summary = ServingMetrics().summary()
+    assert summary["batches"] == 0
+    assert summary["keys_served"] == 0
+
+
+# ---------------------------------------------------------------------------
+# ShardWorkerPool.
+
+
+def test_worker_pool_validation_and_clamp():
+    with pytest.raises(ValueError):
+        ShardWorkerPool(0)
+    with pytest.raises(ValueError):
+        ShardWorkerPool(2, num_workers=0)
+    with ShardWorkerPool(2, num_workers=8) as pool:
+        assert pool.num_workers == 2  # extras would idle forever
+
+
+@pytest.mark.timeout(30)
+def test_worker_pool_pins_shards_and_keeps_fifo():
+    """Every shard's tasks run on one thread, in submission order,
+    even with fewer workers than shards."""
+    num_shards, per_shard = 4, 25
+    executed = {shard: [] for shard in range(num_shards)}
+    threads = {shard: set() for shard in range(num_shards)}
+
+    def task(shard, step):
+        executed[shard].append(step)
+        threads[shard].add(threading.current_thread().name)
+
+    with ShardWorkerPool(num_shards, num_workers=2) as pool:
+        futures = [pool.submit(shard, task, shard, step)
+                   for step in range(per_shard)
+                   for shard in range(num_shards)]
+        for future in futures:
+            future.result()
+    for shard in range(num_shards):
+        assert executed[shard] == list(range(per_shard))  # FIFO
+        assert len(threads[shard]) == 1  # pinned
+        assert pool.worker_of(shard) == shard % 2
+    # Shards pinned to the same worker share its (single) thread.
+    assert threads[0] == threads[2]
+    assert threads[1] == threads[3]
+    assert threads[0] != threads[1]
+
+
+@pytest.mark.timeout(30)
+def test_worker_pool_busy_accounting_and_close():
+    pool = ShardWorkerPool(2)
+    pool.submit(0, time.sleep, 0.01).result()
+    busy = pool.busy_seconds()
+    assert busy[0] >= 0.005 and busy[1] == 0.0
+    assert 0.0 <= pool.utilization()[1] <= 1.0
+    pool.close()
+    pool.close()  # idempotent
+    assert pool.closed
+    with pytest.raises(RuntimeError):
+        pool.submit(0, time.sleep, 0)
+
+
+def test_worker_pool_rejects_out_of_range_shard():
+    with ShardWorkerPool(2) as pool:
+        with pytest.raises(IndexError):
+            pool.submit(2, time.sleep, 0)
+
+
+# ---------------------------------------------------------------------------
+# Manager integration: knob plumbing + admission front door.
+
+
+def _tenant_setup(num_shards=4, capacity_frac=0.2):
+    trace = generate_multi_tenant_trace(TENANT_CONFIG, num_tenants=4)
+    config = RecMGConfig(num_shards=num_shards)
+    encoder = FeatureEncoder(config).fit(trace)
+    capacity = max(num_shards, int(trace.num_unique * capacity_frac))
+    return trace, config, encoder, capacity
+
+
+def test_threads_requires_sharded_buffer():
+    trace, config, encoder, capacity = _tenant_setup()
+    with pytest.raises(ValueError, match="num_shards"):
+        RecMGManager(capacity, encoder, RecMGConfig(),
+                     concurrency="threads")
+    with pytest.raises(ValueError, match="concurrency"):
+        RecMGManager(capacity, encoder, config, concurrency="fibers")
+    with pytest.raises(ValueError, match="concurrency"):
+        RecMGConfig(concurrency="fibers")
+    with pytest.raises(ValueError, match="num_shards"):
+        RecMGConfig(concurrency="threads", num_shards=1)
+    with pytest.raises(ValueError, match="num_workers"):
+        RecMGConfig(num_workers=0)
+
+
+def test_concurrency_knob_flows_from_config():
+    trace, config, encoder, capacity = _tenant_setup()
+    config = RecMGConfig(num_shards=4, concurrency="threads",
+                         num_workers=2)
+    with RecMGManager(capacity, encoder, config) as manager:
+        assert manager.concurrency == "threads"
+        assert manager.num_workers == 2
+        manager.run(trace.head(600))
+        assert manager._pool is not None
+        assert manager._pool.num_workers == 2
+    assert manager._pool.closed  # context exit joins the pool
+
+
+@pytest.mark.timeout(60)
+def test_admission_pipeline_matches_direct_serving():
+    """Producer threads → queue → batcher → serve_batch must serve the
+    exact access stream (coalescing only re-chunks, never reorders a
+    single producer's keys) and decide it exactly like the engine fed
+    directly."""
+    trace, config, encoder, capacity = _tenant_setup()
+    dense = encoder.dense_ids(trace)[:2048]
+
+    def build():
+        return RecMGManager(capacity, encoder, config,
+                            buffer_impl="fast", num_shards=4,
+                            concurrency="threads", num_workers=2)
+
+    queue = RequestQueue(maxsize=64)
+
+    def producer():
+        for lo in range(0, len(dense), 32):
+            queue.put(Request(keys=dense[lo:lo + 32]))
+        queue.close()
+
+    thread = threading.Thread(target=producer)
+    thread.start()
+    served_keys, served_hits = [], []
+    with build() as manager:
+        for batch in Batcher(queue, max_batch_keys=256,
+                             max_wait_s=0.001).batches():
+            hits = manager.serve_batch(batch.keys,
+                                       queue_depth=batch.queue_depth)
+            served_keys.append(batch.keys)
+            served_hits.append(hits)
+        metrics = manager.serving_metrics
+    thread.join(timeout=5)
+    assert np.concatenate(served_keys).tolist() == dense.tolist()
+    pipeline_hits = np.concatenate(served_hits)
+    assert metrics.batches == len(served_keys)
+    assert metrics.keys_served == len(dense)
+
+    # Reference: same stream, same batch boundaries, engine fed direct.
+    with build() as reference:
+        direct_hits = np.concatenate([
+            reference.serve_batch(batch) for batch in served_keys])
+    assert np.array_equal(pipeline_hits, direct_hits)
+
+
+# ---------------------------------------------------------------------------
+# Determinism stress: the tentpole invariant, repeated.
+
+STRESS_WORKERS = (1, 2, 4, 8)
+STRESS_REPEATS = 3
+
+
+@pytest.mark.timeout(300)
+@pytest.mark.parametrize("impl", ["fast", "clock"])
+def test_concurrent_serving_is_bit_identical_to_serial(impl):
+    """The multi-tenant trace through ``concurrency="threads"`` at
+    1/2/4/8 workers, repeatedly, must reproduce the serial shard-wise
+    engine exactly: counters, per-access decision stream, and the
+    union of per-shard residents.  Repeats catch schedule-dependent
+    flakiness; worker counts below the shard count exercise shards
+    time-sharing a worker."""
+    trace, config, encoder, capacity = _tenant_setup()
+
+    def run(concurrency, num_workers=None):
+        manager = RecMGManager(capacity, encoder, config,
+                               buffer_impl=impl, num_shards=4,
+                               concurrency=concurrency,
+                               num_workers=num_workers)
+        stats = manager.run(trace, record_decisions=True)
+        counters = (stats.breakdown.cache_hits, stats.breakdown.on_demand,
+                    stats.breakdown.prefetch_hits, stats.evictions)
+        residents = sorted(manager.buffer.keys())
+        decisions = manager.last_decisions.copy()
+        manager.close()
+        return counters, residents, decisions
+
+    serial_counters, serial_residents, serial_decisions = run("serial")
+    for _ in range(STRESS_REPEATS):
+        for workers in STRESS_WORKERS:
+            counters, residents, decisions = run("threads", workers)
+            assert counters == serial_counters, (impl, workers)
+            assert residents == serial_residents, (impl, workers)
+            assert np.array_equal(decisions, serial_decisions), \
+                (impl, workers)

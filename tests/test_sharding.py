@@ -184,6 +184,45 @@ def test_sharded_evict_one_targets_fullest_shard():
     assert len(buf) == 2
 
 
+def _victim_order_fixture():
+    """3 contiguous fast shards ([0,10), [10,20), [20,30)) whose global
+    ``(effective_priority, seqno)`` eviction order would *interleave*
+    shards: the minimum-priority entries all live in shard 2."""
+    buf = ShardedBuffer("fast", 9, key_space=30, num_shards=3)
+    for key, priority in [(0, 5), (1, 5), (2, 5),
+                          (10, 3), (11, 3),
+                          (20, 0), (21, 0), (22, 0)]:
+        buf.insert(key, priority)
+    return buf
+
+
+def test_evict_batch_victim_order_is_per_shard():
+    """Pins the documented :meth:`ShardedBuffer.evict_batch` victim
+    contract (cross-referenced from the bulk-protocol docs in
+    ``cache/buffer.py``): victims come out grouped per shard in
+    shard-id order, the per-shard counts follow the water-filling
+    allocation, and each group is exactly what that shard would have
+    evicted standalone — NOT the global ``(effective_priority, seqno)``
+    interleave a bare backend would produce."""
+    buf = _victim_order_fixture()
+    twin = _victim_order_fixture()
+    lengths = np.array([len(shard) for shard in buf.shards],
+                       dtype=np.int64)
+    shares = _allocate_evictions(lengths, 4)
+    expected = []
+    for shard, share in zip(twin.shards, shares.tolist()):
+        if share:
+            expected.extend(shard.evict_batch(share))
+    victims = buf.evict_batch(4)
+    assert victims == expected
+    # Grouped per shard, groups in shard-id order.
+    shard_ids = [buf.shard_id_of(int(victim)) for victim in victims]
+    assert shard_ids == sorted(shard_ids)
+    # And decidedly not the global priority order: every priority-0
+    # entry lives in shard 2, yet shard 0 (a fullest shard) pays first.
+    assert shard_ids[0] == 0
+
+
 # ---------------------------------------------------------------------------
 # Op-level differential fuzz: 1-shard == bare; N-shard partition laws.
 
@@ -414,33 +453,48 @@ def test_sharded_exact_serving_decision_equivalence(seed):
     reproduce the scalar audit loop over the same sharded buffer
     decision-for-decision — counters, per-access hit stream, final
     residents/priorities, and full-drain victim order — including
-    prefix-fitted encoders whose tail ids spill over the bitmaps."""
+    prefix-fitted encoders whose tail ids spill over the bitmaps.
+    The ``concurrency="threads"`` engine rides the same 40 seeds: it
+    must be bit-identical to the serial shard-wise engine (and hence
+    to the scalar loop), with the worker count varied per seed."""
     from repro.core.manager import RecMGManager
 
     trace, config, encoder, capacity, num_shards, policy = \
         _manager_setup(seed)
 
-    def run(fast_serve):
+    def run(fast_serve, concurrency="serial", num_workers=None):
         manager = RecMGManager(capacity, encoder, config,
                                buffer_impl="fast", num_shards=num_shards,
-                               shard_policy=policy)
+                               shard_policy=policy, concurrency=concurrency,
+                               num_workers=num_workers)
         stats = manager.run(trace, fast_serve=fast_serve,
                             record_decisions=True)
+        manager.close()
         return manager, stats
 
     batched_manager, batched = run(True)
     scalar_manager, scalar = run(False)
+    threaded_manager, threaded = run(True, concurrency="threads",
+                                     num_workers=1 + seed % 4)
     assert isinstance(batched_manager.buffer, ShardedBuffer)
     assert batched == scalar
+    assert threaded == batched
     assert np.array_equal(batched_manager.last_decisions,
                           scalar_manager.last_decisions)
+    assert np.array_equal(threaded_manager.last_decisions,
+                          batched_manager.last_decisions)
     b_buf, s_buf = batched_manager.buffer, scalar_manager.buffer
+    t_buf = threaded_manager.buffer
     assert sorted(b_buf.keys()) == sorted(s_buf.keys())
+    assert sorted(t_buf.keys()) == sorted(s_buf.keys())
     for key in s_buf.keys():
         assert b_buf.priority_of(key) == s_buf.priority_of(key)
+        assert t_buf.priority_of(key) == s_buf.priority_of(key)
     remaining = len(s_buf)
     if remaining:
-        assert b_buf.evict_batch(remaining) == s_buf.evict_batch(remaining)
+        drain = s_buf.evict_batch(remaining)
+        assert b_buf.evict_batch(remaining) == drain
+        assert t_buf.evict_batch(remaining) == drain
 
 
 @pytest.mark.parametrize("seed", range(0, MANAGER_SEEDS, 2))
