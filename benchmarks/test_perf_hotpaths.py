@@ -14,6 +14,7 @@ root, uploaded as a CI artifact) so the perf trajectory is
 machine-readable across PRs.
 """
 
+import gc
 import time
 
 import numpy as np
@@ -47,13 +48,26 @@ def perf_trace():
 
 
 def _timed(fn, repeats=1):
-    """Best-of-N wall time and the last result."""
+    """Best-of-N wall time and the last result.
+
+    The collector is paused around each run (``timeit`` does the
+    same): a generational GC pass triggered by one measurement's
+    garbage otherwise lands in *another* measurement's window, which
+    skews the engine-vs-reference ratios these gates assert on —
+    the engine that allocates more objects gets billed for the
+    other's garbage."""
     best = float("inf")
     result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     return best, result
 
 
@@ -248,16 +262,21 @@ def test_sharded_serving_throughput(perf_trace, perf_budget, benchmark,
     manager's shard-wise engine routes each serving block with one
     vectorized scatter and pre-reclaims per shard with *protected*
     eviction (``evict_batch(avoid=segment)``), so the routing layer
-    must stay cheap on a balanced trace: the gate is >= 0.75x the
+    must stay cheap on a balanced trace: the gate is >= 0.65x the
     single-shard clock path measured side by side.  (The gate was
     0.9x while the single-shard engine still paid an unprotected
     reclaim plus a residency re-classification; once it adopted the
     same protected single-call reclaim the per-shard path already
     used, the single-shard baseline got ~20% faster and the ratio
-    settled at ~0.8x — the sharded engine's absolute throughput did
-    not regress, its reference improved.  The protected reclaim also
-    lifts the hit rate on both sides, since no segment key is evicted
-    right before its own refresh.)
+    settled at ~0.8x and the gate moved to 0.75 — the sharded
+    engine's absolute throughput did not regress, its reference
+    improved.  It moved again to 0.65 when the per-shard
+    id-compression layer landed: a few percent of translation
+    arithmetic on every bulk boundary buys per-id memory independent
+    of ``num_shards``, and the rest of the move restores the noise
+    margin the 0.75 gate had been grazing on shared runners.  The
+    protected reclaim also lifts the hit rate on both sides, since no
+    segment key is evicted right before its own refresh.)
 
     The hot-shard run quantifies the degradation a static contiguous
     range partition suffers when one shard absorbs most of the traffic
@@ -269,15 +288,25 @@ def test_sharded_serving_throughput(perf_trace, perf_budget, benchmark,
     encoder = FeatureEncoder(config).fit(perf_trace)
     steady = max(1, int(perf_trace.num_unique * 0.2))
 
-    def serve(trace, enc, capacity, num_shards, policy="contiguous"):
+    def serve(trace, enc, capacity, num_shards, policy="contiguous",
+              weights=None):
         manager = RecMGManager(capacity, enc, config, buffer_impl="clock",
-                               num_shards=num_shards, shard_policy=policy)
+                               num_shards=num_shards, shard_policy=policy,
+                               shard_weights=weights)
         return manager.run(trace)
 
-    single_seconds, single = _timed(
-        lambda: serve(perf_trace, encoder, steady, 1), repeats=3)
-    sharded_seconds, sharded = _timed(
-        lambda: serve(perf_trace, encoder, steady, 4), repeats=3)
+    # Interleave the two sides round by round: a transient noise
+    # window on a shared runner then inflates both measurements
+    # instead of silently skewing the ratio (best-of per side, as
+    # ``_timed(repeats=3)`` would take, but across alternating runs).
+    single_seconds = sharded_seconds = float("inf")
+    for _ in range(5):
+        seconds, single = _timed(
+            lambda: serve(perf_trace, encoder, steady, 1))
+        single_seconds = min(single_seconds, seconds)
+        seconds, sharded = _timed(
+            lambda: serve(perf_trace, encoder, steady, 4))
+        sharded_seconds = min(sharded_seconds, seconds)
     assert sharded.breakdown.total == single.breakdown.total == PERF_ACCESSES
     # Protected per-shard reclaim must not cost hit rate vs the
     # single-shard engine on the balanced trace.
@@ -291,9 +320,16 @@ def test_sharded_serving_throughput(perf_trace, perf_budget, benchmark,
                    sharded_seconds, single_seconds)
     if perf_budget > 0:
         ratio = single_seconds / sharded_seconds
-        assert ratio >= 0.75, (
+        # 0.65: the per-shard id-compression layer (sharded memory no
+        # longer pays N× the single-shard per-id footprint) costs a few
+        # percent of translation arithmetic on every bulk boundary —
+        # the gate moved 0.75 -> 0.65 in the same PR that removed the
+        # N× memory, pricing the documented trade (quiet-host ratio
+        # ~0.75-0.85) plus the shared-runner noise margin the old gate
+        # never actually had.
+        assert ratio >= 0.65, (
             f"sharded clock serving is only {ratio:.2f}x the single-shard "
-            f"clock path (contract: >= 0.75x on the balanced perf trace "
+            f"clock path (contract: >= 0.65x on the balanced perf trace "
             f"against the protected-reclaim single-shard baseline)")
 
     # Hot-shard imbalance: one contiguous band takes ~85% of accesses.
@@ -304,17 +340,25 @@ def test_sharded_serving_throughput(perf_trace, perf_budget, benchmark,
                                          hot_shard=0, hot_fraction=0.85)
     hot_encoder = FeatureEncoder(config).fit(hot_trace)
     hot_steady = max(1, int(hot_trace.num_unique * 0.2))
+    # Skew-matched capacity split: the hot shard (85% of traffic) gets
+    # 85% of the slots — the ``shard_weights`` answer to the contiguous
+    # router's imbalance, without giving up range locality.
+    hot_weights = (0.85, 0.05, 0.05, 0.05)
     results = {}
-    for label, shards, policy in [("single", 1, "contiguous"),
-                                  ("contiguous", 4, "contiguous"),
-                                  ("modulo", 4, "modulo")]:
+    for label, shards, policy, weights in [
+            ("single", 1, "contiguous", None),
+            ("contiguous", 4, "contiguous", None),
+            ("weighted", 4, "contiguous", hot_weights),
+            ("modulo", 4, "modulo", None)]:
         seconds, stats = _timed(
-            lambda s=shards, p=policy: serve(hot_trace, hot_encoder,
-                                             hot_steady, s, p), repeats=2)
+            lambda s=shards, p=policy, w=weights: serve(
+                hot_trace, hot_encoder, hot_steady, s, p, w), repeats=2)
         results[label] = (seconds, stats)
         record_hotpath(f"manager_serving_hot_shard_clock_{label}",
                        PERF_ACCESSES, seconds, num_shards=shards,
-                       shard_policy=policy, hit_rate=stats.hit_rate)
+                       shard_policy=policy, hit_rate=stats.hit_rate,
+                       **({"shard_weights": list(weights)} if weights
+                          else {}))
     print()
     print(ascii_table(
         ["config", "accesses/sec", "hit rate"],
@@ -323,8 +367,18 @@ def test_sharded_serving_throughput(perf_trace, perf_budget, benchmark,
         title="Hot-shard skew (85% of traffic on one contiguous band)"))
     # The skewed band hammers one contiguous-router shard; striping the
     # same ids across shards (modulo) must retain more of the hit rate.
-    assert (results["modulo"][1].hit_rate
-            >= results["contiguous"][1].hit_rate)
+    contiguous_rate = results["contiguous"][1].hit_rate
+    modulo_rate = results["modulo"][1].hit_rate
+    weighted_rate = results["weighted"][1].hit_rate
+    assert modulo_rate >= contiguous_rate
+    # Skew-matched weights must recover at least half the hit-rate gap
+    # the uniform contiguous split gives up to modulo striping
+    # (deterministic decision metric — always asserted, no perf gate).
+    assert weighted_rate >= contiguous_rate + 0.5 * (modulo_rate
+                                                     - contiguous_rate), (
+        f"weighted contiguous hit rate {weighted_rate:.4f} recovers less "
+        f"than half the uniform-contiguous ({contiguous_rate:.4f}) vs "
+        f"modulo ({modulo_rate:.4f}) gap")
     benchmark(lambda: rows)
 
 
@@ -347,7 +401,9 @@ def test_concurrent_serving_throughput(perf_trace, perf_budget, benchmark,
     futures and pipelining may cost at most half the serial throughput
     (measured ~0.95-1.0x on one core: the pipeline hides most of the
     dispatch cost).  The recorded entry also carries the latency
-    percentiles, queue-depth stats and per-shard utilization from
+    percentiles, the engine's in-flight pipeline-depth stats (distinct
+    from the admission-queue depth, which this trace-driven run never
+    samples) and per-shard utilization from
     :class:`repro.serving.metrics.ServingMetrics`, so tail latency is
     tracked in the bench artifact alongside throughput.
     """
@@ -384,8 +440,8 @@ def test_concurrent_serving_throughput(perf_trace, perf_budget, benchmark,
         latency_p50_ms=summary["latency_p50_ms"],
         latency_p95_ms=summary["latency_p95_ms"],
         latency_p99_ms=summary["latency_p99_ms"],
-        queue_depth_mean=summary["queue_depth_mean"],
-        queue_depth_max=summary["queue_depth_max"],
+        inflight_depth_mean=summary["inflight_depth_mean"],
+        inflight_depth_max=summary["inflight_depth_max"],
         shard_utilization=summary.get("shard_utilization"),
         gated=True)
     rows = _report("Manager demand serving throughput "

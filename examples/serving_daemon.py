@@ -113,6 +113,11 @@ def main(total_accesses: int = 2_000_000,
     print(f"queue depth: mean {summary['queue_depth_mean']:.1f} "
           f"max {summary['queue_depth_max']}  "
           f"batch mix {summary['batch_size_histogram']}")
+    if metrics.inflight_depth_samples:
+        # Pipeline depth of the concurrent engine — a different stage
+        # (and unit) than the admission-queue depth above.
+        print(f"in-flight blocks: mean {summary['inflight_depth_mean']:.1f} "
+              f"max {summary['inflight_depth_max']}")
     if "shard_utilization" in summary:
         util = "  ".join(f"{u:.0%}" for u in summary["shard_utilization"])
         print(f"shard utilization: {util}")

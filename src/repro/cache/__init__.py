@@ -31,11 +31,13 @@ from .buffer import (
 from .residency import ResidencyIndex
 from .sharding import (
     SHARD_POLICIES,
+    CompressedShardView,
     ContiguousRangeRouter,
     ModuloRouter,
     ShardedBuffer,
     backend_for_key,
     make_router,
+    split_capacity,
 )
 
 __all__ = [
@@ -50,6 +52,7 @@ __all__ = [
     "MockingjayReplacement", "PredictorReplacement",
     "PriorityBuffer", "FastPriorityBuffer", "ClockBuffer",
     "BUFFER_IMPLS", "make_buffer", "ResidencyIndex",
-    "SHARD_POLICIES", "ContiguousRangeRouter", "ModuloRouter",
-    "ShardedBuffer", "backend_for_key", "make_router",
+    "SHARD_POLICIES", "CompressedShardView", "ContiguousRangeRouter",
+    "ModuloRouter", "ShardedBuffer", "backend_for_key", "make_router",
+    "split_capacity",
 ]

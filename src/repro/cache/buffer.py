@@ -116,7 +116,16 @@ back into per-key state (the manager's gather, the sharded serving
 engines) rely on the grouping, and
 ``tests/test_sharding.py::test_evict_batch_victim_order_is_per_shard``
 pins it — shard-id-grouped, water-filled counts, each group in that
-shard's own standalone eviction order.  See
+shard's own standalone eviction order.  Two more load-bearing notes:
+each shard's backend is constructed over the router's **compressed**
+per-shard universe (``backend.key_space`` reports it, the sharded
+constructor asserts it), with all global↔local id translation confined
+to the :class:`~repro.cache.sharding.CompressedShardView` wrapper — so
+per-id state (slot/expiry/seqno vectors, residency bitmaps; see
+``per_id_nbytes``) costs the single-shard footprint, not N×, while
+every caller keeps speaking global ids; and ``shard_weights=`` splits
+the total capacity proportionally (largest-remainder, min one slot per
+shard) instead of uniformly, for skew-matched hot-shard serving.  See
 :mod:`repro.cache.sharding` for the full routing contract; a 1-shard
 wrapper is differential-tested identical to the bare backend in
 ``tests/test_sharding.py``.
@@ -354,6 +363,19 @@ class PriorityBuffer:
     def is_full(self) -> bool:
         return len(self._priority) >= self.capacity
 
+    @property
+    def key_space(self) -> int:
+        """Dense-id universe this backend was built over (0 in dict
+        mode).  Sharded construction asserts this against the router's
+        per-shard universe — see the translation boundary in
+        :mod:`repro.cache.sharding`."""
+        return self.residency.key_space if self.residency is not None else 0
+
+    def per_id_nbytes(self) -> int:
+        """Bytes of state that scale with ``key_space`` (the residency
+        mirror's bitmap; the entry dicts scale with occupancy)."""
+        return self.residency.nbytes if self.residency is not None else 0
+
     def insert(self, key: int, priority: int) -> None:
         """Insert (or refresh) ``key``; caller must ensure space."""
         if key not in self._priority and self.is_full:
@@ -572,6 +594,23 @@ class FastPriorityBuffer:
     @property
     def is_full(self) -> bool:
         return len(self) >= self.capacity
+
+    @property
+    def key_space(self) -> int:
+        """Dense-id universe this backend was built over (0 in dict
+        mode).  Sharded construction asserts this against the router's
+        per-shard universe — see the translation boundary in
+        :mod:`repro.cache.sharding`."""
+        return self._key_space
+
+    def per_id_nbytes(self) -> int:
+        """Bytes of state that scale with ``key_space``: the expiry/
+        seqno/scratch vectors plus the residency bitmap (0 in dict
+        mode — everything there scales with occupancy)."""
+        if self.residency is None:
+            return 0
+        return int(self._expiry_of.nbytes + self._seq_of.nbytes
+                   + self._scratch_pos.nbytes) + self.residency.nbytes
 
     def insert(self, key: int, priority: int) -> None:
         if key in self:
@@ -1303,6 +1342,22 @@ class ClockBuffer:
     def is_full(self) -> bool:
         return not self._free
 
+    @property
+    def key_space(self) -> int:
+        """Dense-id universe this backend was built over (0 in dict
+        mode).  Sharded construction asserts this against the router's
+        per-shard universe — see the translation boundary in
+        :mod:`repro.cache.sharding`."""
+        return self._key_space
+
+    def per_id_nbytes(self) -> int:
+        """Bytes of state that scale with ``key_space``: the id→slot
+        vector plus the residency bitmap (0 in dict mode; the slot
+        arrays scale with capacity, not the universe)."""
+        if self._slot_of is None:
+            return 0
+        return int(self._slot_of.nbytes) + self.residency.nbytes
+
     def insert(self, key: int, priority: int) -> None:
         """Insert (or refresh) ``key``; caller must ensure space.
 
@@ -1543,7 +1598,8 @@ BUFFER_IMPLS = {
 def make_buffer(impl: str, capacity: int,
                 key_space: Optional[int] = None,
                 num_shards: int = 1,
-                shard_policy: str = "contiguous"):
+                shard_policy: str = "contiguous",
+                shard_weights=None):
     """Instantiate a buffer backend by registry name.
 
     ``key_space`` (dense-id universe size) selects array-native
@@ -1561,9 +1617,15 @@ def make_buffer(impl: str, capacity: int,
     ``key_space`` — the routers partition the dense id universe, so a
     dict-membership sharded buffer would have nothing to route over —
     and raises ``ValueError`` without it, mirroring the
-    ``supports_key_space`` rejection above.  ``num_shards=1`` (the
-    default) returns the bare backend: only real sharding pays the
-    routing layer.
+    ``supports_key_space`` rejection above.  Each shard's backend is
+    built over the router's *compressed* per-shard universe (so sharded
+    per-id memory matches the single-shard footprint — see the
+    translation boundary in :mod:`repro.cache.sharding`), and
+    ``shard_weights`` (optional, one positive weight per shard) splits
+    the capacity proportionally instead of uniformly.  ``num_shards=1``
+    (the default) returns the bare backend: only real sharding pays the
+    routing layer (``shard_weights`` is rejected there — there is
+    nothing to weight).
     """
     num_shards = 1 if num_shards is None else int(num_shards)
     if num_shards < 1:
@@ -1585,7 +1647,10 @@ def make_buffer(impl: str, capacity: int,
 
         return ShardedBuffer(impl, capacity, key_space=key_space,
                              num_shards=num_shards,
-                             shard_policy=shard_policy)
+                             shard_policy=shard_policy,
+                             shard_weights=shard_weights)
+    if shard_weights is not None:
+        raise ValueError("shard_weights requires num_shards > 1")
     try:
         cls = BUFFER_IMPLS[impl]
     except KeyError:

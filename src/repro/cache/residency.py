@@ -123,6 +123,14 @@ class ResidencyIndex:
         return out
 
     # -- bookkeeping ---------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Bytes of per-id state (the bitmap).  Memory here scales with
+        ``key_space``, not occupancy — which is why sharded buffers
+        build their indexes over the *compressed* per-shard universe
+        (see :mod:`repro.cache.sharding`)."""
+        return int(self.bitmap.nbytes)
+
     def count(self) -> int:
         """Number of resident keys (O(key_space) popcount — the owning
         buffer tracks its own length; this is for audits/tests)."""

@@ -29,40 +29,82 @@ encoder-fit time — maps to exactly one shard, and the scalar and batch
 forms agree key for key (out-of-range ids route by ``key mod N`` under
 both policies, so spillover correctness never depends on the id fitting
 the universe).  Because a key can only ever live in its router shard,
-the per-shard residency bitmaps are pairwise disjoint and their union
-*is* the global residency — ``contains_batch`` answers by scattering
-the query to shards and gathering the per-shard gathers back
-(property-tested after every op in ``tests/test_sharding.py``).
+the per-shard residents are pairwise disjoint and their union *is* the
+global residency — ``contains_batch`` answers by scattering the query
+to shards and gathering the per-shard gathers back (property-tested
+after every op in ``tests/test_sharding.py``).
 
-**Capacity and eviction.**  The total capacity splits as evenly as the
-remainder allows: shard ``s`` gets ``capacity // N`` slots, plus one
-for ``s < capacity % N``.  Eviction decisions are therefore **local to
-a shard**: a full shard evicts its own ``(effective_priority, seqno)``
-(or clock-order) victim even while another shard has free slots, and
-:meth:`ShardedBuffer.evict_batch` — which levels the fullest shards
-down by water-filling — returns victims grouped per shard in shard-id
-order, *not* in the single-buffer global ``(effective_priority,
-seqno)`` order.  This is the documented price of sharding; the
-single-shard backends keep the exact global contract.
+**Id compression (the translation boundary).**  Each shard's dense
+backend is built over the *compressed* per-shard universe
+``[0, shard_key_space)``, not the full ``[0, key_space)``: both routers
+admit an exact, vectorized bijection from the ids a shard owns onto a
+dense local range (contiguous: ``id - range_lo``; modulo: ``id // N``),
+so per-id backend state (slot vectors, expiry/seqno vectors, residency
+bitmaps) costs the same total memory as a single-shard buffer instead
+of N× it.  Translation happens at exactly one layer — the
+:class:`CompressedShardView` wrapped around every backend shard:
+
+* callers (the :class:`ShardedBuffer` bulk ops, the manager's sharded
+  and concurrent engines, ``dlrm.inference``, ``prefetch.harness`` and
+  the tests) keep passing **global** keys and receive **global** keys
+  back — victims of ``evict_one``/``evict_batch``/``serve_segment``,
+  ``keys()`` and ``residency_map()`` are decompressed on the way out;
+* spillover ids (outside ``[0, key_space)``) pass through *unchanged*:
+  they route by ``key mod N`` and always fall outside the compressed
+  universe too (negative stays negative; ``id >= key_space >=
+  shard_key_space``), so they land in each backend's existing spillover
+  side path and decompression is unambiguous — a stored id in
+  ``[0, shard_key_space)`` inverts the bijection, anything else *is*
+  the global key.
+
+Compression is a **storage transform, not a policy change**: backend
+decisions depend on (priority, seqno, slot/hand) order, never on id
+values, and both bijections are monotonic over a shard's owned ids, so
+every victim sequence and hit/miss stream is byte-identical to the
+uncompressed layout (pinned by the sharded goldens in
+``tests/test_golden_backends.py`` and the 200-seed fuzz).  View methods
+require their keys to actually route to the view's shard (spillover
+included) — :meth:`ShardedBuffer.iter_shard_segments` scatters first,
+so every production call site satisfies this by construction.
+
+**Capacity and eviction.**  By default the total capacity splits as
+evenly as the remainder allows: shard ``s`` gets ``capacity // N``
+slots, plus one for ``s < capacity % N``.  ``shard_weights=`` (also a
+:class:`~repro.core.config.RecMGConfig` knob) instead splits capacity
+proportionally to per-shard weights — largest-remainder apportionment,
+ties to the lowest shard id, every shard keeps at least one slot — so
+a workload whose traffic (or observed occupancy) is skewed across
+shards can be served with skew-matched capacity instead of a uniform
+split that starves the hot shard (see the weighted hot-shard entry in
+``benchmarks/test_perf_hotpaths.py``).  Eviction decisions are
+**local to a shard**: a full shard evicts its own
+``(effective_priority, seqno)`` (or clock-order) victim even while
+another shard has free slots, and :meth:`ShardedBuffer.evict_batch` —
+which levels the fullest shards down by water-filling — returns victims
+grouped per shard in shard-id order, *not* in the single-buffer global
+``(effective_priority, seqno)`` order.  This is the documented price of
+sharding; the single-shard backends keep the exact global contract.
 
 **Bulk protocol.**  Every op of the single-shard bulk protocol
 (``contains_batch`` / ``put_batch`` / ``set_priority_batch`` /
 ``demote_batch`` / ``evict_batch``) is implemented as one vectorized
 scatter of the keys to shards (:meth:`ShardRouter.route_batch`),
-per-shard *batched* backend calls, and one gather back — no per-key
-python loop.  Within a shard the original key order is preserved, and
-ops on distinct shards commute (disjoint key sets), so the batch forms
-keep the single-shard semantics per shard.
+per-shard *batched* backend calls through the compressing views, and
+one gather back — no per-key python loop.  Within a shard the original
+key order is preserved, and ops on distinct shards commute (disjoint
+key sets), so the batch forms keep the single-shard semantics per
+shard.
 
 A 1-shard :class:`ShardedBuffer` is decision-for-decision identical to
-the bare backend (200-seed differential in ``tests/test_sharding.py``);
+the bare backend (200-seed differential in ``tests/test_sharding.py``;
+both bijections degenerate to the identity at N=1);
 ``make_buffer(..., num_shards=1)`` therefore returns the bare backend
 and only ``num_shards > 1`` pays the routing layer.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -76,6 +118,10 @@ class ContiguousRangeRouter:
     ``s`` owns ``[ceil(s*K/N), ceil((s+1)*K/N))`` (:meth:`range_of`).
     Out-of-universe keys (spillover ids above the vocabulary, or
     negative probes) route by ``key mod N``.
+
+    Compression (see module docstring) shifts a shard's owned range
+    down to zero: ``compress(id) = id - range_lo`` — an order-preserving
+    bijection onto ``[0, hi - lo)``.
     """
 
     name = "contiguous"
@@ -83,6 +129,9 @@ class ContiguousRangeRouter:
     def __init__(self, num_shards: int, key_space: int) -> None:
         self.num_shards = int(num_shards)
         self.key_space = int(key_space)
+        self._range_lo = np.array(
+            [self.range_of(s)[0] for s in range(self.num_shards)],
+            dtype=np.int64)
 
     def route(self, key: int) -> int:
         key = int(key)
@@ -106,10 +155,76 @@ class ContiguousRangeRouter:
         hi = -((-(shard + 1) * k) // n)
         return lo, hi
 
+    # -- compression (exact bijection onto the local universe) ---------
+    def shard_key_space(self, shard: int) -> int:
+        """Size of ``shard``'s compressed universe (>= 1 even for an
+        empty owned range, so the dense backends always have a
+        bitmap)."""
+        lo, hi = self.range_of(shard)
+        return max(1, hi - lo)
+
+    def compress(self, shard: int, keys: Sequence[int]) -> np.ndarray:
+        """Owned global ids -> local ids in ``[0, hi - lo)``; spillover
+        ids (outside ``[0, key_space)``) pass through unchanged.  Keys
+        must route to ``shard``."""
+        arr = np.asarray(keys, dtype=np.int64)
+        lo = self.range_of(shard)[0]
+        if lo == 0 or arr.size == 0:  # shard 0 (and 1-shard): identity
+            return arr
+        if arr.min() >= 0 and arr.max() < self.key_space:
+            return arr - lo  # hot path: no spillover in the segment
+        in_universe = (arr >= 0) & (arr < self.key_space)
+        return np.where(in_universe, arr - lo, arr)
+
+    def compress_routed(self, keys: Sequence[int],
+                        shard_ids: np.ndarray) -> np.ndarray:
+        """Whole-block :meth:`compress`: ``keys[i]`` is compressed for
+        its own shard ``shard_ids[i]`` (= ``route_batch(keys)``) in one
+        vectorized pass, so the scatter step pays the fixed numpy cost
+        once per block instead of once per shard."""
+        arr = np.asarray(keys, dtype=np.int64)
+        if self.num_shards == 1 or arr.size == 0:
+            return arr
+        lo = self._range_lo[shard_ids]
+        if arr.min() >= 0 and arr.max() < self.key_space:
+            return arr - lo  # hot path: no spillover in the block
+        in_universe = (arr >= 0) & (arr < self.key_space)
+        return np.where(in_universe, arr - lo, arr)
+
+    def decompress(self, shard: int, keys: Sequence[int]) -> np.ndarray:
+        """Inverse of :meth:`compress`: local ids in ``[0, hi - lo)``
+        map back to the owned range, anything else passes through."""
+        arr = np.asarray(keys, dtype=np.int64)
+        lo, hi = self.range_of(shard)
+        if lo == 0 or arr.size == 0:
+            return arr
+        if arr.min() >= 0 and arr.max() < hi - lo:
+            return arr + lo  # hot path: all ids local
+        local = (arr >= 0) & (arr < hi - lo)
+        return np.where(local, arr + lo, arr)
+
+    def compress_key(self, shard: int, key: int) -> int:
+        key = int(key)
+        if 0 <= key < self.key_space:
+            return key - self.range_of(shard)[0]
+        return key
+
+    def decompress_key(self, shard: int, key: int) -> int:
+        key = int(key)
+        lo, hi = self.range_of(shard)
+        if 0 <= key < hi - lo:
+            return key + lo
+        return key
+
 
 class ModuloRouter:
     """Modulo striping: shard ``s`` owns every id congruent to s mod N
-    (in- and out-of-universe keys alike)."""
+    (in- and out-of-universe keys alike).
+
+    Compression divides out the stride: ``compress(id) = id // N`` — an
+    order-preserving bijection from the owned in-universe ids onto
+    ``[0, ceil((key_space - s) / N))`` (``decompress(local) = local * N
+    + s``)."""
 
     name = "modulo"
 
@@ -122,6 +237,65 @@ class ModuloRouter:
 
     def route_batch(self, keys: Sequence[int]) -> np.ndarray:
         return np.mod(np.asarray(keys, dtype=np.int64), self.num_shards)
+
+    # -- compression (exact bijection onto the local universe) ---------
+    def _owned_count(self, shard: int) -> int:
+        """How many in-universe ids are congruent to ``shard``."""
+        if shard >= self.key_space:
+            return 0
+        return -((-(self.key_space - shard)) // self.num_shards)
+
+    def shard_key_space(self, shard: int) -> int:
+        """Size of ``shard``'s compressed universe (>= 1, see
+        :meth:`ContiguousRangeRouter.shard_key_space`)."""
+        return max(1, self._owned_count(shard))
+
+    def compress(self, shard: int, keys: Sequence[int]) -> np.ndarray:
+        """Owned global ids -> ``id // N``; spillover ids pass through
+        unchanged.  Keys must route to ``shard``."""
+        arr = np.asarray(keys, dtype=np.int64)
+        if self.num_shards == 1 or arr.size == 0:
+            return arr
+        if arr.min() >= 0 and arr.max() < self.key_space:
+            return arr // self.num_shards  # hot path: no spillover
+        in_universe = (arr >= 0) & (arr < self.key_space)
+        return np.where(in_universe, arr // self.num_shards, arr)
+
+    def compress_routed(self, keys: Sequence[int],
+                        shard_ids: np.ndarray) -> np.ndarray:
+        """Whole-block :meth:`compress` (see
+        :meth:`ContiguousRangeRouter.compress_routed`); ``id // N``
+        needs no per-shard term, so ``shard_ids`` is unused here."""
+        arr = np.asarray(keys, dtype=np.int64)
+        if self.num_shards == 1 or arr.size == 0:
+            return arr
+        if arr.min() >= 0 and arr.max() < self.key_space:
+            return arr // self.num_shards  # hot path: no spillover
+        in_universe = (arr >= 0) & (arr < self.key_space)
+        return np.where(in_universe, arr // self.num_shards, arr)
+
+    def decompress(self, shard: int, keys: Sequence[int]) -> np.ndarray:
+        """Inverse of :meth:`compress`: local ids map back to
+        ``local * N + shard``, anything else passes through."""
+        arr = np.asarray(keys, dtype=np.int64)
+        if self.num_shards == 1 or arr.size == 0:
+            return arr
+        if arr.min() >= 0 and arr.max() < self._owned_count(shard):
+            return arr * self.num_shards + shard  # hot path: all local
+        local = (arr >= 0) & (arr < self._owned_count(shard))
+        return np.where(local, arr * self.num_shards + shard, arr)
+
+    def compress_key(self, shard: int, key: int) -> int:
+        key = int(key)
+        if 0 <= key < self.key_space:
+            return key // self.num_shards
+        return key
+
+    def decompress_key(self, shard: int, key: int) -> int:
+        key = int(key)
+        if 0 <= key < self._owned_count(shard):
+            return key * self.num_shards + shard
+        return key
 
 
 #: Registry behind the ``shard_policy=`` knob (``make_buffer``,
@@ -146,7 +320,8 @@ def make_router(shard_policy: str, num_shards: int, key_space: int):
 
 def backend_for_key(buffer, key: int):
     """The single-shard backend responsible for ``key``: the routed
-    shard of a :class:`ShardedBuffer`, or ``buffer`` itself otherwise.
+    shard (a :class:`CompressedShardView`, so global keys keep working)
+    of a :class:`ShardedBuffer`, or ``buffer`` itself otherwise.
 
     Scalar serving loops (the manager's audit path, the harness and
     classifier per-access loops) use this so eviction-for-space happens
@@ -154,6 +329,185 @@ def backend_for_key(buffer, key: int):
     """
     route = getattr(buffer, "shard_backend_for", None)
     return buffer if route is None else route(key)
+
+
+def split_capacity(capacity: int, num_shards: int,
+                   shard_weights: Optional[Sequence[float]] = None
+                   ) -> List[int]:
+    """Per-shard capacities for a total of ``capacity`` slots.
+
+    Uniform (``shard_weights=None``): ``capacity // N`` each, the
+    remainder to the lowest shard ids — the historical split, kept
+    bit-exact so weighted support cannot drift the default goldens.
+    Weighted: largest-remainder apportionment of
+    ``capacity * w_s / sum(w)`` (floors first, leftover slots to the
+    largest fractional parts, ties to the lowest shard id), then a
+    deterministic rebalance so every shard keeps at least one slot
+    (possible because ``ShardedBuffer`` requires ``capacity >= N``).
+    """
+    capacity = int(capacity)
+    num_shards = int(num_shards)
+    if shard_weights is None:
+        base, remainder = divmod(capacity, num_shards)
+        return [base + (1 if s < remainder else 0)
+                for s in range(num_shards)]
+    weights = np.asarray(shard_weights, dtype=np.float64)
+    if weights.shape != (num_shards,):
+        raise ValueError(
+            f"shard_weights must provide one weight per shard "
+            f"(expected {num_shards}, got {weights.size})")
+    if not (np.isfinite(weights).all() and (weights > 0).all()):
+        raise ValueError("shard_weights must be positive and finite")
+    raw = capacity * weights / weights.sum()
+    split = np.floor(raw).astype(np.int64)
+    leftover = capacity - int(split.sum())
+    if leftover:
+        # Largest fractional part first, ties to the lowest shard id.
+        order = np.lexsort((np.arange(num_shards), split - raw))
+        split[order[:leftover]] += 1
+    while (split == 0).any():
+        split[int(np.argmax(split))] -= 1
+        split[int(np.argmin(split))] += 1
+    return split.tolist()
+
+
+class CompressedShardView:
+    """One backend shard behind the global-key protocol.
+
+    The single point where per-shard id compression happens (module
+    docstring): ``backend`` runs over the compressed universe
+    ``[0, router.shard_key_space(shard_index))`` while every method
+    here speaks global ids — arguments are compressed on the way in,
+    victims/keys/residency decompressed on the way out, and spillover
+    ids pass through untouched in both directions.
+
+    **Precondition**: keys handed to a view must route to its shard
+    (``router.route(key) == shard_index``; spillover ids included).
+    The scatter step of every bulk op
+    (:meth:`ShardedBuffer.iter_shard_segments`) guarantees this; the
+    compression bijections are only defined over a shard's own ids, so
+    a foreign key would silently alias a local one.
+
+    ``serve_segment`` is exposed only when the backend has one (the
+    dense ``"fast"`` backend), so engine dispatch that feature-tests
+    ``hasattr(shard, "serve_segment")`` keeps picking the same scheme
+    it would for the bare backend.
+    """
+
+    def __init__(self, backend, router, shard_index: int) -> None:
+        self.backend = backend
+        self.router = router
+        self.shard_index = int(shard_index)
+        self.capacity = backend.capacity
+        self.approximate = bool(getattr(backend, "approximate", False))
+        self.residency = getattr(backend, "residency", None)
+        self._c_memo: List[Tuple[object, np.ndarray]] = []
+        if hasattr(backend, "serve_segment"):
+            self.serve_segment = self._serve_segment
+
+    # -- translation helpers -------------------------------------------
+    def _c(self, keys) -> np.ndarray:
+        # Engines hand the *same* segment array to consecutive view
+        # calls (contains_batch -> evict_batch(avoid=) -> put_batch),
+        # so a two-slot identity memo removes the repeat compressions.
+        # Keyed on object identity with a strong reference (no id()
+        # reuse); key arrays are never mutated in place after a bulk
+        # call, which the bulk protocol already requires.
+        for ref, compressed in self._c_memo:
+            if ref is keys:
+                return compressed
+        arr = self.router.compress(self.shard_index, keys)
+        if isinstance(keys, np.ndarray):
+            self._c_memo.insert(0, (keys, arr))
+            del self._c_memo[2:]
+        return arr
+
+    def _d(self, keys) -> np.ndarray:
+        return self.router.decompress(self.shard_index, keys)
+
+    def _d_list(self, keys: List[int]) -> List[int]:
+        if not keys:
+            return keys
+        return self._d(np.asarray(keys, dtype=np.int64)).tolist()
+
+    @property
+    def key_space(self) -> int:
+        """The backend's (compressed) dense universe size."""
+        return self.backend.key_space
+
+    # -- read protocol -------------------------------------------------
+    def __contains__(self, key: int) -> bool:
+        return self.router.compress_key(self.shard_index,
+                                        int(key)) in self.backend
+
+    def __len__(self) -> int:
+        return len(self.backend)
+
+    def keys(self) -> Iterator[int]:
+        decompress_key = self.router.decompress_key
+        for local in self.backend.keys():
+            yield decompress_key(self.shard_index, int(local))
+
+    def priority_of(self, key: int) -> int:
+        return self.backend.priority_of(
+            self.router.compress_key(self.shard_index, int(key)))
+
+    @property
+    def is_full(self) -> bool:
+        return self.backend.is_full
+
+    def residency_map(self) -> Dict[int, object]:
+        decompress_key = self.router.decompress_key
+        return {decompress_key(self.shard_index, int(local)): value
+                for local, value in self.backend.residency_map().items()}
+
+    def contains_batch(self, keys: Sequence[int]) -> np.ndarray:
+        return self.backend.contains_batch(self._c(keys))
+
+    def per_id_nbytes(self) -> int:
+        return self.backend.per_id_nbytes()
+
+    # -- writes --------------------------------------------------------
+    def insert(self, key: int, priority: int) -> None:
+        self.backend.insert(
+            self.router.compress_key(self.shard_index, int(key)), priority)
+
+    def set_priority(self, key: int, priority: int) -> None:
+        self.backend.set_priority(
+            self.router.compress_key(self.shard_index, int(key)), priority)
+
+    def demote(self, key: int) -> None:
+        self.backend.demote(
+            self.router.compress_key(self.shard_index, int(key)))
+
+    def put_batch(self, keys: Sequence[int], priority: int) -> None:
+        self.backend.put_batch(self._c(keys), priority)
+
+    def set_priority_batch(self, keys: Sequence[int],
+                           priority: int) -> None:
+        self.backend.set_priority_batch(self._c(keys), priority)
+
+    def demote_batch(self, keys: Sequence[int]) -> None:
+        self.backend.demote_batch(self._c(keys))
+
+    # -- eviction / serving (victims come back global) -----------------
+    def evict_one(self) -> int:
+        return self.router.decompress_key(self.shard_index,
+                                          int(self.backend.evict_one()))
+
+    def evict_batch(self, n: int, avoid=None) -> List[int]:
+        if avoid is None:
+            victims = self.backend.evict_batch(n)
+        else:
+            victims = self.backend.evict_batch(n, avoid=self._c(avoid))
+        return self._d_list(victims)
+
+    def _serve_segment(self, segment: np.ndarray, priority: int):
+        result = self.backend.serve_segment(self._c(segment), priority)
+        if result is None:  # pragma: no cover - dense backends only
+            return None
+        served, first_miss, victims, uniq = result
+        return served, first_miss, self._d_list(victims), self._d(uniq)
 
 
 def _allocate_evictions(lengths: np.ndarray, count: int) -> np.ndarray:
@@ -193,17 +547,24 @@ def _allocate_evictions(lengths: np.ndarray, count: int) -> np.ndarray:
 class ShardedBuffer:
     """N independent backend shards behind the single-buffer protocol.
 
-    See the module docstring for the routing/capacity/eviction
-    contract.  ``impl`` names any registered backend
+    See the module docstring for the routing/compression/capacity/
+    eviction contract.  ``impl`` names any registered backend
     (:data:`repro.cache.buffer.BUFFER_IMPLS`); every shard is built in
-    dense ``key_space`` mode, so the bulk protocol runs array-native
-    end to end.  ``approximate`` is inherited from the shard backend —
+    dense mode over its *compressed* universe
+    (``router.shard_key_space(s)``) and wrapped in a
+    :class:`CompressedShardView`, so the bulk protocol runs
+    array-native end to end while every caller — including the serving
+    engines that consume :meth:`iter_shard_segments` — keeps speaking
+    global ids.  ``approximate`` is inherited from the shard backend —
     the serving engines pick the batched-reclaim or batched-exact
     per-shard scheme off it exactly as they do for bare backends.
+    ``shard_weights`` (optional) splits the capacity proportionally
+    instead of uniformly (:func:`split_capacity`).
     """
 
     def __init__(self, impl: str, capacity: int, key_space: int,
-                 num_shards: int, shard_policy: str = "contiguous") -> None:
+                 num_shards: int, shard_policy: str = "contiguous",
+                 shard_weights: Optional[Sequence[float]] = None) -> None:
         num_shards = int(num_shards)
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -220,13 +581,22 @@ class ShardedBuffer:
         self.key_space = int(key_space)
         self.num_shards = num_shards
         self.shard_policy = shard_policy
+        self.shard_weights = (None if shard_weights is None
+                              else tuple(float(w) for w in shard_weights))
         self.router = make_router(shard_policy, num_shards, self.key_space)
-        base, remainder = divmod(self.capacity, num_shards)
-        self.shard_capacities = [base + (1 if s < remainder else 0)
-                                 for s in range(num_shards)]
-        self.shards = [make_buffer(impl, shard_capacity,
-                                   key_space=self.key_space)
-                       for shard_capacity in self.shard_capacities]
+        self.shard_capacities = split_capacity(self.capacity, num_shards,
+                                               shard_weights)
+        self.shards: List[CompressedShardView] = []
+        for index, shard_capacity in enumerate(self.shard_capacities):
+            backend = make_buffer(impl, shard_capacity,
+                                  key_space=self.router.shard_key_space(
+                                      index))
+            # The dense backends report their universe so the
+            # translation boundary is assertable (an uncompressed shard
+            # here would silently cost N× the per-id memory).
+            assert backend.key_space == self.router.shard_key_space(index)
+            self.shards.append(CompressedShardView(backend, self.router,
+                                                   index))
         #: Victim order approximates/honors the per-shard contract of
         #: the underlying backend; never the cross-shard global order.
         self.approximate = bool(getattr(self.shards[0], "approximate",
@@ -238,7 +608,7 @@ class ShardedBuffer:
         return self.router.route(key)
 
     def shard_backend_for(self, key: int):
-        """The backend shard owning ``key`` (see
+        """The shard view owning ``key`` (global-key protocol; see
         :func:`backend_for_key`)."""
         return self.shards[self.router.route(key)]
 
@@ -247,17 +617,28 @@ class ShardedBuffer:
         return self.router.route_batch(keys)
 
     def iter_shard_segments(self, keys: np.ndarray):
-        """Scatter ``keys`` to shards: yields ``(shard_index, backend,
+        """Scatter ``keys`` to shards: yields ``(shard_index, view,
         positions, sub_keys)`` per non-empty shard, where ``positions``
         indexes ``keys`` (ascending, so per-shard order follows the
-        access stream) and ``sub_keys = keys[positions]``."""
+        access stream) and ``sub_keys = keys[positions]`` — global
+        ids; ``view`` (a :class:`CompressedShardView`) translates.
+
+        The block is compressed once here (``compress_routed``, one
+        vectorized pass) and each shard's slice primed into its view's
+        compression memo, so the per-shard calls the caller makes next
+        (``contains_batch`` / ``evict_batch(avoid=)`` / ``put_batch``
+        on the yielded ``sub_keys``) skip re-compressing it."""
         arr = np.asarray(keys, dtype=np.int64)
         shard_ids = self.router.route_batch(arr)
+        compressed = self.router.compress_routed(arr, shard_ids)
         for shard_index in range(self.num_shards):
             positions = np.flatnonzero(shard_ids == shard_index)
             if positions.size:
-                yield (shard_index, self.shards[shard_index], positions,
-                       arr[positions])
+                view = self.shards[shard_index]
+                sub = arr[positions]
+                view._c_memo.insert(0, (sub, compressed[positions]))
+                del view._c_memo[2:]
+                yield (shard_index, view, positions, sub)
 
     # -- read protocol -------------------------------------------------
     def __contains__(self, key: int) -> bool:
@@ -282,8 +663,9 @@ class ShardedBuffer:
         return all(shard.is_full for shard in self.shards)
 
     def residency_map(self) -> Dict[int, object]:
-        """Merged read-only view keyed by resident key (a snapshot —
-        bulk call sites should prefer :meth:`contains_batch`)."""
+        """Merged read-only view keyed by resident (global) key (a
+        snapshot — bulk call sites should prefer
+        :meth:`contains_batch`)."""
         merged: Dict[int, object] = {}
         for shard in self.shards:
             merged.update(shard.residency_map())
@@ -297,6 +679,12 @@ class ShardedBuffer:
         for _, shard, positions, sub in self.iter_shard_segments(arr):
             out[positions] = shard.contains_batch(sub)
         return out
+
+    def per_id_nbytes(self) -> int:
+        """Total per-id dense-state bytes across shards — ≈ the
+        single-shard footprint, *not* N× it (the point of compression;
+        regression-tested in ``tests/test_sharding.py``)."""
+        return sum(shard.per_id_nbytes() for shard in self.shards)
 
     # -- scalar writes (route + forward) -------------------------------
     def insert(self, key: int, priority: int) -> None:

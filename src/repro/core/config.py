@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 
@@ -63,6 +64,13 @@ class RecMGConfig:
     #: ``"modulo"`` (striping).  See
     #: :data:`repro.cache.sharding.SHARD_POLICIES`.
     shard_policy: str = "contiguous"
+    #: Per-shard capacity weights (``None`` = uniform split).  One
+    #: positive weight per shard; capacity splits proportionally by
+    #: largest-remainder apportionment with at least one slot per shard
+    #: — the skew-matched split for hot-shard workloads.  Requires
+    #: ``num_shards > 1``.  See
+    #: :func:`repro.cache.sharding.split_capacity`.
+    shard_weights: tuple[float, ...] | None = None
     #: Demand-serving dispatch: ``"serial"`` (shard loop inline on the
     #: calling thread) or ``"threads"`` (per-shard worker pool;
     #: requires ``num_shards > 1``).  Bit-identical decisions either
@@ -104,6 +112,19 @@ class RecMGConfig:
             raise ValueError(
                 f"shard_policy must be one of {sorted(SHARD_POLICIES)}, "
                 f"got {self.shard_policy!r}")
+        if self.shard_weights is not None:
+            if self.num_shards < 2:
+                raise ValueError(
+                    "shard_weights requires num_shards > 1 (there is "
+                    "nothing to weight on a single shard)")
+            weights = tuple(float(w) for w in self.shard_weights)
+            if len(weights) != self.num_shards:
+                raise ValueError(
+                    f"shard_weights must provide one weight per shard "
+                    f"(expected {self.num_shards}, got {len(weights)})")
+            if not all(math.isfinite(w) and w > 0.0 for w in weights):
+                raise ValueError(
+                    "shard_weights must be positive and finite")
         if self.concurrency not in ("serial", "threads"):
             raise ValueError(
                 "concurrency must be one of ('serial', 'threads'), "

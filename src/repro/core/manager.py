@@ -150,6 +150,7 @@ class RecMGManager:
                  key_space="auto",
                  num_shards: Optional[int] = None,
                  shard_policy: Optional[str] = None,
+                 shard_weights=None,
                  concurrency: Optional[str] = None,
                  num_workers: Optional[int] = None) -> None:
         if capacity < 1:
@@ -166,6 +167,8 @@ class RecMGManager:
         self.shard_policy = (shard_policy if shard_policy is not None
                              else getattr(config, "shard_policy",
                                           "contiguous"))
+        self.shard_weights = (shard_weights if shard_weights is not None
+                              else getattr(config, "shard_weights", None))
         # A fitted encoder fixes the dense-id universe, which lets the
         # clock and fast backends run array-native membership (residency
         # bitmap); unseen keys map above the vocabulary and spill
@@ -183,7 +186,8 @@ class RecMGManager:
         self.buffer = make_buffer(self.buffer_impl, capacity,
                                   key_space=key_space,
                                   num_shards=self.num_shards,
-                                  shard_policy=self.shard_policy)
+                                  shard_policy=self.shard_policy,
+                                  shard_weights=self.shard_weights)
         # Concurrent dispatch (see module docstring): "serial" keeps the
         # single-threaded engines; "threads" serves shard sub-segments
         # on a persistent per-shard worker pool, gathered in shard
@@ -695,8 +699,12 @@ class RecMGManager:
         serial order, and the gathers run in block order here — so
         counters, decision streams and buffer state stay bit-identical
         to the serial engine.  Each gathered block records its wall
-        latency (dispatch → gathered) and the in-flight depth into
-        :attr:`serving_metrics`."""
+        latency (dispatch → gathered) and the in-flight pipeline depth
+        into :attr:`serving_metrics` — as ``inflight_depth``, a
+        distinct stat from the admission-queue ``queue_depth`` that
+        :meth:`serve_batch` records (blocks dispatched ahead of the
+        gather vs requests waiting for admission; same name would mix
+        units)."""
         pending: Deque[Tuple[np.ndarray, List[Tuple], float]] = deque()
         metrics = self.serving_metrics
 
@@ -705,7 +713,7 @@ class RecMGManager:
             self._gather_block(segment, jobs)
             metrics.record_batch(int(segment.size),
                                  time.perf_counter() - submitted_at,
-                                 queue_depth=len(pending))
+                                 inflight_depth=len(pending))
 
         for lo in range(start, len(dense), block):
             segment = np.asarray(dense[lo:lo + block], dtype=np.int64)

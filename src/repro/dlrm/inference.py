@@ -181,6 +181,7 @@ class BufferClassifier:
                  key_space: Optional[int] = None,
                  num_shards: int = 1,
                  shard_policy: str = "contiguous",
+                 shard_weights=None,
                  concurrency: str = "serial",
                  num_workers: Optional[int] = None) -> None:
         if concurrency not in ("serial", "threads"):
@@ -194,7 +195,8 @@ class BufferClassifier:
         self.buffer = make_buffer(buffer_impl, capacity,
                                   key_space=key_space,
                                   num_shards=num_shards,
-                                  shard_policy=shard_policy)
+                                  shard_policy=shard_policy,
+                                  shard_weights=shard_weights)
         self.priority = priority
         self.concurrency = concurrency
         self.num_workers = num_workers

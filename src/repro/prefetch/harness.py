@@ -107,7 +107,8 @@ class LRUBufferWithPrefetch:
                  buffer_impl: str = "ordered",
                  key_space: Optional[int] = None,
                  num_shards: int = 1,
-                 shard_policy: str = "contiguous") -> None:
+                 shard_policy: str = "contiguous",
+                 shard_weights=None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         effective = max(1, int(capacity * (1.0 - metadata_fraction)))
@@ -137,7 +138,8 @@ class LRUBufferWithPrefetch:
             self._buffer = make_buffer(
                 buffer_impl, effective,
                 key_space=key_space if dense else None,
-                num_shards=num_shards, shard_policy=shard_policy)
+                num_shards=num_shards, shard_policy=shard_policy,
+                shard_weights=shard_weights)
             self._pf_tags = set()
             # Exact backends at constant priority 0 reduce to LRU
             # (victim = oldest seqno); clock needs priority 1 so a
@@ -229,7 +231,8 @@ def run_breakdown(trace: Trace, capacity: int,
                   engine: str = "fast",
                   buffer_impl: str = "ordered",
                   num_shards: int = 1,
-                  shard_policy: str = "contiguous") -> AccessBreakdown:
+                  shard_policy: str = "contiguous",
+                  shard_weights=None) -> AccessBreakdown:
     """Simulate ``trace`` through an LRU buffer (+ optional prefetcher).
 
     ``use_dense_keys`` remaps packed keys into a dense index space so
@@ -277,7 +280,8 @@ def run_breakdown(trace: Trace, capacity: int,
                                    buffer_impl=buffer_impl,
                                    key_space=key_space,
                                    num_shards=num_shards,
-                                   shard_policy=shard_policy)
+                                   shard_policy=shard_policy,
+                                   shard_weights=shard_weights)
     for i in range(len(keys)):
         buffer.access(int(keys[i]), pc=int(tables[i]))
     return buffer.breakdown

@@ -84,10 +84,22 @@ class RequestQueue:
     def put(self, request: Request, timeout: Optional[float] = None) -> None:
         """Enqueue; blocks while the queue is full (backpressure).
         Raises :class:`QueueClosed` once the queue is closed, and
-        ``TimeoutError`` when ``timeout`` elapses while full."""
+        ``TimeoutError`` when ``timeout`` elapses while full.
+
+        The timeout is one deadline for the whole call, not per wait:
+        every wakeup (another producer's slot race, a spurious wakeup)
+        re-waits only on the *remaining* time, so a producer racing
+        other producers cannot block past its deadline.
+        """
+        deadline = (None if timeout is None
+                    else time.perf_counter() + timeout)
         with self._not_full:
             while len(self._items) >= self.maxsize and not self._closed:
-                if not self._not_full.wait(timeout):
+                remaining = (None if deadline is None
+                             else deadline - time.perf_counter())
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError("queue full")
+                if not self._not_full.wait(remaining):
                     raise TimeoutError("queue full")
             if self._closed:
                 raise QueueClosed("request queue is closed")
@@ -96,14 +108,28 @@ class RequestQueue:
 
     def get(self, timeout: Optional[float] = None) -> Optional[Request]:
         """Pop the oldest request; ``None`` on timeout or when the
-        queue is closed *and* drained (the consumer's stop signal)."""
+        queue is closed *and* drained (the consumer's stop signal).
+
+        With ``timeout=None`` the call blocks until an item arrives or
+        the queue closes — never returning ``None`` while the queue is
+        open, whatever wakeups occur.  ``Batcher.batches()`` treats a
+        ``None`` from its blocking get as closed-and-drained, so a
+        spurious wakeup (or a notify won by a racing close/put
+        interleaving) leaking through as ``None`` would permanently
+        terminate the serving loop; the wait therefore re-checks state
+        in a loop.
+        """
+        deadline = (None if timeout is None
+                    else time.perf_counter() + timeout)
         with self._not_empty:
-            if not self._items:
+            while not self._items:
                 if self._closed:
                     return None
-                if not self._not_empty.wait(timeout):
-                    return None
-                if not self._items:  # woken by close(), nothing left
+                if deadline is None:
+                    self._not_empty.wait()
+                    continue
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0 or not self._not_empty.wait(remaining):
                     return None
             request = self._items.popleft()
             self._not_full.notify()

@@ -14,8 +14,15 @@ with O(1) per-batch cost and summarizes them on demand:
   recording stays allocation-free on the serving path and the
   percentiles track the *current* regime rather than the whole
   history;
-* **queue depth** — mean/max over the recorded samples (the admission
-  queue's depth at each flush, or the engine's in-flight block count);
+* **queue depth** — mean/max over the recorded samples of the
+  *admission* queue's depth at each flush (requests waiting to be
+  batched — the backpressure signal);
+* **in-flight depth** — mean/max over the concurrent engine's
+  pipeline depth samples (blocks dispatched ahead of the gather).
+  Deliberately a *separate* stat from queue depth: the two measure
+  different stages in different units (waiting requests vs dispatched
+  serving blocks), and folding pipeline depth into the queue-depth
+  stream would corrupt the overload signal;
 * **batch-size histogram** — power-of-two buckets (a batch of 1500
   keys lands in the ``1024-2047`` bucket), enough to see whether the
   batcher is flushing on size or on deadline;
@@ -119,14 +126,21 @@ class ServingMetrics:
         self.queue_depth_samples = 0
         self.queue_depth_sum = 0
         self.queue_depth_max = 0
+        self.inflight_depth_samples = 0
+        self.inflight_depth_sum = 0
+        self.inflight_depth_max = 0
         self._started = time.perf_counter()
 
     # -- recording (single consumer) -----------------------------------
     def record_batch(self, size: int, latency_seconds: float,
-                     queue_depth: Optional[int] = None) -> None:
-        """Record one served batch: its key count, wall latency, and
-        (when the caller knows it) the admission-queue depth at the
-        moment the batch was formed."""
+                     queue_depth: Optional[int] = None,
+                     inflight_depth: Optional[int] = None) -> None:
+        """Record one served batch: its key count, wall latency, and —
+        when the caller knows them — the admission-queue depth at the
+        moment the batch was formed (``queue_depth``) and/or the
+        concurrent engine's pipeline depth when the batch gathered
+        (``inflight_depth``).  The two are distinct stats (see module
+        docstring); callers record whichever stage they instrument."""
         size = int(size)
         self.batches += 1
         self.keys_served += size
@@ -140,6 +154,12 @@ class ServingMetrics:
             self.queue_depth_sum += depth
             if depth > self.queue_depth_max:
                 self.queue_depth_max = depth
+        if inflight_depth is not None:
+            depth = int(inflight_depth)
+            self.inflight_depth_samples += 1
+            self.inflight_depth_sum += depth
+            if depth > self.inflight_depth_max:
+                self.inflight_depth_max = depth
 
     # -- reading -------------------------------------------------------
     @property
@@ -147,6 +167,12 @@ class ServingMetrics:
         if not self.queue_depth_samples:
             return 0.0
         return self.queue_depth_sum / self.queue_depth_samples
+
+    @property
+    def inflight_depth_mean(self) -> float:
+        if not self.inflight_depth_samples:
+            return 0.0
+        return self.inflight_depth_sum / self.inflight_depth_samples
 
     def summary(self, shard_busy_seconds: Optional[Sequence[float]] = None,
                 wall_seconds: Optional[float] = None) -> Dict[str, object]:
@@ -169,6 +195,8 @@ class ServingMetrics:
             "latency_mean_ms": self.latency.mean_seconds * 1e3,
             "queue_depth_mean": self.queue_depth_mean,
             "queue_depth_max": self.queue_depth_max,
+            "inflight_depth_mean": self.inflight_depth_mean,
+            "inflight_depth_max": self.inflight_depth_max,
             "batch_size_histogram": dict(sorted(
                 self.batch_size_histogram.items(),
                 key=lambda item: int(item[0].split("-")[0]))),

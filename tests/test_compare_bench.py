@@ -101,6 +101,35 @@ def test_ungated_entries_never_gate(compare_bench, tmp_path, capsys):
     assert "All 1 gated hot paths" in capsys.readouterr().out
 
 
+def test_metric_field_churn_is_tolerated(compare_bench, tmp_path,
+                                         capsys):
+    """Entries may rename, add or drop auxiliary metric fields
+    (hit rates, depth stats, shard weights, ...) between runs without
+    changing any verdict — only ``speedup`` and ``gated`` matter.  A
+    gated entry vanishing outright still fails."""
+    base_payload = _payload({"serving": 4.0, "hotshard": 2.0})
+    base_payload["hot_paths"]["serving"]["queue_depth_mean"] = 3.5
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps(base_payload))
+
+    fresh_payload = _payload({"serving": 4.1, "hotshard": 1.9})
+    # Renamed and newly added metric fields on the fresh side.
+    fresh_payload["hot_paths"]["serving"]["inflight_depth_mean"] = 2.5
+    fresh_payload["hot_paths"]["hotshard"]["shard_weights"] = \
+        [0.85, 0.05, 0.05, 0.05]
+    fresh_payload["hot_paths"]["note"] = "not a dict — skipped"
+    fresh = tmp_path / "fresh.json"
+    fresh.write_text(json.dumps(fresh_payload))
+    assert compare_bench.main([str(base), str(fresh)]) == 0
+    assert "All 2 gated hot paths" in capsys.readouterr().out
+
+    # Field churn does not weaken the vanished-gated-path check.
+    del fresh_payload["hot_paths"]["hotshard"]
+    fresh.write_text(json.dumps(fresh_payload))
+    assert compare_bench.main([str(base), str(fresh)]) == 1
+    assert "hotshard: gated hot path missing" in capsys.readouterr().err
+
+
 def test_new_gated_path_is_informational(compare_bench, tmp_path,
                                          capsys):
     """A fresh-only path cannot gate until its baseline is committed —

@@ -142,6 +142,111 @@ def test_request_queue_backpressure_bounds_depth():
     assert max(seen_depths) <= 4
 
 
+@pytest.mark.timeout(30)
+def test_request_queue_put_timeout_is_one_deadline():
+    """Regression: ``put`` used to restart the *full* timeout on every
+    wakeup of the full-queue wait loop, so a producer racing other
+    producers (or any notify that didn't free a slot for it) could
+    block far past its deadline.  Deterministic repro: the queue stays
+    full while a teaser thread keeps notifying ``_not_full`` — each
+    wakeup finds the queue still full, and with the bug each wakeup
+    also re-armed the whole timeout, pushing the deadline out for as
+    long as the teasing lasts."""
+    queue = RequestQueue(maxsize=1)
+    queue.put(Request(keys=np.array([1])))  # full, and stays full
+    stop = threading.Event()
+
+    def teaser():
+        while not stop.is_set():
+            with queue._lock:
+                queue._not_full.notify_all()
+            time.sleep(0.02)
+
+    thread = threading.Thread(target=teaser)
+    thread.start()
+    try:
+        began = time.perf_counter()
+        with pytest.raises(TimeoutError):
+            queue.put(Request(keys=np.array([2])), timeout=0.2)
+        elapsed = time.perf_counter() - began
+    finally:
+        stop.set()
+        thread.join(timeout=5)
+    # One deadline for the whole call: the teased wakeups re-wait only
+    # on the remainder.  (With the restart bug this blocked for the
+    # teaser's whole lifetime — bounded only by the test timeout.)
+    assert elapsed < 2.0
+    assert queue.depth() == 1  # the timed-out request was not enqueued
+
+
+@pytest.mark.timeout(30)
+def test_request_queue_two_producers_slow_consumer_meet_deadlines():
+    """Two producers racing for a slow consumer's freed slots: every
+    put must land within its (generous) deadline — under the
+    timeout-restart bug a producer that repeatedly lost the slot race
+    could starve past its deadline without ever raising."""
+    queue = RequestQueue(maxsize=1)
+    per_producer = 8
+    failures = []
+
+    def producer(tenant):
+        for i in range(per_producer):
+            try:
+                queue.put(Request(keys=np.array([i]), tenant=tenant),
+                          timeout=10.0)
+            except TimeoutError:  # pragma: no cover - the failure mode
+                failures.append((tenant, i))
+                return
+
+    producers = [threading.Thread(target=producer, args=(tenant,))
+                 for tenant in range(2)]
+    for thread in producers:
+        thread.start()
+    drained = []
+    while len(drained) < 2 * per_producer and not failures:
+        request = queue.get(timeout=5.0)
+        if request is None:
+            break
+        time.sleep(0.005)  # slow consumer: keep the slot race alive
+        drained.append(request.tenant)
+    for thread in producers:
+        thread.join(timeout=10)
+    assert not failures
+    assert len(drained) == 2 * per_producer
+    assert sorted(drained) == [0] * per_producer + [1] * per_producer
+
+
+@pytest.mark.timeout(30)
+def test_request_queue_blocking_get_survives_spurious_wakeup():
+    """Regression: a blocking ``get(timeout=None)`` waited only once —
+    a spurious wakeup (or a notify won by a racing close/put
+    interleaving) while the queue was open and empty returned ``None``,
+    which ``Batcher.batches()`` reads as closed-and-drained,
+    permanently killing the serving loop.  An open-but-idle queue must
+    never yield ``None`` from a blocking get, whatever wakeups occur."""
+    queue = RequestQueue(maxsize=4)
+    results = []
+
+    def consumer():
+        results.append(queue.get(timeout=None))
+
+    thread = threading.Thread(target=consumer)
+    thread.start()
+    time.sleep(0.02)  # let it park on the empty queue
+    for _ in range(5):  # spurious wakeups: queue still open and empty
+        with queue._lock:
+            queue._not_empty.notify_all()
+        time.sleep(0.01)
+    # The consumer must still be parked — not returned None.
+    assert thread.is_alive()
+    assert not results
+    queue.put(Request(keys=np.array([42])))
+    thread.join(timeout=5)
+    assert not thread.is_alive()
+    assert len(results) == 1 and results[0] is not None
+    assert results[0].keys.tolist() == [42]
+
+
 # ---------------------------------------------------------------------------
 # Batcher.
 
@@ -235,6 +340,49 @@ def test_serving_metrics_empty_summary():
     summary = ServingMetrics().summary()
     assert summary["batches"] == 0
     assert summary["keys_served"] == 0
+    assert summary["queue_depth_mean"] == 0.0
+    assert summary["inflight_depth_mean"] == 0.0
+
+
+def test_serving_metrics_inflight_depth_is_distinct_stat():
+    """Regression: the concurrent engine's pipeline depth used to be
+    recorded as ``queue_depth``, silently mixing units with the
+    admission-queue depth ``serve_batch`` records.  The two stats must
+    accumulate independently."""
+    metrics = ServingMetrics()
+    # The admission path records queue depth; the pipelined engine
+    # records in-flight depth; some batches record neither.
+    metrics.record_batch(100, 0.001, queue_depth=3)
+    metrics.record_batch(100, 0.001, inflight_depth=7)
+    metrics.record_batch(100, 0.001, queue_depth=5, inflight_depth=1)
+    metrics.record_batch(100, 0.001)
+    assert metrics.queue_depth_samples == 2
+    assert metrics.queue_depth_mean == pytest.approx(4.0)
+    assert metrics.queue_depth_max == 5
+    assert metrics.inflight_depth_samples == 2
+    assert metrics.inflight_depth_mean == pytest.approx(4.0)
+    assert metrics.inflight_depth_max == 7
+    summary = metrics.summary()
+    assert summary["queue_depth_mean"] == pytest.approx(4.0)
+    assert summary["queue_depth_max"] == 5
+    assert summary["inflight_depth_mean"] == pytest.approx(4.0)
+    assert summary["inflight_depth_max"] == 7
+
+
+def test_concurrent_manager_records_inflight_not_queue_depth():
+    """The pipelined trace engine samples its in-flight block depth —
+    and must leave the admission-queue stats untouched (no caller is
+    tracking an admission queue on this path)."""
+    trace = generate_multi_tenant_trace(TENANT_CONFIG, num_tenants=2)
+    config = RecMGConfig(buffer_impl="clock", num_shards=2,
+                         concurrency="threads")
+    encoder = FeatureEncoder(config).fit(trace)
+    capacity = max(2, int(trace.num_unique * 0.2))
+    with RecMGManager(capacity, encoder, config) as manager:
+        manager.run(trace)
+        metrics = manager.serving_metrics
+        assert metrics.inflight_depth_samples > 0
+        assert metrics.queue_depth_samples == 0
 
 
 # ---------------------------------------------------------------------------

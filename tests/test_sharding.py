@@ -91,6 +91,171 @@ def test_make_router_rejects_unknown_policy():
 
 
 # ---------------------------------------------------------------------------
+# Id compression (the N×-memory fix): exact per-router bijections.
+
+
+@pytest.mark.parametrize("policy", ["contiguous", "modulo"])
+@pytest.mark.parametrize("num_shards", [1, 2, 3, 5])
+@pytest.mark.parametrize("key_space", [1, 2, 7, 19, 40])
+def test_compress_round_trips_owned_universe(policy, num_shards,
+                                             key_space):
+    """``compress`` is an exact, order-preserving bijection from a
+    shard's owned in-universe ids onto a dense prefix of
+    ``[0, shard_key_space)``; ``decompress`` inverts it; scalar and
+    batch forms agree key for key."""
+    router = make_router(policy, num_shards, key_space)
+    all_ids = np.arange(key_space, dtype=np.int64)
+    routes = router.route_batch(all_ids)
+    total_owned = 0
+    for shard in range(num_shards):
+        owned = all_ids[routes == shard]
+        local = router.compress(shard, owned)
+        space = router.shard_key_space(shard)
+        # The owned ids fill the compressed universe exactly (the
+        # max(1, .) floor only pads shards that own nothing).
+        assert space == max(1, owned.size)
+        assert ((local >= 0) & (local < space)).all()
+        assert np.unique(local).size == owned.size  # injective
+        # Strictly monotonic: sorted/unique segment orders survive
+        # compression, which is why decisions cannot drift.
+        assert (np.diff(local) > 0).all()
+        assert np.array_equal(router.decompress(shard, local), owned)
+        for key, loc in zip(owned.tolist(), local.tolist()):
+            assert router.compress_key(shard, key) == loc
+            assert router.decompress_key(shard, loc) == key
+        total_owned += owned.size
+    assert total_owned == key_space  # shards partition the universe
+    # The whole-block form agrees with the per-shard form element-wise
+    # (including spillover passthrough).
+    probe = np.concatenate([all_ids, [-5, -1, key_space, key_space + 7]])
+    routes = router.route_batch(probe)
+    block = router.compress_routed(probe, routes)
+    for shard in range(num_shards):
+        mask = routes == shard
+        assert np.array_equal(block[mask],
+                              router.compress(shard, probe[mask]))
+
+
+@pytest.mark.parametrize("policy", ["contiguous", "modulo"])
+def test_compress_spillover_passthrough(policy):
+    """Ids outside ``[0, key_space)`` pass through compression and
+    decompression unchanged — they live in the backends' spillover
+    side paths under their global identity, so decompression stays
+    unambiguous."""
+    router = make_router(policy, 3, 12)
+    spill = np.array([-9, -1, 12, 13, 40, 10**12], dtype=np.int64)
+    for shard in range(3):
+        owned = spill[router.route_batch(spill) == shard]
+        assert np.array_equal(router.compress(shard, owned), owned)
+        assert np.array_equal(router.decompress(shard, owned), owned)
+        for key in owned.tolist():
+            assert router.compress_key(shard, key) == key
+            assert router.decompress_key(shard, key) == key
+
+
+@pytest.mark.parametrize("impl", ["fast", "clock"])
+@pytest.mark.parametrize("policy", ["contiguous", "modulo"])
+def test_sharded_per_id_memory_matches_single_shard(impl, policy):
+    """Memory-footprint regression (the tentpole): a 4-shard dense
+    buffer's summed per-id array bytes equal the single-shard
+    footprint — per-id state is independent of ``num_shards``.  Before
+    compression every shard spanned the full universe, costing 4×."""
+    key_space, capacity = 4096, 512
+    single = make_buffer(impl, capacity, key_space=key_space)
+    sharded = make_buffer(impl, capacity, key_space=key_space,
+                          num_shards=4, shard_policy=policy)
+    assert single.per_id_nbytes() > 0
+    # The compressed shard universes tile the global one exactly, so
+    # the summed footprint matches to the byte here (the per-shard
+    # max(1, .) floor only pads when shards outnumber ids).
+    assert sharded.per_id_nbytes() == single.per_id_nbytes()
+
+
+# ---------------------------------------------------------------------------
+# Weighted capacity splits.
+
+
+def test_split_capacity_uniform_matches_historical_formula():
+    from repro.cache import split_capacity
+
+    assert split_capacity(11, 4) == [3, 3, 3, 2]
+    assert split_capacity(8, 4) == [2, 2, 2, 2]
+    assert split_capacity(5, 1) == [5]
+
+
+def test_split_capacity_weighted_largest_remainder():
+    from repro.cache import split_capacity
+
+    assert split_capacity(20, 4, [0.85, 0.05, 0.05, 0.05]) == [17, 1, 1, 1]
+    # Equal fractional parts break ties to the lowest shard id.
+    assert split_capacity(10, 3, [1.0, 1.0, 1.0]) == [4, 3, 3]
+    # Every shard keeps at least one slot even under extreme skew.
+    assert split_capacity(4, 4, [100.0, 1e-6, 1e-6, 1e-6]) == [1, 1, 1, 1]
+    split = split_capacity(97, 5, [5, 4, 3, 2, 1])
+    assert sum(split) == 97 and all(c >= 1 for c in split)
+
+
+def test_split_capacity_weighted_validation():
+    from repro.cache import split_capacity
+
+    with pytest.raises(ValueError, match="one weight per shard"):
+        split_capacity(10, 3, [1.0, 2.0])
+    with pytest.raises(ValueError, match="positive and finite"):
+        split_capacity(10, 2, [1.0, 0.0])
+    with pytest.raises(ValueError, match="positive and finite"):
+        split_capacity(10, 2, [1.0, float("nan")])
+
+
+def test_make_buffer_shard_weights():
+    buf = make_buffer("clock", 20, key_space=128, num_shards=4,
+                      shard_weights=(0.85, 0.05, 0.05, 0.05))
+    assert buf.shard_capacities == [17, 1, 1, 1]
+    assert [s.capacity for s in buf.shards] == [17, 1, 1, 1]
+    assert buf.shard_weights == (0.85, 0.05, 0.05, 0.05)
+    # Fill each shard to its weighted capacity (contiguous routing:
+    # shard i owns [32*i, 32*(i+1))) — the global contract holds.
+    keys = np.concatenate([np.arange(17), [32, 64, 96]]).astype(np.int64)
+    buf.put_batch(keys, 2)
+    assert len(buf) == 20 and buf.is_full
+    with pytest.raises(ValueError, match="num_shards > 1"):
+        make_buffer("clock", 8, key_space=64, shard_weights=(1.0,))
+
+
+def test_config_shard_weights_validation():
+    from repro.core import RecMGConfig
+
+    config = RecMGConfig(num_shards=4,
+                         shard_weights=(0.85, 0.05, 0.05, 0.05))
+    assert config.shard_weights == (0.85, 0.05, 0.05, 0.05)
+    with pytest.raises(ValueError, match="num_shards > 1"):
+        RecMGConfig(shard_weights=(1.0,))
+    with pytest.raises(ValueError, match="one weight per shard"):
+        RecMGConfig(num_shards=3, shard_weights=(1.0, 2.0))
+    with pytest.raises(ValueError, match="positive and finite"):
+        RecMGConfig(num_shards=2, shard_weights=(1.0, -1.0))
+
+
+def test_manager_shard_weights_via_config():
+    """RecMGConfig.shard_weights threads through to the buffer split
+    (and the run still conserves totals)."""
+    from repro.core import RecMGConfig
+    from repro.core.features import FeatureEncoder
+    from repro.core.manager import RecMGManager
+    from repro.traces import SyntheticTraceConfig, generate_trace
+
+    trace = generate_trace(SyntheticTraceConfig(
+        num_tables=2, rows_per_table=64, num_accesses=600, seed=4))
+    config = RecMGConfig(num_shards=4,
+                         shard_weights=(0.7, 0.1, 0.1, 0.1))
+    encoder = FeatureEncoder(config).fit(trace)
+    manager = RecMGManager(20, encoder, config)
+    assert isinstance(manager.buffer, ShardedBuffer)
+    assert manager.buffer.shard_capacities == [14, 2, 2, 2]
+    stats = manager.run(trace)
+    assert stats.breakdown.total == len(trace)
+
+
+# ---------------------------------------------------------------------------
 # make_buffer validation (both error paths of the sharding knob).
 
 
@@ -143,8 +308,14 @@ def test_make_buffer_sharded_partitions_capacity():
     assert isinstance(buf, ShardedBuffer)
     assert buf.shard_capacities == [3, 3, 3, 2]  # remainder to low ids
     assert sum(buf.shard_capacities) == buf.capacity == 11
-    assert all(isinstance(s, FastPriorityBuffer) for s in buf.shards)
+    assert all(isinstance(s.backend, FastPriorityBuffer)
+               for s in buf.shards)
     assert all(s.residency is not None for s in buf.shards)
+    # Each backend runs over the router's compressed universe, not the
+    # full [0, key_space) — this is the N×-memory fix.
+    assert all(s.backend.key_space == buf.router.shard_key_space(i)
+               for i, s in enumerate(buf.shards))
+    assert sum(s.backend.key_space for s in buf.shards) == buf.key_space
     assert not buf.approximate
     assert make_buffer("clock", 8, key_space=64, num_shards=2).approximate
 
@@ -292,27 +463,35 @@ def _apply_op(buffer, op):
 
 
 def _assert_partition_invariants(sharded: ShardedBuffer):
-    """After any op: keys route uniquely, shard residency is disjoint,
-    and the union of per-shard answers is the global contains_batch."""
-    per_shard = np.stack([shard.contains_batch(PROBE)
-                          for shard in sharded.shards])
-    counts = per_shard.sum(axis=0)
-    assert (counts <= 1).all()  # a key lives in at most one shard
-    union = counts.astype(bool)
-    assert np.array_equal(union, sharded.contains_batch(PROBE))
-    # In-range union == OR of residency bitmaps (the property as stated
-    # on the bitmaps themselves), and every resident key sits in its
-    # router shard.
-    bitmap_union = np.zeros(sharded.key_space, dtype=bool)
-    for shard in sharded.shards:
-        assert not (bitmap_union & shard.residency.bitmap).any()
-        bitmap_union |= shard.residency.bitmap
-    in_range = (PROBE >= 0) & (PROBE < sharded.key_space)
-    assert np.array_equal(union[in_range], bitmap_union[PROBE[in_range]])
-    route = sharded.router.route_batch(PROBE)
-    resident_positions = np.flatnonzero(union)
-    for pos in resident_positions.tolist():
-        assert per_shard[route[pos], pos]
+    """After any op: every key routes to exactly one shard, the
+    per-shard resident sets are pairwise disjoint, their union is the
+    global contains_batch, and each shard's compressed residency
+    bitmap decompresses exactly onto the global ids it owns."""
+    # Scatter the probe the way every bulk op does: a compressed shard
+    # view only speaks for keys that route to it (the per-shard
+    # bijections alias foreign keys by design), so per-shard answers
+    # are only meaningful for the shard's own sub-segment.
+    gathered = np.zeros(PROBE.size, dtype=bool)
+    for _, shard, positions, sub in sharded.iter_shard_segments(PROBE):
+        gathered[positions] = shard.contains_batch(sub)
+    assert np.array_equal(gathered, sharded.contains_batch(PROBE))
+    # Routing + disjointness: every resident (decompressed) key lives
+    # in exactly its router shard, so the resident sets cannot overlap.
+    seen = set()
+    for index, shard in enumerate(sharded.shards):
+        resident = list(shard.keys())
+        for key in resident:
+            assert sharded.shard_id_of(key) == index
+            assert key not in seen  # a key lives in at most one shard
+            seen.add(key)
+        # The raw bitmap covers the *compressed* universe; its set bits
+        # decompress exactly onto the shard's in-universe residents.
+        bitmap_ids = np.flatnonzero(shard.residency.bitmap)
+        decompressed = sharded.router.decompress(index, bitmap_ids)
+        in_universe = sorted(key for key in resident
+                             if 0 <= key < sharded.key_space)
+        assert sorted(decompressed.tolist()) == in_universe
+    assert len(seen) == len(sharded)
     assert len(sharded) == sum(len(shard) for shard in sharded.shards)
     assert len(sharded) <= sharded.capacity
 
