@@ -17,6 +17,15 @@ A gated hot path whose fresh speedup falls more than
 build; so does a gated hot path that disappears from the fresh run (a
 silently dropped gate reads as a pass otherwise).
 
+Gated entries that carry a ``hit_rate_lift`` instead of a ``speedup``
+(the model-guided serving scenarios) gate on the *lift*: a hit-rate
+lift is a decision metric — deterministic on a fixed seed, immune to
+runner noise — so the contract is strict: a committed **positive**
+lift must stay positive in the fresh run (the model may not silently
+stop helping), and the entry may not vanish.  Committed non-positive
+lifts never gate (a scenario recorded while the model underperforms
+must not lock that in).
+
 PRs that legitimately change a hot path's profile update the committed
 ``BENCH_hotpaths.json`` in the same commit, which rebaselines the
 check.
@@ -52,6 +61,22 @@ def load_speedups(path: str) -> dict:
             and "speedup" in entry and entry.get("gated")}
 
 
+def load_lifts(path: str) -> dict:
+    """Hit-rate lift per *gated* lift entry (see module docstring).
+
+    Disjoint from :func:`load_speedups` by construction: lift-gated
+    entries are recorded without a reference engine, so they carry no
+    ``speedup`` key and never trip the speedup comparison; conversely
+    an entry with both keys gates on both axes independently.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {name: entry["hit_rate_lift"]
+            for name, entry in payload.get("hot_paths", {}).items()
+            if isinstance(entry, dict)
+            and "hit_rate_lift" in entry and entry.get("gated")}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed BENCH_hotpaths.json")
@@ -84,13 +109,41 @@ def main(argv=None) -> int:
     for name in sorted(set(fresh) - set(baseline)):
         print(f"NEW {name}: {fresh[name]:.2f}x (not in baseline — commit "
               f"the fresh BENCH_hotpaths.json to start gating it)")
+
+    baseline_lifts = load_lifts(args.baseline)
+    fresh_lifts = load_lifts(args.fresh)
+    for name in sorted(baseline_lifts):
+        committed = baseline_lifts[name]
+        if committed <= 0:
+            # Never lock in an underperforming model.
+            print(f"SKIP {name}: committed lift {committed:+.4f} is not "
+                  f"positive — not gated")
+            continue
+        if name not in fresh_lifts:
+            failures.append(
+                f"{name}: lift-gated entry missing from the fresh run "
+                f"(committed lift {committed:+.4f})")
+            continue
+        measured = fresh_lifts[name]
+        status = "OK " if measured > 0 else "FAIL"
+        print(f"{status} {name}: committed lift {committed:+.4f}, "
+              f"fresh {measured:+.4f}")
+        if measured <= 0:
+            failures.append(
+                f"{name}: committed hit-rate lift {committed:+.4f} "
+                f"vanished (fresh {measured:+.4f}) — the model stopped "
+                f"beating model-free serving")
+    for name in sorted(set(fresh_lifts) - set(baseline_lifts)):
+        print(f"NEW {name}: lift {fresh_lifts[name]:+.4f} (not in baseline "
+              f"— commit the fresh BENCH_hotpaths.json to start gating it)")
     if failures:
         print("\nHot-path regression check FAILED:", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
     print(f"\nAll {len(baseline)} gated hot paths within "
-          f"{args.max_regression:.0%} of the committed baseline.")
+          f"{args.max_regression:.0%} of the committed baseline; "
+          f"{len(baseline_lifts)} lift-gated entries checked.")
     return 0
 
 

@@ -11,22 +11,34 @@ gather.  A live metrics line (p50/p95/p99 latency, queue depth, batch
 mix) prints as the stream drains; the final report adds per-shard
 worker utilization and the end-to-end hit rate.
 
+With ``--model`` the daemon becomes model-in-the-loop: the head of
+the stream trains a small :class:`CachingModel` on OPTgen labels, and
+the remainder is served with ``priority_mode="async"`` — a background
+worker refreshes a dense priority table while ``serve_batch`` reads
+possibly-stale bits without ever blocking on inference.  The live
+retraining window (``--retrain``) fine-tunes a clone of the model from
+the stream itself and swaps it in atomically, all off the critical
+path.  The final report then adds the async provider's staleness and
+inference-latency lines next to the serving percentiles.
+
 Defaults drive ~2M keys (~64k requests).  Everything is a ``main()``
 keyword so the smoke test (``tests/test_examples.py``) can run the
 same daemon on a tiny trace with a small pool in well under a second.
 
 Run:  python examples/serving_daemon.py
       python examples/serving_daemon.py --accesses 5000000
+      python examples/serving_daemon.py --model --retrain
 """
 
 import threading
 import time
 
-import numpy as np
-
 from repro.core import RecMGConfig
+from repro.core.caching_model import CachingModel
 from repro.core.features import FeatureEncoder
+from repro.core.labeling import build_labels, caching_targets
 from repro.core.manager import RecMGManager
+from repro.core.training import train_caching_model
 from repro.serving import Batcher, Request, RequestQueue
 from repro.traces import SyntheticTraceConfig, generate_multi_tenant_trace
 
@@ -41,16 +53,42 @@ def main(total_accesses: int = 2_000_000,
          max_wait_s: float = 0.002,
          queue_size: int = 256,
          capacity_fraction: float = 0.2,
-         report_every: int = 100) -> None:
+         report_every: int = 100,
+         model: bool = False,
+         train_fraction: float = 0.25,
+         online_retrain: bool = False) -> None:
     trace_config = SyntheticTraceConfig(
         num_tables=8, rows_per_table=4096, num_accesses=total_accesses,
         num_clusters=32, cluster_block=8, seed=20260807)
     trace = generate_multi_tenant_trace(trace_config,
                                         num_tenants=num_tenants)
-    config = RecMGConfig(buffer_impl=buffer_impl, num_shards=num_shards,
-                         concurrency="threads", num_workers=num_workers)
-    encoder = FeatureEncoder(config).fit(trace)
-    dense = encoder.dense_ids(trace)
+    config = RecMGConfig(
+        buffer_impl=buffer_impl, num_shards=num_shards,
+        concurrency="threads", num_workers=num_workers,
+        priority_mode="async" if model else "none",
+        online_retrain_interval=(max(max_batch_keys * 8, 4096)
+                                 if model and online_retrain else 0))
+    caching_model = None
+    if model:
+        # Train on the head of the stream, serve the remainder — the
+        # deployment shape: yesterday's traffic trains, today's serves.
+        head, serve_trace = trace.split(train_fraction)
+        encoder = FeatureEncoder(config).fit(head)
+        train_capacity = max(1, int(encoder.vocab_size
+                                    * capacity_fraction))
+        labels = build_labels(head, train_capacity, config, encoder)
+        chunks = encoder.encode_chunks(head)
+        caching_model = CachingModel(config, encoder.num_tables)
+        result = train_caching_model(
+            caching_model, chunks, caching_targets(chunks, labels), config)
+        print(f"caching model: trained on {len(head):,} head accesses "
+              f"({result.final_metric:.1%} holdout accuracy); async "
+              f"priority refresh"
+              + (", online retraining on" if online_retrain else ""))
+    else:
+        serve_trace = trace
+        encoder = FeatureEncoder(config).fit(trace)
+    dense = encoder.dense_ids(serve_trace)
     capacity = max(num_shards, int(trace.num_unique * capacity_fraction))
     print(f"stream: {len(dense):,} keys, {trace.num_unique:,} distinct; "
           f"buffer: {capacity:,} slots x {num_shards} shards "
@@ -73,7 +111,8 @@ def main(total_accesses: int = 2_000_000,
             if live_producers[0] == 0:
                 queue.close()  # last producer out stops the batcher
 
-    manager = RecMGManager(capacity, encoder, config)
+    manager = RecMGManager(capacity, encoder, config,
+                           caching_model=caching_model)
     producers = [threading.Thread(target=producer, args=(tenant,),
                                   name=f"tenant-{tenant}")
                  for tenant in range(num_tenants)]
@@ -121,6 +160,19 @@ def main(total_accesses: int = 2_000_000,
     if "shard_utilization" in summary:
         util = "  ".join(f"{u:.0%}" for u in summary["shard_utilization"])
         print(f"shard utilization: {util}")
+    if model:
+        # Read after close(): the refresh worker drains its queue on
+        # shutdown, so the pre-close summary can undercount inference.
+        provider = manager.priority_provider.stats()
+        print(f"priority staleness: mean {metrics.staleness_mean:.1f} "
+              f"max {summary['staleness_max']} blocks  "
+              f"(table coverage {provider['table_coverage']:.1%}, "
+              f"{provider['dropped_blocks']} blocks shed)")
+        print(f"async inference: {metrics.inference_batches} batches "
+              f"off the serving thread, mean "
+              f"{metrics.inference_mean_ms:.2f} ms"
+              + (f"; {provider['retrains']} online retrains"
+                 if online_retrain else ""))
     print(f"hit rate: {hits / served:.1%} over {served:,} accesses "
           f"({manager.evictions:,} evictions)")
 
@@ -135,6 +187,13 @@ if __name__ == "__main__":
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--buffer", default="clock",
                         choices=["clock", "fast", "reference"])
+    parser.add_argument("--model", action="store_true",
+                        help="train a caching model on the stream head "
+                             "and serve with the async priority provider")
+    parser.add_argument("--retrain", action="store_true",
+                        help="with --model: fine-tune the model online "
+                             "from the live stream")
     args = parser.parse_args()
     main(total_accesses=args.accesses, num_shards=args.shards,
-         num_workers=args.workers, buffer_impl=args.buffer)
+         num_workers=args.workers, buffer_impl=args.buffer,
+         model=args.model, online_retrain=args.retrain)

@@ -80,6 +80,31 @@ class RecMGConfig:
     #: Worker threads for ``concurrency="threads"`` (``None`` = one per
     #: shard; smaller values time-share shards over fewer workers).
     num_workers: int | None = None
+    #: How the caching model's priorities reach the serving engines:
+    #: ``"none"`` (model-free serving, bit-identical to the
+    #: provider-free code), ``"sync"`` (batched inference on the
+    #: serving thread, deterministic) or ``"async"`` (background
+    #: refresh of a dense bit table; serving reads possibly-stale bits
+    #: without blocking).  See :mod:`repro.serving.priorities`.
+    priority_mode: str = "none"
+    #: Async mode: refresh every k-th served block (1 = every block;
+    #: larger values trade staleness for inference cost).
+    priority_refresh_blocks: int = 1
+    #: Async mode: bound on queued refresh blocks.  A full queue drops
+    #: the *oldest* pending block (serving never blocks), which also
+    #: bounds staleness at ``pending_max + 1`` blocks.
+    priority_pending_max: int = 8
+    #: Online retraining cadence in observed accesses (0 = off).  When
+    #: on, the provider relabels its sliding window with the vectorized
+    #: OPTgen, fine-tunes a clone and swaps it in atomically — on the
+    #: refresh worker in async mode.  See
+    #: :class:`repro.core.training.OnlineCachingTrainer`.
+    online_retrain_interval: int = 0
+    #: Sliding-window length (accesses) the retrainer labels and
+    #: fine-tunes on.
+    online_retrain_window: int = 2048
+    #: Fine-tune epochs per retrain cycle.
+    online_retrain_epochs: int = 1
 
     @property
     def eval_window(self) -> int:
@@ -135,3 +160,21 @@ class RecMGConfig:
                 "and requires num_shards > 1")
         if self.num_workers is not None and self.num_workers < 1:
             raise ValueError("num_workers must be >= 1 (or None)")
+        from ..serving.priorities import PRIORITY_MODES
+
+        if self.priority_mode not in PRIORITY_MODES:
+            raise ValueError(
+                f"priority_mode must be one of {PRIORITY_MODES}, "
+                f"got {self.priority_mode!r}")
+        if self.priority_refresh_blocks < 1:
+            raise ValueError("priority_refresh_blocks must be >= 1")
+        if self.priority_pending_max < 1:
+            raise ValueError("priority_pending_max must be >= 1")
+        if self.online_retrain_interval < 0:
+            raise ValueError("online_retrain_interval must be >= 0 "
+                             "(0 disables online retraining)")
+        if self.online_retrain_window < self.input_len:
+            raise ValueError("online_retrain_window must cover at least "
+                             "one input chunk")
+        if self.online_retrain_epochs < 1:
+            raise ValueError("online_retrain_epochs must be >= 1")

@@ -26,7 +26,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..traces.access import Trace, remap_to_dense
+from ..traces.access import ROW_BITS, Trace, remap_to_dense
 from .config import RecMGConfig
 
 
@@ -64,6 +64,10 @@ class FeatureEncoder:
         # sorted-key order, so bulk lookups reduce to np.searchsorted.
         self._sorted_keys: Optional[np.ndarray] = None
         self._sorted_tables: Optional[np.ndarray] = None
+        #: Lazily built table-feature index per in-vocabulary dense id
+        #: (serving segments carry dense ids only; see
+        #: :meth:`tables_for_dense`).
+        self._dense_tables: Optional[np.ndarray] = None
         self.vocab_size = 0
         self.num_tables = 0
 
@@ -78,6 +82,7 @@ class FeatureEncoder:
         self._key_to_dense = mapping
         self._sorted_keys = None    # invalidate searchsorted mirrors
         self._sorted_tables = None
+        self._dense_tables = None
         self.vocab_size = len(mapping)
         tables = np.unique(trace.table_ids)
         self._table_to_id = {int(t): i for i, t in enumerate(tables)}
@@ -122,8 +127,12 @@ class FeatureEncoder:
         return np.where(known, idx, vocab + keys)
 
     def table_indices(self, trace: Trace) -> np.ndarray:
+        return self._map_tables(trace.table_ids)
+
+    def _map_tables(self, tables: np.ndarray) -> np.ndarray:
+        """Raw table ids -> model table-feature indices (tables unseen
+        at fit time wrap into the embedding by modulo)."""
         num = max(1, self.num_tables)
-        tables = trace.table_ids
         if self._sorted_tables is None:
             self._sorted_tables = np.sort(
                 np.fromiter(self._table_to_id, dtype=np.int64,
@@ -135,6 +144,39 @@ class FeatureEncoder:
                  & (self._sorted_tables[np.minimum(idx, self.num_tables - 1)]
                     == tables))
         return np.where(known, idx, tables % num)
+
+    def tables_for_dense(self, dense: np.ndarray) -> np.ndarray:
+        """Model table-feature index per *dense* id — the lookup the
+        online serving path needs, where segments carry dense ids but
+        no trace.
+
+        In-vocabulary ids resolve through a lazily built per-id table
+        (dense id ``i`` is the ``i``-th sorted packed key, whose high
+        bits are its table).  Spillover ids (``>= vocab_size``) encode
+        ``vocab_size + packed_key`` (:meth:`dense_ids`), so their table
+        is recovered from the packed key they carry — identical to
+        what :meth:`table_indices` would produce from the source trace.
+        """
+        if not self.fitted:
+            raise RuntimeError("encoder not fitted")
+        dense = np.asarray(dense, dtype=np.int64)
+        vocab = self.vocab_size
+        if vocab == 0:
+            return self._map_tables(dense >> ROW_BITS)
+        if self._dense_tables is None:
+            if self._sorted_keys is None:
+                self._sorted_keys = np.sort(
+                    np.fromiter(self._key_to_dense, dtype=np.int64,
+                                count=len(self._key_to_dense)))
+            self._dense_tables = np.ascontiguousarray(
+                self._map_tables(self._sorted_keys >> ROW_BITS))
+        in_vocab = dense < vocab
+        known = self._dense_tables[np.clip(dense, 0, vocab - 1)]
+        if in_vocab.all():
+            return known
+        # Negative packed keys where in_vocab — masked out by the where.
+        spilled = self._map_tables((dense - vocab) >> ROW_BITS)
+        return np.where(in_vocab, known, spilled)
 
     def normalize(self, dense: np.ndarray) -> np.ndarray:
         """Dense ids -> [0, 1] scalars (the regression target space).
@@ -169,6 +211,43 @@ class FeatureEncoder:
             )
         idx = starts[:, None] + np.arange(length)[None, :]
         freq = self.freq_values(dense)
+        return EncodedChunks(
+            table_ids=tables[idx],
+            hashed_rows=hashed[idx],
+            norm_index=norm[idx],
+            freq=freq[idx],
+            dense_ids=dense[idx],
+            starts=starts,
+        )
+
+    def encode_dense_chunks(self, dense: np.ndarray) -> EncodedChunks:
+        """Encode a live *dense-id* segment into non-overlapping chunks
+        — the serving-side twin of :meth:`encode_chunks`, for call
+        sites that hold a stream of dense ids rather than a trace (the
+        priority providers, the online retrainer).
+
+        The tail is right-padded by repeating the segment's last access
+        so any length >= 1 encodes; pad positions are real features of
+        a repeated access, and callers slice per-position model outputs
+        back to the true length.  For a segment whose length is a
+        multiple of ``input_len``, the features are identical to what
+        :meth:`encode_chunks` produces from the source trace.
+        """
+        if not self.fitted:
+            raise RuntimeError("encoder not fitted")
+        dense = np.asarray(dense, dtype=np.int64)
+        if dense.size == 0:
+            raise ValueError("cannot encode an empty segment")
+        length = self.config.input_len
+        pad = (-dense.size) % length
+        if pad:
+            dense = np.concatenate([dense, np.full(pad, dense[-1])])
+        tables = self.tables_for_dense(dense)
+        hashed = dense % self.config.hash_buckets
+        norm = self.normalize(dense)
+        freq = self.freq_values(dense)
+        starts = np.arange(0, dense.size, length)
+        idx = starts[:, None] + np.arange(length)[None, :]
         return EncodedChunks(
             table_ids=tables[idx],
             hashed_rows=hashed[idx],

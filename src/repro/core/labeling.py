@@ -53,6 +53,25 @@ def build_labels(trace: Trace, buffer_capacity: int, config: RecMGConfig,
     )
 
 
+def label_live_window(dense_ids: np.ndarray, buffer_capacity: int,
+                      config: RecMGConfig) -> np.ndarray:
+    """Per-access keep bits for a *live* dense-id window — the online
+    twin of :func:`build_labels`, for the retraining loop
+    (:class:`repro.core.training.OnlineCachingTrainer`).
+
+    Dense ids round-trip through :meth:`Trace.from_keys` losslessly
+    (packing splits and re-joins the same 64-bit value), and OPTgen
+    only consumes key *identity*, so the same vectorized OPTgen labels
+    the window at the same budget (``capacity * optgen_fraction``) as
+    offline labeling — the labels match what an offline pass over the
+    underlying accesses would produce for this window.
+    """
+    dense_ids = np.asarray(dense_ids, dtype=np.int64)
+    budget = max(1, int(buffer_capacity * config.optgen_fraction))
+    result = run_optgen(Trace.from_keys(dense_ids), budget)
+    return result.cache_friendly.astype(np.float64)
+
+
 def caching_targets(chunks: EncodedChunks,
                     labels: TrainingLabels) -> np.ndarray:
     """Per-chunk binary targets, shape (num_chunks, input_len)."""

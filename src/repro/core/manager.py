@@ -97,6 +97,7 @@ from ..cache.sharding import ShardedBuffer, backend_for_key
 from ..prefetch.base import Prefetcher
 from ..prefetch.harness import AccessBreakdown
 from ..serving.metrics import ServingMetrics
+from ..serving.priorities import apply_caching_bits, make_provider
 from ..serving.workers import ShardWorkerPool
 from ..traces.access import Trace
 from .caching_model import CachingModel
@@ -152,7 +153,8 @@ class RecMGManager:
                  shard_policy: Optional[str] = None,
                  shard_weights=None,
                  concurrency: Optional[str] = None,
-                 num_workers: Optional[int] = None) -> None:
+                 num_workers: Optional[int] = None,
+                 priority_mode: Optional[str] = None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -212,6 +214,19 @@ class RecMGManager:
         #: Per-batch latency / queue-depth / batch-size telemetry; the
         #: concurrent engine and :meth:`serve_batch` record into it.
         self.serving_metrics = ServingMetrics()
+        # Model-in-the-loop serving (see :mod:`repro.serving.priorities`):
+        # the provider maps served blocks to caching bits and the sink
+        # (:meth:`_sink_provider`) applies them through the same bulk
+        # priority writes the offline chunk pass uses.  "none" installs
+        # the NullProvider and the sink is never invoked — bit-identical
+        # to the provider-free engines (pinned by the goldens and the
+        # cross-backend differentials).
+        self.priority_mode = (priority_mode if priority_mode is not None
+                              else getattr(config, "priority_mode", "none"))
+        self.priority_provider = make_provider(
+            self.priority_mode, caching_model, encoder, config,
+            metrics=self.serving_metrics, capacity=capacity)
+        self._provider_active = self.priority_provider.mode != "none"
         self._prefetched: Set[int] = set()
         self.breakdown = AccessBreakdown()
         self.prefetches_issued = 0
@@ -231,11 +246,15 @@ class RecMGManager:
         return self._pool
 
     def close(self) -> None:
-        """Join the worker pool, if one was ever built (idempotent;
-        serial managers no-op).  The manager remains usable — a later
-        concurrent serve simply builds a fresh pool."""
+        """Join the worker pool, if one was ever built, and the
+        priority provider's refresh worker (idempotent; serial
+        model-free managers no-op).  The manager remains usable — a
+        later concurrent serve builds a fresh pool — but an async
+        provider stays closed: serving continues on its last refreshed
+        bits, frozen."""
         if self._pool is not None:
             self._pool.close()
+        self.priority_provider.close()
 
     def __enter__(self) -> "RecMGManager":
         return self
@@ -277,43 +296,53 @@ class RecMGManager:
         return victim
 
     def _apply_caching_bits(self, keys: np.ndarray, bits: np.ndarray) -> None:
-        """Algorithm 1 lines 4-7, with a widened differential.
+        """Algorithm 1 lines 4-7 — the bulk caching-bit write shared by
+        the offline chunk pass and the provider sink.  The applier
+        itself lives in :func:`repro.serving.priorities.apply_caching_bits`
+        (one residency gather, last-occurrence-wins dedup, friendly
+        keys to ``eviction_speed + 1`` via ``set_priority_batch``,
+        averse keys demoted), where its scalar-equivalence argument is
+        documented."""
+        apply_caching_bits(self.buffer, keys, bits,
+                           self.config.eviction_speed)
 
-        The paper sets ``priority[T[i]] = C[i] + eviction_speed`` inside
-        TorchRec's set-associative buffer, where the one-step gap rides
-        on top of per-set RRIP dynamics.  In a fully associative buffer
-        every miss ages *all* entries, so a ±1 gap is erased within one
-        eviction; we keep the same two-level scheme but spread it across
-        the aging scale (friendly = eviction_speed + 1, averse = 1),
-        which is the Hawkeye-style insertion the paper's labels encode.
+    def _sink_provider(self, segment: np.ndarray) -> None:
+        """The provider sink: after a block is served, feed the stream
+        to the priority provider and apply whatever caching bits it
+        has for the block — Algorithm 1's priority write, driven from
+        the live stream instead of the offline chunk pass.
 
-        Vectorized through the bulk protocol: one ``contains_batch``
-        residency gather classifies the whole chunk, then the friendly
-        and averse classes land via ``set_priority_batch`` /
-        ``demote_batch``.  Equivalent to the scalar per-key loop: when
-        a key repeats in the chunk its *last* occurrence's bit wins
-        (last write), positional order is preserved within each class
-        (exact-backend seqno order), and friendly/averse seqnos live in
-        disjoint positive/negative ranges, so cross-class interleaving
-        never affects eviction order.
+        Tri-state bits: positions ``>= 0`` apply through
+        :meth:`_apply_caching_bits`; ``-1`` ("no prediction" — an async
+        table slot not yet refreshed, or a spillover key) keeps its
+        recency priority, so a cold provider degrades to model-free
+        behavior.  Staleness (async refresh lag) is sampled here, per
+        served block, into :attr:`serving_metrics`.
+
+        Called at block granularity from the top-level serve sites
+        (:meth:`serve_batch`, :meth:`run`'s chunk and streaming loops)
+        — never from inside an engine, so an engine's internal
+        fallbacks (e.g. the exact engine's scalar stretches) cannot
+        double-sink a block.
         """
-        speed = self.config.eviction_speed
-        buffer = self.buffer
-        keys = np.asarray(keys, dtype=np.int64)
-        bits = np.asarray(bits) != 0
-        resident = buffer.contains_batch(keys)
-        if not resident.any():
+        provider = self.priority_provider
+        segment = np.asarray(segment, dtype=np.int64)
+        if segment.size == 0:
             return
-        res_keys = keys[resident]
-        res_bits = bits[resident]
-        if res_keys.size > 1:
-            _, first_rev = np.unique(res_keys[::-1], return_index=True)
-            if first_rev.size != res_keys.size:  # duplicates: last wins
-                sel = np.sort(res_keys.size - 1 - first_rev)
-                res_keys = res_keys[sel]
-                res_bits = res_bits[sel]
-        buffer.set_priority_batch(res_keys[res_bits], speed + 1)
-        buffer.demote_batch(res_keys[~res_bits])
+        provider.observe(segment)
+        bits = provider.bits_for(segment)
+        staleness = provider.staleness_blocks()
+        if staleness is not None:
+            self.serving_metrics.record_staleness(staleness)
+        if bits is None:
+            return
+        valid = bits >= 0
+        if not valid.all():
+            if not valid.any():
+                return
+            segment = segment[valid]
+            bits = bits[valid]
+        self._apply_caching_bits(segment, bits)
 
     def _apply_prefetches(self, predicted: np.ndarray) -> None:
         """Algorithm 1 lines 9-15: fetch P[i] at priority eviction_speed.
@@ -745,6 +774,12 @@ class RecMGManager:
         begin = time.perf_counter()
         try:
             serve(keys)
+            # Provider sink inside the timed section on purpose: sync
+            # inference is on the serving critical path and must show
+            # in the latency percentiles; the async gather is a cheap
+            # table read and the recorded p99 proves it.
+            if self._provider_active:
+                self._sink_provider(keys)
             hits = np.asarray(self._record_hits, dtype=bool)
         finally:
             self._record_hits = outer
@@ -1003,9 +1038,17 @@ class RecMGManager:
         n = len(dense)
         num_chunks = n // length
 
+        # With a priority provider installed the caching model runs
+        # through the provider seam (per served block, possibly async)
+        # instead of the offline chunk pass — computing bits_all too
+        # would double-apply the bits.  The prefetch model keeps its
+        # offline pass either way.
+        use_provider = self._provider_active
         bits_all = None
         preds_all = None
-        if num_chunks and (self.caching_model or self.prefetch_model):
+        if num_chunks and ((self.caching_model is not None
+                            and not use_provider)
+                           or self.prefetch_model is not None):
             starts = np.arange(num_chunks) * length
             idx = starts[:, None] + np.arange(length)[None, :]
             chunks = EncodedChunks(
@@ -1013,7 +1056,7 @@ class RecMGManager:
                 norm_index=norm[idx], freq=freq[idx],
                 dense_ids=dense[idx], starts=starts,
             )
-            if self.caching_model is not None:
+            if self.caching_model is not None and not use_provider:
                 parts = [self.caching_model.predict(
                             chunks, sel=np.arange(lo, min(lo + inference_batch,
                                                           num_chunks)))
@@ -1029,15 +1072,19 @@ class RecMGManager:
 
         serve = self._select_engine(fast_serve)
         if bits_all is None and preds_all is None:
-            # No model ever touches the buffer between chunks, so chunk
-            # boundaries are irrelevant: serve the whole trace in large
-            # blocks to amortize the bulk pass's per-segment setup.
+            # No per-chunk model barrier (model-free, or the caching
+            # model rides the provider seam at block granularity), so
+            # chunk boundaries are irrelevant: serve the whole trace in
+            # large blocks to amortize the bulk pass's per-segment
+            # setup — sinking each block when a provider is active.
             tail = 0
         else:
             for chunk_idx in range(num_chunks):
                 start = chunk_idx * length
                 serve(dense[start:start + length])
-                if bits_all is not None:
+                if use_provider:
+                    self._sink_provider(dense[start:start + length])
+                elif bits_all is not None:
                     self._apply_caching_bits(dense[start:start + length],
                                              bits_all[chunk_idx])
                 if preds_all is not None:
@@ -1047,13 +1094,23 @@ class RecMGManager:
         # to keep the per-shard sub-segments at single-shard size (the
         # scatter itself is one vectorized route).
         block = self._SERVE_BLOCK * getattr(self.buffer, "num_shards", 1)
-        if serve == self._serve_demand_concurrent:
+        if serve == self._serve_demand_concurrent and not use_provider:
             # No model barriers past ``tail``: pipeline the blocks so
             # shard workers stay busy across block boundaries.
             self._serve_stream(dense, tail, block)
         else:
+            # The provider sink's bulk priority writes touch every
+            # shard and must not interleave with in-flight sibling
+            # blocks, so an active provider makes each block a barrier
+            # (exactly like model chunks; the concurrent engine's
+            # barrier form handles the threads case).  Async mode still
+            # keeps *inference* off this path — the sink's table gather
+            # and priority scatter are cheap bulk ops.
             for start in range(tail, n, block):
-                serve(dense[start:start + block])
+                segment = dense[start:start + block]
+                serve(segment)
+                if use_provider:
+                    self._sink_provider(segment)
         if record_decisions:
             self.last_decisions = np.asarray(self._record_hits, dtype=bool)
             self._record_hits = None

@@ -84,6 +84,157 @@ def train_caching_model(model: CachingModel, chunks: EncodedChunks,
                        final_metric=accuracy)
 
 
+def clone_caching_model(model: CachingModel) -> CachingModel:
+    """Weight-identical deep copy of a caching model.
+
+    The online retrainer fine-tunes the clone while serving keeps
+    predicting with the original, then swaps by reference assignment —
+    so the two must share no parameter storage."""
+    clone = CachingModel(model.config, model.table_embedding.num_embeddings)
+    clone.load_state_dict(model.state_dict())
+    return clone
+
+
+def finetune_caching_model(model: CachingModel, chunks: EncodedChunks,
+                           targets: np.ndarray, config: RecMGConfig,
+                           epochs: Optional[int] = None,
+                           lr: Optional[float] = None) -> TrainResult:
+    """Few-epoch in-place fine-tune on a live labeled window.
+
+    The online variant of :func:`train_caching_model`: same weighted
+    BCE and clipping, but no holdout split (the window is small and
+    recent — every chunk trains) and no shuffling permutation cost per
+    epoch beyond the rng draw; ``final_metric`` is *in-sample*
+    accuracy, a convergence indicator rather than a generalization
+    estimate."""
+    rng = np.random.default_rng(config.seed + 13)
+    n = len(chunks)
+    epochs = epochs if epochs is not None else config.online_retrain_epochs
+    lr = lr if lr is not None else config.learning_rate
+    pos_rate = float(targets[:n].mean())
+    pos_weight = 0.5 / max(pos_rate, 1e-3)
+    neg_weight = 0.5 / max(1.0 - pos_rate, 1e-3)
+
+    optimizer = Adam(model.parameters(), lr=lr)
+    losses: List[float] = []
+    train_sel = np.arange(n)
+    start = time.perf_counter()
+    for _ in range(epochs):
+        rng.shuffle(train_sel)
+        for lo in range(0, n, config.batch_size):
+            sel = train_sel[lo:lo + config.batch_size]
+            logits = model(chunks, sel=sel)
+            batch_targets = targets[sel]
+            weights = np.where(batch_targets > 0.5, pos_weight, neg_weight)
+            loss = bce_with_logits(logits, Tensor(batch_targets),
+                                   weights=Tensor(weights))
+            optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(model.parameters(), config.grad_clip)
+            optimizer.step()
+            losses.append(loss.item())
+    duration = time.perf_counter() - start
+    accuracy = caching_accuracy(model, chunks, targets)
+    return TrainResult(losses=losses, duration_s=duration,
+                       num_parameters=model.num_parameters(),
+                       final_metric=accuracy)
+
+
+class OnlineCachingTrainer:
+    """Windowed incremental retraining from the live access stream.
+
+    Rides inside a priority provider
+    (:mod:`repro.serving.priorities`): :meth:`observe` feeds served
+    blocks into a sliding window of the most recent ``window``
+    accesses and reports when a retrain is due (every ``interval``
+    observed accesses, once the window is full); :meth:`retrain` then
+
+    1. relabels the window with the vectorized OPTgen
+       (:func:`repro.core.labeling.label_live_window` at the same
+       ``capacity * optgen_fraction`` budget as offline labeling),
+    2. fine-tunes a **clone** of the current model on the relabeled
+       chunks (:func:`finetune_caching_model` — the caller keeps
+       serving from the original), and
+    3. returns the tuned clone for the caller to swap in (a reference
+       assignment, atomic under the GIL).
+
+    In async mode both steps run on the provider's refresh worker, off
+    the serving critical path; blocks shed by the bounded refresh
+    queue never reach :meth:`observe`, so under overload the window
+    thins rather than the serving thread blocking.
+    """
+
+    def __init__(self, encoder: FeatureEncoder, config: RecMGConfig,
+                 buffer_capacity: int, interval: Optional[int] = None,
+                 window: Optional[int] = None,
+                 epochs: Optional[int] = None) -> None:
+        self.encoder = encoder
+        self.config = config
+        self.buffer_capacity = int(buffer_capacity)
+        self.interval = int(interval if interval is not None
+                            else config.online_retrain_interval)
+        self.window = int(window if window is not None
+                          else config.online_retrain_window)
+        self.epochs = int(epochs if epochs is not None
+                          else config.online_retrain_epochs)
+        if self.interval < 1:
+            raise ValueError("retrain interval must be >= 1")
+        if self.window < config.input_len:
+            raise ValueError("retrain window must cover at least one "
+                             "input chunk")
+        if self.buffer_capacity < 1:
+            raise ValueError("buffer_capacity must be >= 1")
+        self._blocks: List[np.ndarray] = []
+        self._held = 0      # accesses currently in the window
+        self._since = 0     # accesses observed since the last retrain
+        self.retrains = 0
+        self.last_result: Optional[TrainResult] = None
+
+    def observe(self, keys: np.ndarray) -> bool:
+        """Feed one served block; returns True when a retrain is due
+        (window full and ``interval`` accesses since the last one)."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return False
+        self._blocks.append(keys)
+        self._held += keys.size
+        self._since += keys.size
+        # Trim whole blocks from the head while the window stays full.
+        while self._blocks and (self._held - self._blocks[0].size
+                                >= self.window):
+            self._held -= self._blocks[0].size
+            self._blocks.pop(0)
+        return self._since >= self.interval and self._held >= self.window
+
+    def window_keys(self) -> np.ndarray:
+        """The current window's dense ids, oldest first (trimmed to
+        exactly ``window`` accesses)."""
+        if not self._blocks:
+            return np.empty(0, dtype=np.int64)
+        keys = np.concatenate(self._blocks)
+        return keys[-self.window:]
+
+    def retrain(self, model: CachingModel) -> CachingModel:
+        """Label the window, fine-tune a clone, return it (see class
+        docstring).  Resets the retrain countdown."""
+        from .labeling import label_live_window
+
+        self._since = 0
+        keys = self.window_keys()
+        bits = label_live_window(keys, self.buffer_capacity, self.config)
+        length = self.config.input_len
+        pad = (-keys.size) % length
+        if pad:  # pad targets like encode_dense_chunks pads features
+            bits = np.concatenate([bits, np.full(pad, bits[-1])])
+        chunks = self.encoder.encode_dense_chunks(keys)
+        targets = bits.reshape(-1, length)
+        tuned = clone_caching_model(model)
+        self.last_result = finetune_caching_model(
+            tuned, chunks, targets, self.config, epochs=self.epochs)
+        self.retrains += 1
+        return tuned
+
+
 def caching_accuracy(model: CachingModel, chunks: EncodedChunks,
                      targets: np.ndarray,
                      sel: Optional[np.ndarray] = None) -> float:

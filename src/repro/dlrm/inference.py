@@ -174,6 +174,16 @@ class BufferClassifier:
     :class:`~repro.serving.workers.ShardWorkerPool` (shard-pinned
     workers, shard-order gather — the manager's concurrent engine in
     miniature), which is bit-identical to the serial shard loop.
+
+    ``priority_provider`` puts the caching model in the loop (same seam
+    as the manager's ``priority_mode`` — see
+    :mod:`repro.serving.priorities`): after each :meth:`access_batch`
+    completes, the batch is sunk through the provider and any ``>= 0``
+    bits land on resident keys via the shared bulk applier.  Requires
+    driving the classifier with *dense* ids (the provider's feature and
+    table space — the same universe ``key_space`` and the shard routers
+    assume); the scalar :meth:`access` path never sinks, the provider
+    operates at batch granularity only.
     """
 
     def __init__(self, capacity: int, buffer_impl: str = "clock",
@@ -183,7 +193,8 @@ class BufferClassifier:
                  shard_policy: str = "contiguous",
                  shard_weights=None,
                  concurrency: str = "serial",
-                 num_workers: Optional[int] = None) -> None:
+                 num_workers: Optional[int] = None,
+                 priority_provider=None) -> None:
         if concurrency not in ("serial", "threads"):
             raise ValueError(
                 "concurrency must be one of ('serial', 'threads'), "
@@ -201,11 +212,18 @@ class BufferClassifier:
         self.concurrency = concurrency
         self.num_workers = num_workers
         self._pool: Optional[ShardWorkerPool] = None
+        self.priority_provider = priority_provider
+        self._provider_active = (
+            priority_provider is not None
+            and getattr(priority_provider, "mode", "none") != "none")
 
     def close(self) -> None:
-        """Join the worker pool, if one was built (idempotent)."""
+        """Join the worker pool and close the provider, if built
+        (idempotent)."""
         if self._pool is not None:
             self._pool.close()
+        if self.priority_provider is not None:
+            self.priority_provider.close()
 
     def access(self, key: int, pc: int = 0) -> bool:
         return self._serve_scalar(backend_for_key(self.buffer, int(key)),
@@ -231,6 +249,15 @@ class BufferClassifier:
         keys = np.asarray(keys, dtype=np.int64)
         if keys.size == 0:
             return np.zeros(0, dtype=bool)
+        hits = self._route_batch(keys)
+        if self._provider_active:
+            # Sink after the batch fully resolves (all shard futures
+            # gathered): the provider's bulk priority writes touch
+            # every shard, so they must not race in-flight sub-batches.
+            self._sink_provider(keys)
+        return hits
+
+    def _route_batch(self, keys: np.ndarray) -> np.ndarray:
         buffer = self.buffer
         segments = getattr(buffer, "iter_shard_segments", None)
         if segments is None:
@@ -254,6 +281,23 @@ class BufferClassifier:
         for _, shard, positions, sub in segments(keys):
             hits[positions] = self._classify_batch(shard, sub)
         return hits
+
+    def _sink_provider(self, keys: np.ndarray) -> None:
+        """Feed a completed batch to the provider and apply returned
+        bits — the :meth:`RecMGManager._sink_provider` contract at the
+        classifier's batch granularity."""
+        from ..serving.priorities import apply_caching_bits
+
+        provider = self.priority_provider
+        provider.observe(keys)
+        bits = provider.bits_for(keys)
+        if bits is None:
+            return
+        valid = bits >= 0
+        if not valid.any():
+            return
+        apply_caching_bits(self.buffer, keys[valid], bits[valid],
+                           self.priority)
 
     def _classify_batch(self, buffer, keys: np.ndarray) -> np.ndarray:
         """Hit booleans for ``keys`` against one single-shard backend."""

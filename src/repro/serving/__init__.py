@@ -10,24 +10,47 @@ engine (see ROADMAP "Serving architecture"):
                                    ShardWorkerPool (per-shard FIFO)
                                               |  gather (shard order)
                                               v
-                                       ServingMetrics
+                              PriorityProvider sink -> ServingMetrics
+                                  ^ bits        | observe
+                                  |             v
+                          CachingModel <- refresh worker (async)
+                                  ^             | window
+                                  +-- OnlineCachingTrainer (OPTgen)
 
 :mod:`repro.core.manager` consumes :class:`ShardWorkerPool` and
-:class:`ServingMetrics` when ``concurrency="threads"``;
-``examples/serving_daemon.py`` drives the whole stack.
+:class:`ServingMetrics` when ``concurrency="threads"`` and sinks every
+served block through its :class:`PriorityProvider`
+(:mod:`repro.serving.priorities`) when ``priority_mode`` is ``"sync"``
+or ``"async"``; ``examples/serving_daemon.py`` drives the whole stack.
 """
 
 from .admission import Batch, Batcher, QueueClosed, Request, RequestQueue
 from .metrics import LatencyWindow, ServingMetrics
+from .priorities import (
+    PRIORITY_MODES,
+    AsyncModelProvider,
+    NullProvider,
+    PriorityProvider,
+    SyncModelProvider,
+    apply_caching_bits,
+    make_provider,
+)
 from .workers import ShardWorkerPool
 
 __all__ = [
+    "AsyncModelProvider",
     "Batch",
     "Batcher",
     "LatencyWindow",
+    "NullProvider",
+    "PRIORITY_MODES",
+    "PriorityProvider",
     "QueueClosed",
     "Request",
     "RequestQueue",
     "ServingMetrics",
     "ShardWorkerPool",
+    "SyncModelProvider",
+    "apply_caching_bits",
+    "make_provider",
 ]

@@ -30,11 +30,29 @@ with O(1) per-batch cost and summarizes them on demand:
   :class:`repro.serving.workers.ShardWorkerPool` and merged into the
   summary as utilization (busy seconds / wall seconds).
 
-Recording is **single-consumer**: one thread (the gather/drive loop)
-calls :meth:`ServingMetrics.record_batch`.  Shard busy times are
-written by the worker threads but each shard's accumulator is only
-ever touched by the worker that owns the shard, so no lock is needed
-anywhere on the hot path.
+With a model-guided priority provider installed
+(:mod:`repro.serving.priorities`) two more stat families appear:
+
+* **inference latency** — per-inference-batch wall time and key count
+  (:meth:`ServingMetrics.record_inference`).  In sync mode this time
+  is *inside* the batch latencies above (inference rides the serving
+  thread); in async mode it is disjoint from them — the whole point of
+  the async provider is that the p99 above stays at model-free levels
+  while inference happens elsewhere;
+* **staleness** — the async provider's refresh lag in blocks
+  (:meth:`ServingMetrics.record_staleness`), sampled by the sink at
+  each served block; bounded by the provider's pending queue.
+
+Recording is **single-writer per field family**: one thread (the
+gather/drive loop) calls :meth:`ServingMetrics.record_batch` and
+:meth:`record_staleness`; inference counters are written by whichever
+thread runs inference — the serving thread in sync mode, the async
+provider's refresh worker otherwise — and by that thread only.  Shard
+busy times are written by the worker threads but each shard's
+accumulator is only ever touched by the worker that owns the shard.
+So no lock is needed anywhere on the hot path; cross-thread
+:meth:`summary` reads are telemetry (individually atomic fields, no
+torn floats under the GIL, but no cross-field snapshot guarantee).
 
 The summary feeds two places: the serving daemon's live printout
 (``examples/serving_daemon.py``) and the committed perf baseline —
@@ -129,6 +147,13 @@ class ServingMetrics:
         self.inflight_depth_samples = 0
         self.inflight_depth_sum = 0
         self.inflight_depth_max = 0
+        self.inference_batches = 0
+        self.inference_keys = 0
+        self.inference_seconds_total = 0.0
+        self.inference_seconds_max = 0.0
+        self.staleness_samples = 0
+        self.staleness_sum = 0
+        self.staleness_max = 0
         self._started = time.perf_counter()
 
     # -- recording (single consumer) -----------------------------------
@@ -161,7 +186,39 @@ class ServingMetrics:
             if depth > self.inflight_depth_max:
                 self.inflight_depth_max = depth
 
+    def record_inference(self, seconds: float, keys: int = 0) -> None:
+        """Record one model-inference batch (wall time + keys).  Called
+        by whichever thread runs inference — the serving thread in sync
+        mode, the async provider's refresh worker otherwise — and only
+        by that thread (see module docstring)."""
+        self.inference_batches += 1
+        self.inference_keys += int(keys)
+        self.inference_seconds_total += seconds
+        if seconds > self.inference_seconds_max:
+            self.inference_seconds_max = seconds
+
+    def record_staleness(self, blocks: int) -> None:
+        """Record the async provider's refresh lag (in blocks) observed
+        at one served block.  Serving-thread only."""
+        blocks = int(blocks)
+        self.staleness_samples += 1
+        self.staleness_sum += blocks
+        if blocks > self.staleness_max:
+            self.staleness_max = blocks
+
     # -- reading -------------------------------------------------------
+    @property
+    def inference_mean_ms(self) -> float:
+        if not self.inference_batches:
+            return 0.0
+        return self.inference_seconds_total / self.inference_batches * 1e3
+
+    @property
+    def staleness_mean(self) -> float:
+        if not self.staleness_samples:
+            return 0.0
+        return self.staleness_sum / self.staleness_samples
+
     @property
     def queue_depth_mean(self) -> float:
         if not self.queue_depth_samples:
@@ -197,6 +254,11 @@ class ServingMetrics:
             "queue_depth_max": self.queue_depth_max,
             "inflight_depth_mean": self.inflight_depth_mean,
             "inflight_depth_max": self.inflight_depth_max,
+            "inference_batches": self.inference_batches,
+            "inference_mean_ms": self.inference_mean_ms,
+            "inference_max_ms": self.inference_seconds_max * 1e3,
+            "staleness_mean": self.staleness_mean,
+            "staleness_max": self.staleness_max,
             "batch_size_histogram": dict(sorted(
                 self.batch_size_histogram.items(),
                 key=lambda item: int(item[0].split("-")[0]))),

@@ -1,0 +1,409 @@
+"""Model-in-the-loop priority providers for the serving engines.
+
+The paper's system is ML-*guided* caching, but the fast serving engines
+(batched clock, dense exact, sharded, concurrent) grew up model-free:
+the :class:`~repro.core.caching_model.CachingModel` only ran in the
+offline chunk pass of :meth:`RecMGManager.run`.  This module is the
+seam that puts the model back in the loop without touching the engines
+themselves: a **priority provider** maps a just-served key block to
+per-access caching bits, and the manager sinks those bits through the
+same bulk priority writes (:func:`apply_caching_bits`) the offline
+pass used — Algorithm 1's ``priority[T[i]] = C[i] + eviction_speed``,
+driven from the live stream.
+
+Three implementations, selected by ``priority_mode``:
+
+* :class:`NullProvider` (``"none"``) — no model anywhere near the
+  serving path.  The manager's behavior is bit-identical to the
+  provider-free code: the sink is never invoked.
+* :class:`SyncModelProvider` (``"sync"``) — batched feature encoding +
+  ``CachingModel.predict`` per served block, on the serving thread.
+  Amortized like every other bulk op, but inference cost lands on the
+  serving critical path (~10-25x throughput on CPU); decisions are
+  deterministic, which makes this the differential-testable mode
+  (threads == serial stays bit-identical via the shard-pinning
+  argument — the sink runs on the calling thread after the gather).
+* :class:`AsyncModelProvider` (``"async"``) — a background worker
+  refreshes a dense per-key bit table; serving reads possibly-stale
+  bits with one vectorized gather and never blocks on inference.
+  Observed blocks queue on a bounded deque (drop-oldest — overload
+  sheds refresh work, not serving throughput); **staleness** (blocks
+  submitted but not yet refreshed) is bounded by the queue and
+  reported through :meth:`PriorityProvider.staleness_blocks` into
+  :class:`~repro.serving.metrics.ServingMetrics`.
+
+Bits are *tri-state* ``int8``: ``1`` cache-friendly, ``0`` cache-
+averse, ``-1`` no prediction (async table slot not yet refreshed, or a
+spillover key outside the dense universe).  The sink applies only
+``>= 0`` positions; everything else keeps its recency priority — so an
+async provider that has not caught up degrades to model-free behavior,
+never to garbage.
+
+Both model providers accept an optional *retrainer*
+(:class:`~repro.core.training.OnlineCachingTrainer`): the observed
+stream feeds a sliding window which is periodically relabeled with the
+vectorized OPTgen and fine-tuned on a **clone** of the model; the
+tuned clone replaces ``self.model`` by plain reference assignment —
+atomic under the GIL, and the only synchronization the swap needs
+(in-flight predictions keep the old weights).  In async mode the whole
+label/fine-tune/swap cycle runs on the refresh worker, off the serving
+critical path.
+
+Imports from :mod:`repro.core` are function-local on purpose:
+:mod:`repro.core.manager` imports this module at its top level, so a
+module-level import back into ``repro.core`` would cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+#: Provider selection accepted by ``priority_mode=`` (RecMGConfig field
+#: and RecMGManager constructor argument).
+PRIORITY_MODES = ("none", "sync", "async")
+
+
+def apply_caching_bits(buffer, keys: np.ndarray, bits: np.ndarray,
+                       speed: int) -> None:
+    """Algorithm 1 lines 4-7, with a widened differential.
+
+    The paper sets ``priority[T[i]] = C[i] + eviction_speed`` inside
+    TorchRec's set-associative buffer, where the one-step gap rides
+    on top of per-set RRIP dynamics.  In a fully associative buffer
+    every miss ages *all* entries, so a ±1 gap is erased within one
+    eviction; we keep the same two-level scheme but spread it across
+    the aging scale (friendly = ``speed + 1``, averse = demote), which
+    is the Hawkeye-style insertion the paper's labels encode.
+
+    Vectorized through the bulk protocol: one ``contains_batch``
+    residency gather classifies the whole block, then the friendly
+    and averse classes land via ``set_priority_batch`` /
+    ``demote_batch``.  Equivalent to the scalar per-key loop: when
+    a key repeats in the block its *last* occurrence's bit wins
+    (last write), positional order is preserved within each class
+    (exact-backend seqno order), and friendly/averse seqnos live in
+    disjoint positive/negative ranges, so cross-class interleaving
+    never affects eviction order.
+
+    Shared by the manager's offline chunk pass, the provider sink and
+    :class:`repro.dlrm.inference.BufferClassifier` — one bulk applier,
+    every caller.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    bits = np.asarray(bits) != 0
+    resident = buffer.contains_batch(keys)
+    if not resident.any():
+        return
+    res_keys = keys[resident]
+    res_bits = bits[resident]
+    if res_keys.size > 1:
+        _, first_rev = np.unique(res_keys[::-1], return_index=True)
+        if first_rev.size != res_keys.size:  # duplicates: last wins
+            sel = np.sort(res_keys.size - 1 - first_rev)
+            res_keys = res_keys[sel]
+            res_bits = res_bits[sel]
+    buffer.set_priority_batch(res_keys[res_bits], speed + 1)
+    buffer.demote_batch(res_keys[~res_bits])
+
+
+class PriorityProvider:
+    """Maps served key blocks to per-access caching bits (base class =
+    the ``"none"`` behavior: no observation, no bits, no thread).
+
+    Contract with the sink (:meth:`RecMGManager._sink_provider`): after
+    a block is served, the sink calls :meth:`observe` (feed the stream)
+    then :meth:`bits_for` (collect predictions).  ``bits_for`` returns
+    an ``int8`` array of the block's length — ``1`` friendly, ``0``
+    averse, ``-1`` no prediction — or ``None`` when the provider has
+    nothing to say about the whole block.
+    """
+
+    mode = "none"
+
+    def observe(self, keys: np.ndarray) -> None:
+        """Feed one served block of dense ids to the provider."""
+
+    def bits_for(self, keys: np.ndarray) -> Optional[np.ndarray]:
+        """Tri-state caching bits for ``keys`` (see class docstring)."""
+        return None
+
+    def staleness_blocks(self) -> Optional[int]:
+        """Blocks observed but not yet reflected in predictions
+        (``None`` for providers whose predictions are never stale)."""
+        return None
+
+    def close(self) -> None:
+        """Release worker resources (idempotent; base class no-ops)."""
+
+    def stats(self) -> Dict[str, float]:
+        """Flat inference/staleness counters (JSON-ready)."""
+        return {}
+
+
+class NullProvider(PriorityProvider):
+    """``priority_mode="none"``: today's model-free serving, bit-
+    identical — the manager skips the sink entirely when this provider
+    is installed, so not even a per-block residency gather is added."""
+
+
+class _ModelProviderBase(PriorityProvider):
+    """Shared encode/predict/retrain plumbing of the model providers."""
+
+    def __init__(self, model, encoder, config, metrics=None,
+                 retrainer=None) -> None:
+        if model is None:
+            raise ValueError(f"priority_mode={self.mode!r} requires a "
+                             f"caching model")
+        if not getattr(encoder, "fitted", False):
+            raise ValueError(f"priority_mode={self.mode!r} requires a "
+                             f"fitted encoder (the dense-id universe "
+                             f"defines the feature space)")
+        self.model = model
+        self.encoder = encoder
+        self.config = config
+        self.metrics = metrics
+        self.retrainer = retrainer
+        self.inference_batches = 0
+        self.inference_keys = 0
+        self.inference_seconds = 0.0
+
+    def _predict(self, keys: np.ndarray) -> np.ndarray:
+        """Encode ``keys`` (tail-padded to whole chunks), run the
+        model, slice back to the true length; records timing."""
+        begin = time.perf_counter()
+        chunks = self.encoder.encode_dense_chunks(keys)
+        bits = self.model.predict(chunks).reshape(-1)[:keys.size]
+        elapsed = time.perf_counter() - begin
+        self.inference_batches += 1
+        self.inference_keys += int(keys.size)
+        self.inference_seconds += elapsed
+        if self.metrics is not None:
+            self.metrics.record_inference(elapsed, int(keys.size))
+        return bits.astype(np.int8)
+
+    def _maybe_retrain(self, keys: np.ndarray) -> None:
+        """Feed the retraining window; fine-tune + swap when due.  The
+        swap is a reference assignment — atomic under the GIL."""
+        if self.retrainer is not None and self.retrainer.observe(keys):
+            self.model = self.retrainer.retrain(self.model)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "inference_batches": self.inference_batches,
+            "inference_keys": self.inference_keys,
+            "inference_seconds": self.inference_seconds,
+            "retrains": (self.retrainer.retrains
+                         if self.retrainer is not None else 0),
+        }
+
+
+class SyncModelProvider(_ModelProviderBase):
+    """``priority_mode="sync"``: batched inference on the serving
+    thread, one predict per served block.  Deterministic — the
+    differential-testable mode — but inference cost lands on the
+    serving critical path."""
+
+    mode = "sync"
+
+    def observe(self, keys: np.ndarray) -> None:
+        self._maybe_retrain(np.asarray(keys, dtype=np.int64))
+
+    def bits_for(self, keys: np.ndarray) -> Optional[np.ndarray]:
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return None
+        return self._predict(keys)
+
+
+class AsyncModelProvider(_ModelProviderBase):
+    """``priority_mode="async"``: a background worker refreshes a dense
+    per-key bit table; serving gathers possibly-stale bits and never
+    blocks on inference (module docstring has the full story).
+
+    Concurrency notes:
+
+    * The serving thread only *reads* ``self._table`` (one fancy
+      gather) and touches the pending deque under the lock; the worker
+      is the only writer of table slots and inference counters.  A
+      gather racing a scatter may see a mix of old and new bits within
+      one block — by design: stale-but-valid predictions are the whole
+      point, and each ``int8`` slot is written atomically.
+    * ``observe`` never blocks: when the pending queue is full the
+      *oldest* block is dropped (its keys will be observed again if
+      they stay hot), which bounds both memory and staleness.
+    * ``close()`` drains the queued refreshes (bounded by
+      ``pending_max`` blocks) and joins the worker; after close the
+      table is frozen — serving continues on the last refreshed bits.
+    """
+
+    mode = "async"
+
+    def __init__(self, model, encoder, config, key_space: int,
+                 metrics=None, retrainer=None,
+                 refresh_blocks: Optional[int] = None,
+                 pending_max: Optional[int] = None) -> None:
+        super().__init__(model, encoder, config, metrics=metrics,
+                         retrainer=retrainer)
+        if key_space < 1:
+            raise ValueError("async provider needs a dense key_space "
+                             ">= 1 for its bit table")
+        self.refresh_blocks = int(
+            refresh_blocks if refresh_blocks is not None
+            else getattr(config, "priority_refresh_blocks", 1))
+        self.pending_max = int(
+            pending_max if pending_max is not None
+            else getattr(config, "priority_pending_max", 8))
+        if self.refresh_blocks < 1:
+            raise ValueError("refresh_blocks must be >= 1")
+        if self.pending_max < 1:
+            raise ValueError("pending_max must be >= 1")
+        #: -1 = no prediction yet; the worker scatters 0/1 bits in.
+        self._table = np.full(int(key_space), -1, dtype=np.int8)
+        self._pending: Deque[np.ndarray] = deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._closed = False
+        self.observed_blocks = 0    #: blocks seen by observe()
+        self.submitted_blocks = 0   #: blocks enqueued for refresh
+        self.refreshed_blocks = 0   #: blocks the worker completed
+        self.dropped_blocks = 0     #: blocks shed by the bounded queue
+        self.worker_errors = 0      #: refresh cycles that raised
+        self._thread = threading.Thread(target=self._worker_loop,
+                                        name="priority-refresh",
+                                        daemon=True)
+        self._thread.start()
+
+    # -- serving side ---------------------------------------------------
+    def observe(self, keys: np.ndarray) -> None:
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return
+        self.observed_blocks += 1
+        if (self.observed_blocks - 1) % self.refresh_blocks:
+            return  # refresh interval: only every k-th block refreshes
+        with self._wake:
+            if self._closed:
+                return
+            if len(self._pending) >= self.pending_max:
+                self._pending.popleft()  # drop-oldest; never block
+                self.dropped_blocks += 1
+            self._pending.append(keys.copy())
+            self.submitted_blocks += 1
+            self._wake.notify()
+
+    def bits_for(self, keys: np.ndarray) -> Optional[np.ndarray]:
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return None
+        table = self._table
+        # Spillover keys (>= key_space) have no table slot: clip the
+        # gather index and force their bits to "no prediction".
+        got = table[np.clip(keys, 0, table.size - 1)]
+        return np.where(keys < table.size, got, np.int8(-1))
+
+    def staleness_blocks(self) -> int:
+        """Blocks enqueued but not yet refreshed (in queue or in
+        flight); bounded by ``pending_max + 1`` by construction."""
+        return (self.submitted_blocks - self.refreshed_blocks
+                - self.dropped_blocks)
+
+    # -- worker side ----------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._wake:
+                while not self._pending and not self._closed:
+                    self._wake.wait()
+                if not self._pending:  # closed and drained
+                    return
+                keys = self._pending.popleft()
+            try:
+                self._refresh(keys)
+            except Exception:
+                # A dying worker must not freeze serving: count it,
+                # keep draining — unrefreshed slots stay at -1, which
+                # the sink treats as "no prediction".
+                self.worker_errors += 1
+            with self._idle:
+                self.refreshed_blocks += 1
+                self._idle.notify_all()
+
+    def _refresh(self, keys: np.ndarray) -> None:
+        bits = self._predict(keys)
+        in_range = keys < self._table.size
+        self._table[keys[in_range]] = bits[in_range]
+        # Staleness is sampled by the *sink* (serving thread) per served
+        # block, keeping each metrics field family single-writer: this
+        # worker owns the inference counters, the serving thread owns
+        # batch latency and staleness.
+        self._maybe_retrain(keys)
+
+    # -- lifecycle ------------------------------------------------------
+    def flush(self, timeout: float = 10.0) -> bool:
+        """Block until every submitted block is refreshed (test/bench
+        hook — serving code never calls this).  Returns False on
+        timeout."""
+        deadline = time.perf_counter() + timeout
+        with self._idle:
+            while self.staleness_blocks() > 0:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    def close(self) -> None:
+        with self._wake:
+            if self._closed:
+                return
+            self._closed = True
+            self._wake.notify_all()
+        self._thread.join()
+
+    def stats(self) -> Dict[str, float]:
+        out = super().stats()
+        out.update(
+            observed_blocks=self.observed_blocks,
+            submitted_blocks=self.submitted_blocks,
+            refreshed_blocks=self.refreshed_blocks,
+            dropped_blocks=self.dropped_blocks,
+            staleness_blocks=self.staleness_blocks(),
+            worker_errors=self.worker_errors,
+            table_coverage=float(
+                np.count_nonzero(self._table >= 0) / self._table.size),
+        )
+        return out
+
+
+def make_provider(mode: str, model, encoder, config, metrics=None,
+                  capacity: Optional[int] = None) -> PriorityProvider:
+    """Build the provider for ``priority_mode`` (validating the mode).
+
+    ``capacity`` is the buffer capacity — required only when
+    ``config.online_retrain_interval`` enables the retrainer, whose
+    OPTgen labeling budget is ``capacity * optgen_fraction`` (the
+    paper's 80% headroom rule, same as offline labeling).
+    """
+    if mode not in PRIORITY_MODES:
+        raise ValueError(f"priority_mode must be one of {PRIORITY_MODES}, "
+                         f"got {mode!r}")
+    if mode == "none":
+        return NullProvider()
+    retrainer = None
+    if getattr(config, "online_retrain_interval", 0):
+        if capacity is None:
+            raise ValueError("online retraining needs the buffer capacity "
+                             "(it sets the OPTgen labeling budget)")
+        from ..core.training import OnlineCachingTrainer  # no cycle: lazy
+        retrainer = OnlineCachingTrainer(encoder, config, capacity)
+    if mode == "sync":
+        return SyncModelProvider(model, encoder, config, metrics=metrics,
+                                 retrainer=retrainer)
+    return AsyncModelProvider(model, encoder, config,
+                              key_space=encoder.vocab_size,
+                              metrics=metrics, retrainer=retrainer)

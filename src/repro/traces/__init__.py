@@ -8,6 +8,7 @@ from .synthetic import (
     generate_skew_sweep,
     generate_hot_shard_trace,
     generate_multi_tenant_trace,
+    model_guided_scenarios,
 )
 from .datasets import (
     DATASET_NAMES,
@@ -46,6 +47,7 @@ __all__ = [
     "SyntheticTraceConfig", "generate_trace",
     "skew_sweep_configs", "generate_skew_sweep",
     "generate_hot_shard_trace", "generate_multi_tenant_trace",
+    "model_guided_scenarios",
     "DATASET_NAMES", "TABLE1_CONFIGS", "dataset_config", "load_dataset",
     "load_all_datasets", "table1_trace",
     "COLD_MISS", "FenwickTree", "count_left_leq",

@@ -346,3 +346,22 @@ def generate_multi_tenant_trace(config: SyntheticTraceConfig,
     return _grid_to_trace(
         flat[:n], config.rows_per_table,
         name=f"multi-tenant{num_tenants}-seed{config.seed}")
+
+
+def model_guided_scenarios(config: SyntheticTraceConfig,
+                           num_shards: int = 4
+                           ) -> List[tuple[str, Trace]]:
+    """Named ``(scenario, trace)`` pairs the model-guided serving bench
+    sweeps: the base correlated-Zipf trace, its hot-shard variant (85%
+    of traffic on one contiguous band) and the multi-tenant phase
+    interleave.  One shared config (seed included) so the hit-rate
+    lifts in ``BENCH_hotpaths.json`` compare like against like across
+    PRs; the three access shapes stress the caching model differently
+    (global popularity skew, band-local skew, phase-local reuse)."""
+    return [
+        ("zipf", generate_trace(config)),
+        ("hot_shard", generate_hot_shard_trace(
+            config, num_shards=num_shards, hot_shard=0, hot_fraction=0.85)),
+        ("multi_tenant", generate_multi_tenant_trace(
+            config, num_tenants=num_shards)),
+    ]

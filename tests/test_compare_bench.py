@@ -6,6 +6,12 @@ get a test: clean pass (exit 0), a gated speedup regressing more than
 the threshold (exit 1), and a gated hot path vanishing from the fresh
 run (exit 1) — plus the policy details: ungated entries never gate,
 new paths are informational, and ``--max-regression`` moves the floor.
+
+The hit-rate-lift gate (model-guided serving entries recorded with
+``hit_rate_lift`` and no ``speedup``) has its own verdicts: a
+committed positive lift surviving passes, vanishing (fresh lift <= 0)
+or going missing fails, committed non-positive lifts never gate, and
+lift-only entries must not leak into the speedup comparison.
 """
 
 import importlib.util
@@ -139,3 +145,90 @@ def test_new_gated_path_is_informational(compare_bench, tmp_path,
                    {"optgen": 20.0, "sharded": 1.05})
     assert compare_bench.main([baseline, fresh]) == 0
     assert "NEW sharded" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Hit-rate-lift gate (model-guided serving entries)
+# ----------------------------------------------------------------------
+def _write_lifts(tmp_path, name, lifts, speedups=None):
+    """Payload whose lift entries are gated and speedup-free (the shape
+    ``model_guided_*_sync`` records); ``speedups`` adds ordinary gated
+    speedup entries alongside."""
+    payload = _payload(speedups or {})
+    for entry_name, lift in lifts.items():
+        payload["hot_paths"][entry_name] = {
+            "accesses": 35_000, "seconds": 0.3, "gated": True,
+            "hit_rate": 0.55, "hit_rate_lift": lift,
+        }
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_preserved_lift_passes(compare_bench, tmp_path, capsys):
+    baseline = _write_lifts(tmp_path, "base.json",
+                            {"model_guided_zipf_sync": 0.030})
+    fresh = _write_lifts(tmp_path, "fresh.json",
+                         {"model_guided_zipf_sync": 0.012})
+    assert compare_bench.main([baseline, fresh]) == 0
+    out = capsys.readouterr().out
+    assert "OK  model_guided_zipf_sync" in out
+    assert "1 lift-gated entries checked" in out
+
+
+def test_vanished_lift_fails(compare_bench, tmp_path, capsys):
+    """The lift gate is strict — any fresh lift <= 0 fails, no 30%
+    tolerance: lifts are decision metrics on a fixed seed, not
+    wall-clock measurements."""
+    baseline = _write_lifts(tmp_path, "base.json",
+                            {"model_guided_zipf_sync": 0.030})
+    fresh = _write_lifts(tmp_path, "fresh.json",
+                         {"model_guided_zipf_sync": -0.002})
+    assert compare_bench.main([baseline, fresh]) == 1
+    captured = capsys.readouterr()
+    assert "FAIL model_guided_zipf_sync" in captured.out
+    assert "vanished" in captured.err
+
+
+def test_missing_lift_entry_fails(compare_bench, tmp_path, capsys):
+    baseline = _write_lifts(tmp_path, "base.json",
+                            {"model_guided_zipf_sync": 0.030})
+    fresh = _write_lifts(tmp_path, "fresh.json", {})
+    assert compare_bench.main([baseline, fresh]) == 1
+    assert "lift-gated entry missing" in capsys.readouterr().err
+
+
+def test_lift_entries_skip_speedup_gate(compare_bench, tmp_path, capsys):
+    """A lift-gated entry carries no ``speedup``, so it must neither
+    count as a gated speedup nor trip the vanished-speedup check —
+    and vice versa, speedup entries don't join the lift section."""
+    baseline = _write_lifts(tmp_path, "base.json",
+                            {"model_guided_zipf_sync": 0.030},
+                            speedups={"optgen": 20.0})
+    fresh = _write_lifts(tmp_path, "fresh.json",
+                         {"model_guided_zipf_sync": 0.020},
+                         speedups={"optgen": 19.0})
+    assert compare_bench.main([baseline, fresh]) == 0
+    out = capsys.readouterr().out
+    assert "All 1 gated hot paths" in out
+    assert "1 lift-gated entries checked" in out
+
+
+def test_nonpositive_committed_lift_never_gates(compare_bench, tmp_path,
+                                                capsys):
+    """A scenario committed while the model underperforms must not lock
+    the underperformance in as a requirement — or fail the build."""
+    baseline = _write_lifts(tmp_path, "base.json",
+                            {"model_guided_tenant_sync": -0.004})
+    fresh = _write_lifts(tmp_path, "fresh.json", {})
+    assert compare_bench.main([baseline, fresh]) == 0
+    assert "SKIP model_guided_tenant_sync" in capsys.readouterr().out
+
+
+def test_new_lift_entry_is_informational(compare_bench, tmp_path,
+                                         capsys):
+    baseline = _write_lifts(tmp_path, "base.json", {})
+    fresh = _write_lifts(tmp_path, "fresh.json",
+                         {"model_guided_zipf_sync": 0.030})
+    assert compare_bench.main([baseline, fresh]) == 0
+    assert "NEW model_guided_zipf_sync: lift" in capsys.readouterr().out

@@ -60,3 +60,20 @@ def test_serving_daemon_runs_on_tiny_stream(capsys):
     assert "hit rate" in out
     assert "latency ms" in out
     assert "shard utilization" in out
+
+
+def test_serving_daemon_model_in_the_loop(capsys):
+    """``--model --retrain``: the head of the stream trains a caching
+    model, the async provider refreshes priorities off the critical
+    path (with online fine-tuning), and the report grows staleness and
+    inference lines alongside the latency percentiles."""
+    module = _load_example("serving_daemon")
+    module.main(total_accesses=6000, num_shards=2, num_workers=2,
+                max_batch_keys=256, queue_size=16, report_every=0,
+                model=True, online_retrain=True)
+    out = capsys.readouterr().out
+    assert "caching model" in out
+    assert "priority staleness" in out
+    assert "async inference" in out
+    assert "online retrains" in out
+    assert "hit rate" in out

@@ -1,0 +1,518 @@
+"""Tests for the priority-provider seam (:mod:`repro.serving.priorities`)
+and the online retraining loop (:class:`OnlineCachingTrainer`).
+
+The contract under test, in three layers:
+
+* **Providers in isolation** — the tri-state bit protocol: sync bits
+  equal an offline predict over the same dense segment; async bits are
+  ``-1`` until the refresh worker lands them and equal the sync bits
+  once it has; spillover keys never get a prediction; the bounded
+  refresh queue drops oldest and never blocks.
+* **The manager seam** — ``priority_mode="sync"`` run() is replayed
+  decision-for-decision by a model-free manager plus a manual per-block
+  predict/apply loop (the provider is *only* a refactoring of that
+  loop); serial and threaded sharded serving stay decision-identical
+  under the provider; ``record_decisions=True`` keeps working under
+  model-guided and concurrent engines.
+* **Online retraining** — the sliding window trims to size, the
+  retrain cadence honors interval+window, the tuned model is a clone
+  (the served model's weights are never touched in place), and
+  ``label_live_window`` agrees with a direct OPTgen pass.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.caching_model import CachingModel
+from repro.core.config import RecMGConfig
+from repro.core.features import FeatureEncoder
+from repro.core.labeling import build_labels, caching_targets, label_live_window
+from repro.core.manager import RecMGManager
+from repro.core.training import (
+    OnlineCachingTrainer,
+    clone_caching_model,
+    train_caching_model,
+)
+from repro.cache.optgen import run_optgen
+from repro.serving.priorities import (
+    PRIORITY_MODES,
+    AsyncModelProvider,
+    NullProvider,
+    SyncModelProvider,
+    make_provider,
+)
+from repro.traces.access import Trace
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return RecMGConfig(hidden=16, hash_buckets=256, caching_epochs=1,
+                       max_train_chunks=200, buffer_impl="clock")
+
+
+@pytest.fixture(scope="module")
+def world(small_config):
+    """(train_head, serve_tail, encoder, capacity, trained model)."""
+    trace = generate_trace(SyntheticTraceConfig(
+        num_tables=4, rows_per_table=512, num_accesses=12_000, seed=5))
+    head, tail = trace.split(0.3)
+    encoder = FeatureEncoder(small_config).fit(head)
+    capacity = max(1, int(encoder.vocab_size * 0.2))
+    labels = build_labels(head, capacity, small_config, encoder)
+    chunks = encoder.encode_chunks(head)
+    model = CachingModel(small_config, encoder.num_tables)
+    train_caching_model(model, chunks, caching_targets(chunks, labels),
+                        small_config)
+    return head, tail, encoder, capacity, model
+
+
+# ----------------------------------------------------------------------
+# Construction & validation
+# ----------------------------------------------------------------------
+def test_make_provider_validates_mode(world, small_config):
+    _, _, encoder, _, model = world
+    with pytest.raises(ValueError, match="priority_mode"):
+        make_provider("eventually", model, encoder, small_config)
+
+
+def test_make_provider_none_is_null(small_config):
+    provider = make_provider("none", None, None, small_config)
+    assert isinstance(provider, NullProvider)
+    assert provider.mode == "none"
+    assert provider.bits_for(np.array([1, 2, 3])) is None
+    assert provider.staleness_blocks() is None
+    provider.observe(np.array([1]))
+    provider.close()  # no-op, idempotent
+    provider.close()
+
+
+def test_model_modes_require_model_and_fitted_encoder(world, small_config):
+    _, _, encoder, _, model = world
+    with pytest.raises(ValueError, match="caching model"):
+        make_provider("sync", None, encoder, small_config)
+    with pytest.raises(ValueError, match="fitted"):
+        make_provider("async", model, FeatureEncoder(small_config),
+                      small_config)
+
+
+def test_retrainer_requires_capacity(world):
+    _, _, encoder, _, model = world
+    config = RecMGConfig(hidden=16, hash_buckets=256,
+                         online_retrain_interval=1000)
+    with pytest.raises(ValueError, match="capacity"):
+        make_provider("sync", model, encoder, config)
+
+
+def test_config_validates_priority_knobs():
+    with pytest.raises(ValueError, match="priority_mode"):
+        RecMGConfig(priority_mode="later")
+    with pytest.raises(ValueError, match="refresh_blocks"):
+        RecMGConfig(priority_refresh_blocks=0)
+    with pytest.raises(ValueError, match="pending_max"):
+        RecMGConfig(priority_pending_max=0)
+    with pytest.raises(ValueError, match="retrain_interval"):
+        RecMGConfig(online_retrain_interval=-1)
+    with pytest.raises(ValueError, match="window"):
+        RecMGConfig(online_retrain_window=3)  # < input_len (15)
+    assert "sync" in PRIORITY_MODES
+
+
+# ----------------------------------------------------------------------
+# Dense-segment encoding (the serving-side feature path)
+# ----------------------------------------------------------------------
+def test_encode_dense_chunks_matches_encode_chunks(world, small_config):
+    head, _, encoder, _, _ = world
+    length = small_config.input_len
+    aligned = head.head((len(head) // length) * length)
+    offline = encoder.encode_chunks(aligned)
+    online = encoder.encode_dense_chunks(encoder.dense_ids(aligned))
+    for field in ("table_ids", "hashed_rows", "norm_index", "freq",
+                  "dense_ids"):
+        np.testing.assert_array_equal(getattr(offline, field),
+                                      getattr(online, field), err_msg=field)
+
+
+def test_encode_dense_chunks_pads_tail(world, small_config):
+    _, _, encoder, _, _ = world
+    length = small_config.input_len
+    dense = encoder.dense_ids(world[0])[: length + 3]
+    chunks = encoder.encode_dense_chunks(dense)
+    assert len(chunks) == 2
+    # Pad positions repeat the segment's last access.
+    np.testing.assert_array_equal(chunks.dense_ids[1][3:],
+                                  np.full(length - 3, dense[-1]))
+    with pytest.raises(ValueError, match="empty"):
+        encoder.encode_dense_chunks(np.empty(0, dtype=np.int64))
+
+
+def test_tables_for_dense_covers_spillover(world, small_config):
+    """Spillover dense ids (unseen at fit time) recover their table
+    from the packed key they carry — identical to trace-side encoding."""
+    head, tail, encoder, _, _ = world
+    dense = encoder.dense_ids(tail)
+    expected = encoder.table_indices(tail)
+    np.testing.assert_array_equal(encoder.tables_for_dense(dense), expected)
+    assert (dense >= encoder.vocab_size).any(), \
+        "fixture should exercise spillover ids"
+
+
+# ----------------------------------------------------------------------
+# Sync provider
+# ----------------------------------------------------------------------
+def test_sync_bits_match_offline_predict(world, small_config):
+    _, tail, encoder, _, model = world
+    provider = make_provider("sync", model, encoder, small_config)
+    assert isinstance(provider, SyncModelProvider)
+    dense = encoder.dense_ids(tail)[:600]
+    bits = provider.bits_for(dense)
+    expected = model.predict(
+        encoder.encode_dense_chunks(dense)).reshape(-1)[:dense.size]
+    np.testing.assert_array_equal(bits, expected.astype(np.int8))
+    assert bits.dtype == np.int8
+    assert set(np.unique(bits)) <= {0, 1}
+    assert provider.bits_for(np.empty(0, dtype=np.int64)) is None
+    assert provider.staleness_blocks() is None
+    assert provider.stats()["inference_batches"] == 1
+
+
+# ----------------------------------------------------------------------
+# Async provider
+# ----------------------------------------------------------------------
+def test_async_bits_follow_refresh(world, small_config):
+    _, tail, encoder, _, model = world
+    provider = make_provider("async", model, encoder, small_config)
+    assert isinstance(provider, AsyncModelProvider)
+    try:
+        dense = encoder.dense_ids(tail)
+        # Unique keys: the async table is *per key* (a duplicate key's
+        # last position wins the scatter), while sync bits are per
+        # position — only a duplicate-free block compares exactly.
+        in_vocab = np.unique(dense[dense < encoder.vocab_size])[:400]
+        # Before any refresh: the whole table is "no prediction".
+        np.testing.assert_array_equal(
+            provider.bits_for(in_vocab), np.full(in_vocab.size, -1,
+                                                 dtype=np.int8))
+        provider.observe(in_vocab)
+        assert provider.flush(), "refresh worker did not drain"
+        sync = make_provider("sync", model, encoder, small_config)
+        np.testing.assert_array_equal(provider.bits_for(in_vocab),
+                                      sync.bits_for(in_vocab))
+        assert provider.staleness_blocks() == 0
+        stats = provider.stats()
+        assert stats["refreshed_blocks"] == 1
+        assert 0.0 < stats["table_coverage"] <= 1.0
+    finally:
+        provider.close()
+        provider.close()  # idempotent
+    # After close the table is frozen but still readable.
+    assert provider.bits_for(in_vocab[:5]) is not None
+
+
+def test_async_spillover_keys_have_no_prediction(world, small_config):
+    _, _, encoder, _, model = world
+    provider = make_provider("async", model, encoder, small_config)
+    try:
+        spill = np.array([encoder.vocab_size + 7,
+                          encoder.vocab_size + 12_345], dtype=np.int64)
+        provider.observe(spill)
+        assert provider.flush()
+        np.testing.assert_array_equal(provider.bits_for(spill),
+                                      np.array([-1, -1], dtype=np.int8))
+    finally:
+        provider.close()
+
+
+def test_async_queue_drops_oldest_and_never_blocks(world, small_config):
+    _, _, encoder, _, model = world
+    provider = AsyncModelProvider(model, encoder, small_config,
+                                  key_space=encoder.vocab_size,
+                                  pending_max=2, refresh_blocks=1)
+    release = threading.Event()
+    real_predict = provider._predict
+
+    def stalled_predict(keys):
+        release.wait(timeout=10.0)
+        return real_predict(keys)
+
+    provider._predict = stalled_predict
+    try:
+        first = np.array([0, 1], dtype=np.int64)
+        provider.observe(first)
+        # Wait for the worker to take the first block in flight.
+        for _ in range(1000):
+            with provider._lock:
+                if not provider._pending:
+                    break
+            threading.Event().wait(0.005)
+        else:
+            pytest.fail("worker never picked up the first block")
+        provider.observe(np.array([2], dtype=np.int64))
+        provider.observe(np.array([3], dtype=np.int64))
+        # Queue full (pending_max=2): the oldest queued block drops.
+        provider.observe(np.array([4], dtype=np.int64))
+        assert provider.dropped_blocks == 1
+        # Staleness counts in-queue + in-flight, bounded by
+        # pending_max + 1.
+        assert provider.staleness_blocks() <= provider.pending_max + 1
+        release.set()
+        assert provider.flush()
+        assert provider.staleness_blocks() == 0
+    finally:
+        release.set()
+        provider.close()
+
+
+def test_async_refresh_interval_skips_blocks(world, small_config):
+    _, _, encoder, _, model = world
+    provider = AsyncModelProvider(model, encoder, small_config,
+                                  key_space=encoder.vocab_size,
+                                  refresh_blocks=3)
+    try:
+        for i in range(7):
+            provider.observe(np.array([i], dtype=np.int64))
+        assert provider.observed_blocks == 7
+        assert provider.submitted_blocks == 3  # blocks 1, 4, 7
+    finally:
+        provider.close()
+
+
+def test_async_worker_error_does_not_freeze_serving(world, small_config):
+    _, _, encoder, _, model = world
+    provider = AsyncModelProvider(model, encoder, small_config,
+                                  key_space=encoder.vocab_size)
+
+    def broken_predict(keys):
+        raise RuntimeError("inference backend fell over")
+
+    provider._predict = broken_predict
+    try:
+        keys = np.array([1, 2, 3], dtype=np.int64)
+        provider.observe(keys)
+        assert provider.flush(), "errored refresh must still drain"
+        assert provider.worker_errors == 1
+        # Nothing landed: bits stay at "no prediction".
+        np.testing.assert_array_equal(provider.bits_for(keys),
+                                      np.full(3, -1, dtype=np.int8))
+    finally:
+        provider.close()
+
+
+# ----------------------------------------------------------------------
+# The manager seam
+# ----------------------------------------------------------------------
+def test_sync_run_equals_manual_replay(world, small_config):
+    """``priority_mode="sync"`` is *only* a refactoring of "serve a
+    block, predict it, apply the bits": a model-free manager driven by
+    that manual loop must reproduce the sync run decision-for-decision,
+    including final buffer state."""
+    _, tail, encoder, capacity, model = world
+    guided = RecMGManager(capacity, encoder, small_config,
+                          caching_model=model, priority_mode="sync")
+    stats = guided.run(tail, fast_serve=True, record_decisions=True)
+    decisions = guided.last_decisions
+    guided.close()
+
+    manual = RecMGManager(capacity, encoder, small_config,
+                          priority_mode="none")
+    serve = manual._select_engine(True)
+    block = manual._SERVE_BLOCK * getattr(manual.buffer, "num_shards", 1)
+    dense = encoder.dense_ids(tail)
+    manual._record_hits = []
+    for start in range(0, dense.size, block):
+        segment = dense[start:start + block]
+        serve(segment)
+        bits = model.predict(
+            encoder.encode_dense_chunks(segment)).reshape(-1)[:segment.size]
+        manual._apply_caching_bits(segment, bits)
+    replayed = np.asarray(manual._record_hits, dtype=bool)
+    manual._record_hits = None
+    manual.close()
+
+    assert len(decisions) == len(tail)
+    np.testing.assert_array_equal(decisions, replayed)
+    assert (stats.breakdown.cache_hits
+            + stats.breakdown.prefetch_hits) == int(replayed.sum())
+
+
+def test_sync_sharded_serial_equals_threads(world):
+    """Provider decisions are thread-layout independent: the sink runs
+    on the calling thread after the gather, so the threaded shard pool
+    must reproduce the serial shard loop bit for bit."""
+    _, tail, encoder, capacity, model = world
+
+    def run(concurrency):
+        config = RecMGConfig(hidden=16, hash_buckets=256,
+                             buffer_impl="clock", num_shards=2,
+                             concurrency=concurrency)
+        manager = RecMGManager(capacity, encoder, config,
+                               caching_model=model, priority_mode="sync")
+        stats = manager.run(tail, fast_serve=True, record_decisions=True)
+        decisions = manager.last_decisions
+        manager.close()
+        return stats, decisions
+
+    serial_stats, serial_dec = run("serial")
+    threads_stats, threads_dec = run("threads")
+    assert serial_stats == threads_stats
+    np.testing.assert_array_equal(serial_dec, threads_dec)
+
+
+def test_record_decisions_under_async_concurrent(world):
+    """The satellite pin: ``record_decisions=True`` must deliver one
+    decision per access under the model-guided *and* concurrent
+    engines (the provider sink never touches the recording stream)."""
+    _, tail, encoder, capacity, model = world
+    config = RecMGConfig(hidden=16, hash_buckets=256, buffer_impl="clock",
+                         num_shards=2, concurrency="threads")
+    manager = RecMGManager(capacity, encoder, config, caching_model=model,
+                           priority_mode="async")
+    stats = manager.run(tail, record_decisions=True)
+    decisions = manager.last_decisions
+    manager.close()
+    assert decisions is not None
+    assert len(decisions) == len(tail)
+    assert decisions.dtype == bool
+    assert int(decisions.sum()) == (stats.breakdown.cache_hits
+                                    + stats.breakdown.prefetch_hits)
+
+
+def test_none_mode_with_model_matches_legacy_offline_pass(world,
+                                                          small_config):
+    """``priority_mode="none"`` with a caching model still runs the
+    legacy offline chunk pass — the provider seam must not have
+    perturbed it (the goldens pin the model-free engines; this pins
+    the model-guided legacy path)."""
+    _, tail, encoder, capacity, model = world
+    runs = []
+    for _ in range(2):
+        manager = RecMGManager(capacity, encoder, small_config,
+                               caching_model=model, priority_mode="none")
+        stats = manager.run(tail, fast_serve=True, record_decisions=True)
+        runs.append((stats, manager.last_decisions))
+        manager.close()
+    assert runs[0][0] == runs[1][0]
+    np.testing.assert_array_equal(runs[0][1], runs[1][1])
+    # And the offline pass actually fired: decisions differ from a
+    # model-free run (the model is trained and must change something).
+    free = RecMGManager(capacity, encoder, small_config,
+                        priority_mode="none")
+    free.run(tail, fast_serve=True, record_decisions=True)
+    assert not np.array_equal(runs[0][1], free.last_decisions)
+    free.close()
+
+
+def test_serve_batch_sinks_through_provider(world, small_config):
+    _, tail, encoder, capacity, model = world
+    dense = encoder.dense_ids(tail)
+    manager = RecMGManager(capacity, encoder, small_config,
+                           caching_model=model, priority_mode="sync")
+    for lo in range(0, 4096, 512):
+        manager.serve_batch(dense[lo:lo + 512])
+    summary = manager.serving_metrics.summary()
+    assert summary["inference_batches"] == 8
+    assert summary["inference_mean_ms"] > 0.0
+    manager.close()
+
+    manager = RecMGManager(capacity, encoder, small_config,
+                           caching_model=model, priority_mode="async")
+    for lo in range(0, 4096, 512):
+        manager.serve_batch(dense[lo:lo + 512])
+    summary = manager.serving_metrics.summary()
+    # The sink samples staleness per served block, serving thread side.
+    assert summary["staleness_max"] <= small_config.priority_pending_max + 1
+    assert manager.priority_provider.stats()["observed_blocks"] == 8
+    manager.close()
+    # close() is propagated to the provider.
+    assert manager.priority_provider._closed
+
+
+# ----------------------------------------------------------------------
+# Online retraining
+# ----------------------------------------------------------------------
+def test_label_live_window_matches_optgen(world, small_config):
+    _, tail, encoder, capacity, _ = world
+    dense = encoder.dense_ids(tail)[:2000]
+    bits = label_live_window(dense, capacity, small_config)
+    budget = max(1, int(capacity * small_config.optgen_fraction))
+    expected = run_optgen(Trace.from_keys(dense),
+                          budget).cache_friendly.astype(np.float64)
+    np.testing.assert_array_equal(bits, expected)
+
+
+def test_trainer_window_and_cadence(world, small_config):
+    _, _, encoder, capacity, _ = world
+    trainer = OnlineCachingTrainer(encoder, small_config, capacity,
+                                   interval=100, window=30)
+    block = np.arange(20, dtype=np.int64)
+    assert not trainer.observe(block)        # since=20, held=20
+    assert not trainer.observe(block + 20)   # since=40, held=40->40
+    assert trainer.window_keys().size <= 30 + 19  # trims whole blocks
+    due = [trainer.observe(block + 40 * i) for i in range(2, 6)]
+    assert due[-1], "retrain must come due once interval+window are met"
+    assert trainer.window_keys().size >= 30
+
+
+def test_trainer_retrain_returns_clone(world, small_config):
+    _, tail, encoder, capacity, model = world
+    trainer = OnlineCachingTrainer(encoder, small_config, capacity,
+                                   interval=64, window=512, epochs=1)
+    dense = encoder.dense_ids(tail)[:1024]
+    trainer.observe(dense)
+    before = model.state_dict()  # returns copies
+    tuned = trainer.retrain(model)
+    assert tuned is not model
+    # The served model's weights were never touched in place.
+    for name, array in model.state_dict().items():
+        np.testing.assert_array_equal(array, before[name])
+    # The clone actually fine-tuned (weights moved).
+    moved = any(not np.array_equal(array, before[name])
+                for name, array in tuned.state_dict().items())
+    assert moved
+    assert trainer.retrains == 1
+    assert trainer.last_result is not None
+    # The countdown reset: the next observe is not immediately due.
+    assert not trainer.observe(dense[:16])
+
+
+def test_clone_caching_model_is_independent(world, small_config):
+    _, _, _, _, model = world
+    clone = clone_caching_model(model)
+    for (name_a, a), (name_b, b) in zip(model.state_dict().items(),
+                                        clone.state_dict().items()):
+        assert name_a == name_b
+        np.testing.assert_array_equal(a, b)
+    # Mutating a live parameter of the clone must not bleed back into
+    # the served model (state_dict() itself returns copies, so the
+    # mutation has to go through named_parameters()).
+    name, param = next(iter(clone.named_parameters()))
+    param.data[...] += 1.0
+    assert not np.array_equal(model.state_dict()[name],
+                              clone.state_dict()[name])
+    np.testing.assert_allclose(
+        model.state_dict()[name],
+        clone.state_dict()[name] - 1.0, atol=1e-12)
+
+
+def test_sync_provider_retrains_online(world, small_config):
+    """End to end through the provider: the retrainer swaps a tuned
+    clone in, and the provider keeps serving bits afterwards."""
+    _, tail, encoder, capacity, model = world
+    config = RecMGConfig(hidden=16, hash_buckets=256, caching_epochs=1,
+                         buffer_impl="clock",
+                         online_retrain_interval=1500,
+                         online_retrain_window=512,
+                         online_retrain_epochs=1)
+    provider = make_provider("sync", model, encoder, config,
+                             capacity=capacity)
+    dense = encoder.dense_ids(tail)
+    original = provider.model
+    for lo in range(0, 4096, 512):
+        segment = dense[lo:lo + 512]
+        provider.observe(segment)
+        assert provider.bits_for(segment) is not None
+    assert provider.retrainer.retrains >= 1
+    assert provider.model is not original
+    assert provider.stats()["retrains"] >= 1
