@@ -627,7 +627,24 @@ class ShardedBuffer:
         vectorized pass) and each shard's slice primed into its view's
         compression memo, so the per-shard calls the caller makes next
         (``contains_batch`` / ``evict_batch(avoid=)`` / ``put_batch``
-        on the yielded ``sub_keys``) skip re-compressing it."""
+        on the yielded ``sub_keys``) skip re-compressing it.
+
+        **Per-shard bit-split contract** (the provider sink): a block
+        of per-access caching bits may be split along this same route
+        — ``bits[positions]`` rides with ``sub_keys`` — and applied
+        per shard through the yielded view
+        (:func:`repro.serving.priorities.apply_caching_bits`).
+        Duplicates of a key always land in the same shard and
+        ``positions`` is ascending, so per-shard dedup/apply is
+        call-for-call identical to the global bulk calls; because the
+        views share no state, the per-shard applies may also run on
+        the shard-pinned workers, concurrently with *other* shards'
+        serves — the split is what lets priority writes pipeline
+        instead of barriering.  The compression memo is safe under
+        that concurrency: entries are immutable ``(ref, compressed)``
+        tuples matched by object identity, so a reader racing this
+        method's priming can only miss (and recompute), never alias a
+        foreign array."""
         arr = np.asarray(keys, dtype=np.int64)
         shard_ids = self.router.route_batch(arr)
         compressed = self.router.compress_routed(arr, shard_ids)

@@ -94,6 +94,20 @@ class RecMGConfig:
     #: the *oldest* pending block (serving never blocks), which also
     #: bounds staleness at ``pending_max + 1`` blocks.
     priority_pending_max: int = 8
+    #: Lift-guard phase length in served blocks (0 = guard off).  When
+    #: on, the manager runs an online A/B over guided vs model-free
+    #: phases (:class:`repro.serving.priorities.LiftGuard`) and
+    #: withholds the provider's bits while the measured trailing
+    #: hit-rate lift is negative — model guidance can degrade to
+    #: model-free, never below it.  Off by default: the guard's
+    #: control phases cost a slice of positive lift, and its
+    #: measurement feedback is excluded from the pipelined==barrier
+    #: bit-identity contract.
+    priority_lift_guard: int = 0
+    #: Lift-guard trip/untrip hysteresis margin (absolute hit-rate
+    #: difference; the guard trips when guided < control - margin and
+    #: untrips on the symmetric recovery).
+    priority_lift_margin: float = 0.0
     #: Online retraining cadence in observed accesses (0 = off).  When
     #: on, the provider relabels its sliding window with the vectorized
     #: OPTgen, fine-tunes a clone and swaps it in atomically — on the
@@ -170,6 +184,11 @@ class RecMGConfig:
             raise ValueError("priority_refresh_blocks must be >= 1")
         if self.priority_pending_max < 1:
             raise ValueError("priority_pending_max must be >= 1")
+        if self.priority_lift_guard < 0:
+            raise ValueError("priority_lift_guard must be >= 0 "
+                             "(0 disables the lift guard)")
+        if self.priority_lift_margin < 0:
+            raise ValueError("priority_lift_margin must be >= 0")
         if self.online_retrain_interval < 0:
             raise ValueError("online_retrain_interval must be >= 0 "
                              "(0 disables online retraining)")

@@ -72,6 +72,31 @@ def label_live_window(dense_ids: np.ndarray, buffer_capacity: int,
     return result.cache_friendly.astype(np.float64)
 
 
+def window_targets(dense_ids: np.ndarray, buffer_capacity: int,
+                   config: RecMGConfig) -> np.ndarray:
+    """Chunk-aligned OPTgen keep targets for a live dense-id window.
+
+    :func:`label_live_window` bits, tail-padded with the last bit to a
+    whole number of ``input_len`` chunks (mirroring how
+    ``FeatureEncoder.encode_dense_chunks`` pads features) and reshaped
+    to ``(num_chunks, input_len)`` — directly consumable by
+    :func:`repro.core.training.finetune_caching_model` against the
+    encoded chunks of the same ids.  ``buffer_capacity`` is the
+    capacity the labels are *for*: pass the serving capacity, not the
+    capacity the model happened to be trained at (the low-capacity
+    lift inversion is exactly that mismatch).
+    """
+    dense_ids = np.asarray(dense_ids, dtype=np.int64)
+    if dense_ids.size == 0:
+        raise ValueError("cannot label an empty window")
+    bits = label_live_window(dense_ids, buffer_capacity, config)
+    length = config.input_len
+    pad = (-bits.size) % length
+    if pad:
+        bits = np.concatenate([bits, np.full(pad, bits[-1])])
+    return bits.reshape(-1, length)
+
+
 def caching_targets(chunks: EncodedChunks,
                     labels: TrainingLabels) -> np.ndarray:
     """Per-chunk binary targets, shape (num_chunks, input_len)."""

@@ -58,7 +58,11 @@ differential in ``tests/test_sharding.py`` and the multi-worker stress
 suite in ``tests/test_serving_concurrent.py`` both pin this).  Without
 model chunks, :meth:`RecMGManager.run` additionally *pipelines* serving
 blocks: up to a bounded number of blocks are in flight at once, so a
-worker never idles at a block boundary waiting for its siblings.
+worker never idles at a block boundary waiting for its siblings — and
+an active priority provider rides the same pipeline, its per-block
+priority writes split per shard and applied on the pinned workers
+(:meth:`RecMGManager._submit_sink`) instead of forcing a per-block
+barrier (``tests/test_sink_pipelining.py`` pins the bit-identity).
 Per-batch wall latency, queue depth and per-shard utilization land in
 :attr:`RecMGManager.serving_metrics`
 (:class:`repro.serving.metrics.ServingMetrics`);
@@ -97,7 +101,7 @@ from ..cache.sharding import ShardedBuffer, backend_for_key
 from ..prefetch.base import Prefetcher
 from ..prefetch.harness import AccessBreakdown
 from ..serving.metrics import ServingMetrics
-from ..serving.priorities import apply_caching_bits, make_provider
+from ..serving.priorities import LiftGuard, apply_caching_bits, make_provider
 from ..serving.workers import ShardWorkerPool
 from ..traces.access import Trace
 from .caching_model import CachingModel
@@ -142,6 +146,12 @@ class RecMGManager:
     #: engine pipelines a whole trace (bounds gather-buffer memory
     #: while keeping every shard worker fed across block boundaries).
     _MAX_INFLIGHT_BLOCKS = 8
+    #: Pipeline the streaming tail *through an active provider* (the
+    #: per-shard sink).  True in production; differential tests and the
+    #: pipelined-vs-barrier bench flip it per instance to reproduce the
+    #: per-block barrier form the sink used before it was split
+    #: per shard.
+    _pipeline_sink = True
 
     def __init__(self, capacity: int, encoder: FeatureEncoder,
                  config: RecMGConfig,
@@ -227,6 +237,17 @@ class RecMGManager:
             self.priority_mode, caching_model, encoder, config,
             metrics=self.serving_metrics, capacity=capacity)
         self._provider_active = self.priority_provider.mode != "none"
+        #: Optional lift guard (``config.priority_lift_guard`` > 0 with
+        #: an active provider): online A/B of guided vs model-free
+        #: phases; while measured lift is negative the sink withholds
+        #: the provider's bits — guidance degrades to model-free, never
+        #: below it.  See :class:`repro.serving.priorities.LiftGuard`.
+        self.lift_guard: Optional[LiftGuard] = None
+        if self._provider_active and getattr(config,
+                                             "priority_lift_guard", 0):
+            self.lift_guard = LiftGuard(
+                phase_blocks=config.priority_lift_guard,
+                margin=getattr(config, "priority_lift_margin", 0.0))
         self._prefetched: Set[int] = set()
         self.breakdown = AccessBreakdown()
         self.prefetches_issued = 0
@@ -306,18 +327,66 @@ class RecMGManager:
         apply_caching_bits(self.buffer, keys, bits,
                            self.config.eviction_speed)
 
-    def _sink_provider(self, segment: np.ndarray) -> None:
-        """The provider sink: after a block is served, feed the stream
-        to the priority provider and apply whatever caching bits it
-        has for the block — Algorithm 1's priority write, driven from
-        the live stream instead of the offline chunk pass.
+    def _provider_bits(self, segment: np.ndarray,
+                       guided: bool = True) -> Optional[Tuple]:
+        """Observe ``segment`` and collect its applicable caching bits.
+
+        The shared front half of both sink forms
+        (:meth:`_sink_provider`, :meth:`_submit_sink`): feed the stream
+        to the provider (always — the async refresh queue and the
+        retraining window must see control blocks too), then, when the
+        block is ``guided``, gather its tri-state bits, sample
+        staleness into :attr:`serving_metrics`, and pre-filter the
+        ``-1`` ("no prediction") positions.  Returns ``(keys, bits)``
+        with only ``>= 0`` bits, or ``None`` when there is nothing to
+        apply — a lift-guard control block (``guided=False``), an
+        empty/unpredicted block, or a wholly cold async table.
+        """
+        provider = self.priority_provider
+        provider.observe(segment)
+        if not guided:
+            return None
+        bits = provider.bits_for(segment)
+        staleness = provider.staleness_blocks()
+        if staleness is not None:
+            self.serving_metrics.record_staleness(staleness)
+        if bits is None:
+            return None
+        valid = bits >= 0
+        if not valid.all():
+            if not valid.any():
+                return None
+            segment = segment[valid]
+            bits = bits[valid]
+        return segment, bits
+
+    def _sink_provider(self, segment: np.ndarray,
+                       guided: bool = True) -> None:
+        """The provider sink, barrier form: after a block is fully
+        served, feed the stream to the priority provider and apply
+        whatever caching bits it has for the block — Algorithm 1's
+        priority write, driven from the live stream instead of the
+        offline chunk pass.
 
         Tri-state bits: positions ``>= 0`` apply through
-        :meth:`_apply_caching_bits`; ``-1`` ("no prediction" — an async
+        :func:`apply_caching_bits`; ``-1`` ("no prediction" — an async
         table slot not yet refreshed, or a spillover key) keeps its
         recency priority, so a cold provider degrades to model-free
-        behavior.  Staleness (async refresh lag) is sampled here, per
-        served block, into :attr:`serving_metrics`.
+        behavior.  Staleness (async refresh lag) is sampled per served
+        block into :attr:`serving_metrics`.  ``guided=False`` (a
+        lift-guard control block) observes but withholds the bits —
+        the block serves model-free.
+
+        On a sharded buffer the bits are split along
+        ``iter_shard_segments``' route and applied per shard through
+        its :class:`~repro.cache.sharding.CompressedShardView` — the
+        same one-scatter route the engines serve through, instead of
+        the three global scatters the whole-buffer bulk calls would
+        cost (the split-identity argument lives on
+        :func:`apply_caching_bits`).  The concurrent streaming path
+        uses :meth:`_submit_sink`, which dispatches exactly these
+        per-shard applies to the pinned workers instead of running
+        them inline.
 
         Called at block granularity from the top-level serve sites
         (:meth:`serve_batch`, :meth:`run`'s chunk and streaming loops)
@@ -325,24 +394,81 @@ class RecMGManager:
         fallbacks (e.g. the exact engine's scalar stretches) cannot
         double-sink a block.
         """
-        provider = self.priority_provider
         segment = np.asarray(segment, dtype=np.int64)
         if segment.size == 0:
             return
-        provider.observe(segment)
-        bits = provider.bits_for(segment)
-        staleness = provider.staleness_blocks()
-        if staleness is not None:
-            self.serving_metrics.record_staleness(staleness)
-        if bits is None:
+        got = self._provider_bits(segment, guided)
+        if got is None:
             return
-        valid = bits >= 0
-        if not valid.all():
-            if not valid.any():
-                return
-            segment = segment[valid]
-            bits = bits[valid]
-        self._apply_caching_bits(segment, bits)
+        keys, bits = got
+        buffer = self.buffer
+        speed = self.config.eviction_speed
+        if isinstance(buffer, ShardedBuffer):
+            for _, shard, positions, sub in buffer.iter_shard_segments(
+                    keys):
+                apply_caching_bits(shard, sub, bits[positions], speed)
+        else:
+            apply_caching_bits(buffer, keys, bits, speed)
+
+    def _submit_sink(self, segment: np.ndarray,
+                     guided: bool = True) -> List:
+        """The provider sink, pipelined form: split the block's bits
+        per shard and dispatch one :func:`apply_caching_bits` job per
+        touched shard to that shard's pinned worker; returns the apply
+        futures (the stream's drain joins them with the block).
+
+        Why this un-serializes the sink: the barrier form's priority
+        writes touch every shard from the gather thread, so they could
+        interleave with in-flight sibling blocks and the old stream
+        path had to drain the whole pipeline around each one.  Split
+        per shard and submitted *after* the same block's serve jobs
+        (one dispatcher thread, per-shard FIFO workers), each shard
+        executes «serve block k → apply block k's bits → serve block
+        k+1» in exactly the serial order, and shards share no keys —
+        the same structural argument that makes the concurrent engine
+        bit-identical to the serial one extends to the sink, so up to
+        :attr:`_MAX_INFLIGHT_BLOCKS` blocks stay in flight straight
+        through an active provider.
+
+        Provider calls (observe, the async table gather or sync
+        inference) run here on the dispatcher thread at submit time —
+        they depend only on the keys and the provider's own state,
+        never on buffer state, so computing bits before the block is
+        gathered changes no decision; only the *applies* must order
+        with serving, and per-shard FIFO orders them.
+        """
+        got = self._provider_bits(segment, guided)
+        if got is None:
+            return []
+        keys, bits = got
+        pool = self._ensure_pool()
+        speed = self.config.eviction_speed
+        return [
+            pool.submit(index, apply_caching_bits, shard, sub,
+                        bits[positions], speed)
+            for index, shard, positions, sub
+            in self.buffer.iter_shard_segments(keys)
+        ]
+
+    def _hits_total(self) -> int:
+        """Served hits so far (demand + prefetch) — the lift guard's
+        measurement counter."""
+        return self.breakdown.cache_hits + self.breakdown.prefetch_hits
+
+    def _guard_begin(self) -> bool:
+        """Decide the next block's lift-guard arm (True = guided;
+        always True without a guard)."""
+        guard = self.lift_guard
+        return True if guard is None else guard.begin_block()
+
+    def _guard_record(self, accesses: int, hits_before: int) -> None:
+        """Feed one gathered block's measured hits to the lift guard
+        (no-op without one); ``hits_before`` is :meth:`_hits_total`
+        sampled before the block's accounting ran."""
+        guard = self.lift_guard
+        if guard is not None:
+            guard.record_block(self._hits_total() - hits_before,
+                               accesses)
 
     def _apply_prefetches(self, predicted: np.ndarray) -> None:
         """Algorithm 1 lines 9-15: fetch P[i] at priority eviction_speed.
@@ -718,35 +844,59 @@ class RecMGManager:
         self._gather_block(segment, self._submit_block(segment))
 
     def _serve_stream(self, dense: np.ndarray, start: int,
-                      block: int) -> None:
-        """Pipelined concurrent serving of the model-free stream tail:
-        keep up to :attr:`_MAX_INFLIGHT_BLOCKS` blocks dispatched ahead
-        of the gather, so shard workers never idle at a block boundary
+                      block: int, sink: bool = False) -> None:
+        """Pipelined concurrent serving of the stream tail: keep up to
+        :attr:`_MAX_INFLIGHT_BLOCKS` blocks dispatched ahead of the
+        gather, so shard workers never idle at a block boundary
         waiting for the slowest sibling.  Per-shard FIFO (all
         ``_submit_block`` calls happen on this thread, in block order)
         means each shard still serves its sub-segments in exactly the
         serial order, and the gathers run in block order here — so
         counters, decision streams and buffer state stay bit-identical
-        to the serial engine.  Each gathered block records its wall
-        latency (dispatch → gathered) and the in-flight pipeline depth
-        into :attr:`serving_metrics` — as ``inflight_depth``, a
-        distinct stat from the admission-queue ``queue_depth`` that
+        to the serial engine.
+
+        ``sink=True`` (an active priority provider) threads the
+        per-shard provider sink through the same pipeline: each
+        block's bits are computed on this thread right after its serve
+        jobs are submitted and applied as per-shard jobs on the pinned
+        workers (:meth:`_submit_sink`), so priority writes ride the
+        per-shard FIFO instead of forcing a per-block barrier — the
+        pipeline keeps its depth under ``priority_mode="sync"|"async"``
+        and decisions stay bit-identical to the barrier form (pinned
+        by ``tests/test_sink_pipelining.py``).  The drain joins a
+        block's apply futures after its gather (they are queued behind
+        the same block's serve jobs, so this adds no stall) — apply
+        errors propagate and the buffer state is complete when the
+        stream returns.
+
+        Each gathered block records its wall latency (dispatch →
+        gathered) and the in-flight pipeline depth into
+        :attr:`serving_metrics` — as ``inflight_depth``, a distinct
+        stat from the admission-queue ``queue_depth`` that
         :meth:`serve_batch` records (blocks dispatched ahead of the
         gather vs requests waiting for admission; same name would mix
         units)."""
-        pending: Deque[Tuple[np.ndarray, List[Tuple], float]] = deque()
+        pending: Deque[Tuple[np.ndarray, List[Tuple], List, float]] = \
+            deque()
         metrics = self.serving_metrics
 
         def drain_one() -> None:
-            segment, jobs, submitted_at = pending.popleft()
+            segment, jobs, sink_jobs, submitted_at = pending.popleft()
+            hits_before = self._hits_total()
             self._gather_block(segment, jobs)
+            self._guard_record(int(segment.size), hits_before)
+            for future in sink_jobs:
+                future.result()
             metrics.record_batch(int(segment.size),
                                  time.perf_counter() - submitted_at,
                                  inflight_depth=len(pending))
 
         for lo in range(start, len(dense), block):
             segment = np.asarray(dense[lo:lo + block], dtype=np.int64)
-            pending.append((segment, self._submit_block(segment),
+            jobs = self._submit_block(segment)
+            sink_jobs = (self._submit_sink(segment, self._guard_begin())
+                         if sink else [])
+            pending.append((segment, jobs, sink_jobs,
                             time.perf_counter()))
             if len(pending) >= self._MAX_INFLIGHT_BLOCKS:
                 drain_one()
@@ -773,13 +923,19 @@ class RecMGManager:
         self._record_hits = []
         begin = time.perf_counter()
         try:
-            serve(keys)
-            # Provider sink inside the timed section on purpose: sync
-            # inference is on the serving critical path and must show
-            # in the latency percentiles; the async gather is a cheap
-            # table read and the recorded p99 proves it.
             if self._provider_active:
-                self._sink_provider(keys)
+                guided = self._guard_begin()
+                hits_before = self._hits_total()
+                serve(keys)
+                self._guard_record(int(keys.size), hits_before)
+                # Provider sink inside the timed section on purpose:
+                # sync inference is on the serving critical path and
+                # must show in the latency percentiles; the async
+                # gather is a cheap table read and the recorded p99
+                # proves it.
+                self._sink_provider(keys, guided)
+            else:
+                serve(keys)
             hits = np.asarray(self._record_hits, dtype=bool)
         finally:
             self._record_hits = outer
@@ -1081,12 +1237,19 @@ class RecMGManager:
         else:
             for chunk_idx in range(num_chunks):
                 start = chunk_idx * length
-                serve(dense[start:start + length])
                 if use_provider:
-                    self._sink_provider(dense[start:start + length])
-                elif bits_all is not None:
-                    self._apply_caching_bits(dense[start:start + length],
-                                             bits_all[chunk_idx])
+                    guided = self._guard_begin()
+                    hits_before = self._hits_total()
+                    serve(dense[start:start + length])
+                    self._guard_record(length, hits_before)
+                    self._sink_provider(dense[start:start + length],
+                                        guided)
+                else:
+                    serve(dense[start:start + length])
+                    if bits_all is not None:
+                        self._apply_caching_bits(
+                            dense[start:start + length],
+                            bits_all[chunk_idx])
                 if preds_all is not None:
                     self._apply_prefetches(preds_all[chunk_idx])
             tail = num_chunks * length
@@ -1094,23 +1257,32 @@ class RecMGManager:
         # to keep the per-shard sub-segments at single-shard size (the
         # scatter itself is one vectorized route).
         block = self._SERVE_BLOCK * getattr(self.buffer, "num_shards", 1)
-        if serve == self._serve_demand_concurrent and not use_provider:
+        if serve == self._serve_demand_concurrent and (
+                not use_provider or self._pipeline_sink):
             # No model barriers past ``tail``: pipeline the blocks so
-            # shard workers stay busy across block boundaries.
-            self._serve_stream(dense, tail, block)
+            # shard workers stay busy across block boundaries.  An
+            # active provider rides along — its sink is split per
+            # shard onto the pinned workers (:meth:`_submit_sink`), so
+            # priority writes no longer force a per-block barrier.
+            self._serve_stream(dense, tail, block, sink=use_provider)
         else:
-            # The provider sink's bulk priority writes touch every
-            # shard and must not interleave with in-flight sibling
-            # blocks, so an active provider makes each block a barrier
-            # (exactly like model chunks; the concurrent engine's
-            # barrier form handles the threads case).  Async mode still
-            # keeps *inference* off this path — the sink's table gather
-            # and priority scatter are cheap bulk ops.
+            # Serial engines, or the pipelined sink explicitly
+            # disabled (``_pipeline_sink=False`` — the differential/
+            # bench escape hatch): each block is a barrier — serve,
+            # then sink inline (per shard on a sharded buffer).  Async
+            # mode still keeps *inference* off this path — the sink's
+            # table gather and per-shard priority scatters are cheap
+            # bulk ops.
             for start in range(tail, n, block):
                 segment = dense[start:start + block]
-                serve(segment)
                 if use_provider:
-                    self._sink_provider(segment)
+                    guided = self._guard_begin()
+                    hits_before = self._hits_total()
+                    serve(segment)
+                    self._guard_record(len(segment), hits_before)
+                    self._sink_provider(segment, guided)
+                else:
+                    serve(segment)
         if record_decisions:
             self.last_decisions = np.asarray(self._record_hits, dtype=bool)
             self._record_hits = None

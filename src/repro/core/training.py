@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
@@ -140,6 +141,39 @@ def finetune_caching_model(model: CachingModel, chunks: EncodedChunks,
                        final_metric=accuracy)
 
 
+def finetune_for_capacity(model: CachingModel, dense_ids: np.ndarray,
+                          buffer_capacity: int, config: RecMGConfig,
+                          encoder: FeatureEncoder,
+                          epochs: Optional[int] = None,
+                          lr: Optional[float] = None
+                          ) -> Tuple[CachingModel, TrainResult]:
+    """Capacity-matched adaptation of an offline caching model.
+
+    OPTgen keep bits are a function of the buffer capacity: a key worth
+    keeping in a 20%-capacity buffer often is *not* worth keeping in a
+    5% one, so serving a model at a much smaller capacity than its
+    training labels assumed inverts its lift — the model overcommits
+    the smaller buffer (ROADMAP's low-capacity inversion).  This is
+    the offline-to-serving adapter: relabel ``dense_ids`` (a recent
+    window of the stream the model will serve, e.g. the training head)
+    with OPTgen **at the serving capacity**
+    (:func:`repro.core.labeling.window_targets`) and fine-tune a
+    *clone* on those labels — the same label-at-capacity rule the
+    online retrainer applies continuously, applied once up front.
+    Returns ``(tuned_model, train_result)``; the original model is
+    untouched.
+    """
+    dense_ids = np.asarray(dense_ids, dtype=np.int64)
+    from .labeling import window_targets
+
+    targets = window_targets(dense_ids, buffer_capacity, config)
+    chunks = encoder.encode_dense_chunks(dense_ids)
+    tuned = clone_caching_model(model)
+    result = finetune_caching_model(tuned, chunks, targets, config,
+                                    epochs=epochs, lr=lr)
+    return tuned, result
+
+
 class OnlineCachingTrainer:
     """Windowed incremental retraining from the live access stream.
 
@@ -158,10 +192,15 @@ class OnlineCachingTrainer:
     3. returns the tuned clone for the caller to swap in (a reference
        assignment, atomic under the GIL).
 
-    In async mode both steps run on the provider's refresh worker, off
-    the serving critical path; blocks shed by the bounded refresh
-    queue never reach :meth:`observe`, so under overload the window
-    thins rather than the serving thread blocking.
+    In async mode the *cycle* (label + fine-tune + swap) runs on the
+    provider's refresh worker, off the serving critical path, while
+    :meth:`observe` is called from the serving thread for **every**
+    served block — the refresh queue's thinning/drop-oldest shedding
+    applies to inference refreshes only, never to the training window
+    (a window fed only every k-th block would label a k-times-sparser
+    stream than the one being served).  Window state is therefore
+    guarded by a small lock: ``observe`` appends while the worker may
+    concurrently snapshot :meth:`window_keys` inside :meth:`retrain`.
     """
 
     def __init__(self, encoder: FeatureEncoder, config: RecMGConfig,
@@ -187,47 +226,50 @@ class OnlineCachingTrainer:
         self._blocks: List[np.ndarray] = []
         self._held = 0      # accesses currently in the window
         self._since = 0     # accesses observed since the last retrain
+        self._lock = threading.Lock()  # window state (see class doc)
         self.retrains = 0
         self.last_result: Optional[TrainResult] = None
 
     def observe(self, keys: np.ndarray) -> bool:
         """Feed one served block; returns True when a retrain is due
-        (window full and ``interval`` accesses since the last one)."""
+        (window full and ``interval`` accesses since the last one).
+        Safe to call from the serving thread while a worker-side
+        :meth:`retrain` is in flight."""
         keys = np.asarray(keys, dtype=np.int64)
         if keys.size == 0:
             return False
-        self._blocks.append(keys)
-        self._held += keys.size
-        self._since += keys.size
-        # Trim whole blocks from the head while the window stays full.
-        while self._blocks and (self._held - self._blocks[0].size
-                                >= self.window):
-            self._held -= self._blocks[0].size
-            self._blocks.pop(0)
-        return self._since >= self.interval and self._held >= self.window
+        with self._lock:
+            self._blocks.append(keys)
+            self._held += keys.size
+            self._since += keys.size
+            # Trim whole blocks from the head while the window stays
+            # full.
+            while self._blocks and (self._held - self._blocks[0].size
+                                    >= self.window):
+                self._held -= self._blocks[0].size
+                self._blocks.pop(0)
+            return (self._since >= self.interval
+                    and self._held >= self.window)
 
     def window_keys(self) -> np.ndarray:
         """The current window's dense ids, oldest first (trimmed to
-        exactly ``window`` accesses)."""
-        if not self._blocks:
-            return np.empty(0, dtype=np.int64)
-        keys = np.concatenate(self._blocks)
+        exactly ``window`` accesses) — a consistent snapshot."""
+        with self._lock:
+            if not self._blocks:
+                return np.empty(0, dtype=np.int64)
+            keys = np.concatenate(self._blocks)
         return keys[-self.window:]
 
     def retrain(self, model: CachingModel) -> CachingModel:
         """Label the window, fine-tune a clone, return it (see class
         docstring).  Resets the retrain countdown."""
-        from .labeling import label_live_window
+        from .labeling import window_targets
 
-        self._since = 0
+        with self._lock:
+            self._since = 0
         keys = self.window_keys()
-        bits = label_live_window(keys, self.buffer_capacity, self.config)
-        length = self.config.input_len
-        pad = (-keys.size) % length
-        if pad:  # pad targets like encode_dense_chunks pads features
-            bits = np.concatenate([bits, np.full(pad, bits[-1])])
+        targets = window_targets(keys, self.buffer_capacity, self.config)
         chunks = self.encoder.encode_dense_chunks(keys)
-        targets = bits.reshape(-1, length)
         tuned = clone_caching_model(model)
         self.last_result = finetune_caching_model(
             tuned, chunks, targets, self.config, epochs=self.epochs)

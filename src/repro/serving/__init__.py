@@ -8,14 +8,21 @@ engine (see ROADMAP "Serving architecture"):
                                               |  route (scatter)
                                               v
                                    ShardWorkerPool (per-shard FIFO)
-                                              |  gather (shard order)
-                                              v
+                                     ^        |  gather (shard order)
+        per-shard apply jobs (bits   |        v
+        split along the shard route) |
                               PriorityProvider sink -> ServingMetrics
                                   ^ bits        | observe
                                   |             v
                           CachingModel <- refresh worker (async)
-                                  ^             | window
+                                  ^             | window (every block)
                                   +-- OnlineCachingTrainer (OPTgen)
+
+The sink's priority writes are split per shard and queued on the same
+pinned workers behind each block's serve jobs (``RecMGManager
+._submit_sink``), so the pipelined stream keeps its depth under an
+active provider; an optional :class:`LiftGuard` withholds the bits
+while the measured trailing hit-rate lift is negative.
 
 :mod:`repro.core.manager` consumes :class:`ShardWorkerPool` and
 :class:`ServingMetrics` when ``concurrency="threads"`` and sinks every
@@ -29,6 +36,7 @@ from .metrics import LatencyWindow, ServingMetrics
 from .priorities import (
     PRIORITY_MODES,
     AsyncModelProvider,
+    LiftGuard,
     NullProvider,
     PriorityProvider,
     SyncModelProvider,
@@ -42,6 +50,7 @@ __all__ = [
     "Batch",
     "Batcher",
     "LatencyWindow",
+    "LiftGuard",
     "NullProvider",
     "PRIORITY_MODES",
     "PriorityProvider",

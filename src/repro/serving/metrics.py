@@ -199,8 +199,16 @@ class ServingMetrics:
 
     def record_staleness(self, blocks: int) -> None:
         """Record the async provider's refresh lag (in blocks) observed
-        at one served block.  Serving-thread only."""
+        at one served block.  Serving-thread only.
+
+        Rejects negative lag: the provider computes staleness as a
+        locked three-counter snapshot, so a negative value here means
+        a torn read leaked through — fail loudly instead of skewing
+        the mean."""
         blocks = int(blocks)
+        if blocks < 0:
+            raise ValueError(f"staleness cannot be negative (got "
+                             f"{blocks}); torn counter snapshot?")
         self.staleness_samples += 1
         self.staleness_sum += blocks
         if blocks > self.staleness_max:

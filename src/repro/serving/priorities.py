@@ -11,6 +11,22 @@ same bulk priority writes (:func:`apply_caching_bits`) the offline
 pass used — Algorithm 1's ``priority[T[i]] = C[i] + eviction_speed``,
 driven from the live stream.
 
+On a sharded buffer the sink is **per shard**: the block's bits are
+split along ``ShardedBuffer.iter_shard_segments``' route and applied
+through each shard's ``CompressedShardView`` — under
+``concurrency="threads"`` as one ``apply_caching_bits`` job per shard
+on that shard's pinned worker, so a priority write is never a
+cross-shard barrier and the concurrent engine keeps pipelining blocks
+straight through an active provider (see
+:meth:`RecMGManager._submit_sink` and the split-identity argument on
+:func:`apply_caching_bits`).
+
+:class:`LiftGuard` is the safety valve on top of any provider: an
+online A/B of guided vs model-free phases over trailing hit-rate
+windows; while measured lift is negative the manager withholds the
+provider's bits (the block serves as if every bit were ``-1``), so
+model guidance can degrade to model-free but never below it.
+
 Three implementations, selected by ``priority_mode``:
 
 * :class:`NullProvider` (``"none"``) — no model anywhere near the
@@ -45,9 +61,11 @@ stream feeds a sliding window which is periodically relabeled with the
 vectorized OPTgen and fine-tuned on a **clone** of the model; the
 tuned clone replaces ``self.model`` by plain reference assignment —
 atomic under the GIL, and the only synchronization the swap needs
-(in-flight predictions keep the old weights).  In async mode the whole
-label/fine-tune/swap cycle runs on the refresh worker, off the serving
-critical path.
+(in-flight predictions keep the old weights).  In async mode the
+window is fed on the serving thread for **every** observed block
+(cheap list work; the refresh interval thins inference, not the
+training stream) while the expensive label/fine-tune/swap cycle runs
+on the refresh worker, off the serving critical path.
 
 Imports from :mod:`repro.core` are function-local on purpose:
 :mod:`repro.core.manager` imports this module at its top level, so a
@@ -59,7 +77,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -90,12 +108,36 @@ def apply_caching_bits(buffer, keys: np.ndarray, bits: np.ndarray,
     disjoint positive/negative ranges, so cross-class interleaving
     never affects eviction order.
 
+    Tri-state safe: ``-1`` ("no prediction") positions are masked out
+    *here*, not just by the manager's pre-filter — a ``-1`` bit must
+    keep its key's recency priority, and before this mask a caller
+    that skipped the pre-filter (a direct
+    :class:`repro.dlrm.inference.BufferClassifier` sink, a hand-rolled
+    offline pass) would have silently promoted every unpredicted key
+    as cache-friendly (``-1 != 0``).
+
+    Per-shard contract: ``buffer`` may equally be one
+    :class:`repro.cache.sharding.CompressedShardView` with ``keys``
+    restricted to that shard (the manager's per-shard sink splits a
+    block along ``iter_shard_segments``' route).  Duplicates of a key
+    always land in the same shard and the split preserves positional
+    order, so per-shard dedup + apply is call-for-call identical to
+    the global form — shards share no state, and within a shard the
+    friendly/averse subsequences are exactly the global ones.
+
     Shared by the manager's offline chunk pass, the provider sink and
     :class:`repro.dlrm.inference.BufferClassifier` — one bulk applier,
     every caller.
     """
     keys = np.asarray(keys, dtype=np.int64)
-    bits = np.asarray(bits) != 0
+    bits = np.asarray(bits)
+    predicted = bits >= 0
+    if not predicted.all():
+        if not predicted.any():
+            return
+        keys = keys[predicted]
+        bits = bits[predicted]
+    bits = bits != 0
     resident = buffer.contains_batch(keys)
     if not resident.any():
         return
@@ -109,6 +151,150 @@ def apply_caching_bits(buffer, keys: np.ndarray, bits: np.ndarray,
             res_bits = res_bits[sel]
     buffer.set_priority_batch(res_keys[res_bits], speed + 1)
     buffer.demote_batch(res_keys[~res_bits])
+
+
+class LiftGuard:
+    """Trailing-window hit-rate lift guard: model guidance may degrade
+    to model-free, never below it.
+
+    A model trained for one occupancy regime can be actively *harmful*
+    in another (the low-capacity lift inversion: 20%-capacity OPTgen
+    labels overcommit a 5% buffer).  The guard measures the lift
+    online and withholds the provider's bits while it is negative —
+    the served block then behaves exactly like an all ``-1``
+    ("no prediction") block, i.e. model-free.
+
+    Mechanics — an online A/B over *phases* of ``phase_blocks``
+    consecutive served blocks (guidance affects the blocks *after*
+    the bits land, so single-block interleaving would attribute one
+    arm's effect to the other; phase runs keep the attribution error
+    to the phase boundary):
+
+    * **healthy** (not tripped): one phase in ``probe_every`` serves
+      *control* (bits withheld), the rest are guided;
+    * **tripped**: roles invert — one guided probe phase in
+      ``probe_every``, everything else model-free.
+
+    Completed runs append ``(hits, accesses)`` to the arm's trailing
+    window (last ``window_phases`` runs); when both windows are full
+    and the guided rate falls below control minus ``margin`` the guard
+    trips, and it untrips on the symmetric recovery.  Both flips clear
+    the windows — samples measured under the previous regime would
+    bias the next comparison.
+
+    Driven by the manager at block granularity: :meth:`begin_block`
+    decides the block's arm *at dispatch*, :meth:`record_block` feeds
+    its measured hits back *at gather* — two calls because the
+    pipelined stream keeps up to 8 blocks in flight between the two
+    (the FIFO of decided arms pairs them back up).  That same lag
+    means trip decisions see slightly older measurements under the
+    pipelined engine than under the barrier form, so an *enabled*
+    guard is excluded from the pipelined==barrier bit-identity
+    contract (the guard-off default keeps it).
+    """
+
+    def __init__(self, phase_blocks: int = 8, window_phases: int = 4,
+                 probe_every: int = 8, margin: float = 0.0) -> None:
+        if phase_blocks < 1:
+            raise ValueError("phase_blocks must be >= 1")
+        if window_phases < 1:
+            raise ValueError("window_phases must be >= 1")
+        if probe_every < 2:
+            raise ValueError("probe_every must be >= 2 (one arm would "
+                             "never be measured)")
+        if margin < 0:
+            raise ValueError("margin must be >= 0")
+        self.phase_blocks = int(phase_blocks)
+        self.window_phases = int(window_phases)
+        self.probe_every = int(probe_every)
+        self.margin = float(margin)
+        self.tripped = False
+        self.trips = 0
+        self.untrips = 0
+        self._begun = 0                      # blocks whose arm is decided
+        self._decided: Deque[bool] = deque()  # arms awaiting measurement
+        self._run_arm: Optional[bool] = None  # arm of the open run
+        self._run_hits = 0
+        self._run_size = 0
+        self._run_blocks = 0
+        self._windows: Dict[bool, Deque[Tuple[int, int]]] = {
+            True: deque(maxlen=self.window_phases),
+            False: deque(maxlen=self.window_phases),
+        }
+
+    def begin_block(self) -> bool:
+        """Decide the next served block's arm; True = guided (apply
+        the provider's bits), False = control (withhold them)."""
+        phase = self._begun // self.phase_blocks
+        minority = (phase % self.probe_every) == self.probe_every - 1
+        arm = minority if self.tripped else not minority
+        self._begun += 1
+        self._decided.append(arm)
+        return arm
+
+    def record_block(self, hits: int, accesses: int) -> None:
+        """Feed one block's measured hits, in dispatch order; pairs
+        with the oldest unmeasured :meth:`begin_block` decision."""
+        if not self._decided:
+            raise RuntimeError("record_block without a matching "
+                               "begin_block")
+        arm = self._decided.popleft()
+        if self._run_arm is None:
+            self._run_arm = arm
+        elif arm != self._run_arm:
+            self._flush_run()
+            self._run_arm = arm
+        self._run_hits += int(hits)
+        self._run_size += int(accesses)
+        self._run_blocks += 1
+        if self._run_blocks >= self.phase_blocks:
+            self._flush_run()
+
+    def rate(self, guided: bool) -> Optional[float]:
+        """Trailing hit rate of one arm (None before any sample)."""
+        window = self._windows[guided]
+        total = sum(size for _, size in window)
+        if not total:
+            return None
+        return sum(hits for hits, _ in window) / total
+
+    def _flush_run(self) -> None:
+        if self._run_size:
+            self._windows[self._run_arm].append(
+                (self._run_hits, self._run_size))
+            self._update_state()
+        self._run_arm = None
+        self._run_hits = self._run_size = self._run_blocks = 0
+
+    def _update_state(self) -> None:
+        guided_win = self._windows[True]
+        control_win = self._windows[False]
+        if (len(guided_win) < guided_win.maxlen
+                or len(control_win) < control_win.maxlen):
+            return  # not enough evidence on both arms yet
+        guided_rate = self.rate(True)
+        control_rate = self.rate(False)
+        if not self.tripped and guided_rate < control_rate - self.margin:
+            self.tripped = True
+            self.trips += 1
+        elif self.tripped and guided_rate > control_rate + self.margin:
+            self.tripped = False
+            self.untrips += 1
+        else:
+            return
+        guided_win.clear()
+        control_win.clear()
+
+    def stats(self) -> Dict[str, float]:
+        """Flat guard counters/gauges (JSON-ready)."""
+        return {
+            "tripped": float(self.tripped),
+            "trips": self.trips,
+            "untrips": self.untrips,
+            "guided_rate": self.rate(True),
+            "control_rate": self.rate(False),
+            "blocks_decided": self._begun,
+        }
 
 
 class PriorityProvider:
@@ -269,6 +455,8 @@ class AsyncModelProvider(_ModelProviderBase):
         self._wake = threading.Condition(self._lock)
         self._idle = threading.Condition(self._lock)
         self._closed = False
+        self._retrain_due = False   # a retrain cycle is owed the worker
+        self._retraining = False    # the worker is inside one right now
         self.observed_blocks = 0    #: blocks seen by observe()
         self.submitted_blocks = 0   #: blocks enqueued for refresh
         self.refreshed_blocks = 0   #: blocks the worker completed
@@ -281,20 +469,39 @@ class AsyncModelProvider(_ModelProviderBase):
 
     # -- serving side ---------------------------------------------------
     def observe(self, keys: np.ndarray) -> None:
+        """Feed one served block: the retraining window sees **every**
+        block, the refresh queue only every ``refresh_blocks``-th.
+
+        These cadences are independent on purpose — the refresh
+        interval thins *inference* cost, but thinning the retraining
+        window with it would starve the trainer (with
+        ``refresh_blocks=k`` it would label a window holding only
+        every k-th block, a k-times-sparser stream than the one being
+        served).  The window append is O(1) list work, cheap enough
+        for the serving thread; the expensive label/fine-tune cycle it
+        occasionally arms still runs on the refresh worker, flagged
+        through ``_retrain_due`` rather than run inline here.
+        """
         keys = np.asarray(keys, dtype=np.int64)
         if keys.size == 0:
             return
         self.observed_blocks += 1
-        if (self.observed_blocks - 1) % self.refresh_blocks:
-            return  # refresh interval: only every k-th block refreshes
+        retrain_due = (self.retrainer is not None
+                       and self.retrainer.observe(keys))
+        submit = not (self.observed_blocks - 1) % self.refresh_blocks
+        if not (submit or retrain_due):
+            return
         with self._wake:
             if self._closed:
                 return
-            if len(self._pending) >= self.pending_max:
-                self._pending.popleft()  # drop-oldest; never block
-                self.dropped_blocks += 1
-            self._pending.append(keys.copy())
-            self.submitted_blocks += 1
+            if submit:
+                if len(self._pending) >= self.pending_max:
+                    self._pending.popleft()  # drop-oldest; never block
+                    self.dropped_blocks += 1
+                self._pending.append(keys.copy())
+                self.submitted_blocks += 1
+            if retrain_due:
+                self._retrain_due = True
             self._wake.notify()
 
     def bits_for(self, keys: np.ndarray) -> Optional[np.ndarray]:
@@ -307,31 +514,65 @@ class AsyncModelProvider(_ModelProviderBase):
         got = table[np.clip(keys, 0, table.size - 1)]
         return np.where(keys < table.size, got, np.int8(-1))
 
-    def staleness_blocks(self) -> int:
-        """Blocks enqueued but not yet refreshed (in queue or in
-        flight); bounded by ``pending_max + 1`` by construction."""
+    def _staleness_locked(self) -> int:
+        """Counter arithmetic for :meth:`staleness_blocks`; the caller
+        must hold ``self._lock``."""
         return (self.submitted_blocks - self.refreshed_blocks
                 - self.dropped_blocks)
+
+    def staleness_blocks(self) -> int:
+        """Blocks enqueued but not yet refreshed (in queue or in
+        flight); bounded by ``pending_max + 1`` by construction, and
+        never negative: the three counters are read under the provider
+        lock as one consistent snapshot.  (An unlocked read racing the
+        worker could see ``refreshed_blocks`` advance before the
+        matching ``submitted_blocks`` and report a transient negative
+        lag into :meth:`ServingMetrics.record_staleness`, which
+        rejects it.)"""
+        with self._lock:
+            return self._staleness_locked()
 
     # -- worker side ----------------------------------------------------
     def _worker_loop(self) -> None:
         while True:
             with self._wake:
-                while not self._pending and not self._closed:
+                while (not self._pending and not self._retrain_due
+                       and not self._closed):
                     self._wake.wait()
-                if not self._pending:  # closed and drained
+                if self._closed and not self._pending:
+                    # Drained.  A pending retrain is *dropped*, not
+                    # drained: post-close the table is frozen, so a
+                    # freshly tuned model would never predict again.
                     return
-                keys = self._pending.popleft()
-            try:
-                self._refresh(keys)
-            except Exception:
-                # A dying worker must not freeze serving: count it,
-                # keep draining — unrefreshed slots stay at -1, which
-                # the sink treats as "no prediction".
-                self.worker_errors += 1
-            with self._idle:
-                self.refreshed_blocks += 1
-                self._idle.notify_all()
+                keys = None
+                retrain = False
+                if self._pending:
+                    keys = self._pending.popleft()
+                else:  # no refresh backlog: run the owed retrain cycle
+                    self._retrain_due = False
+                    self._retraining = True
+                    retrain = True
+            if keys is not None:
+                try:
+                    self._refresh(keys)
+                except Exception:
+                    # A dying worker must not freeze serving: count it,
+                    # keep draining — unrefreshed slots stay at -1,
+                    # which the sink treats as "no prediction".
+                    self.worker_errors += 1
+                with self._idle:
+                    self.refreshed_blocks += 1
+                    self._idle.notify_all()
+            elif retrain:
+                try:
+                    # Reference-assignment swap: atomic under the GIL,
+                    # in-flight predictions keep the old weights.
+                    self.model = self.retrainer.retrain(self.model)
+                except Exception:
+                    self.worker_errors += 1
+                with self._idle:
+                    self._retraining = False
+                    self._idle.notify_all()
 
     def _refresh(self, keys: np.ndarray) -> None:
         bits = self._predict(keys)
@@ -340,17 +581,19 @@ class AsyncModelProvider(_ModelProviderBase):
         # Staleness is sampled by the *sink* (serving thread) per served
         # block, keeping each metrics field family single-writer: this
         # worker owns the inference counters, the serving thread owns
-        # batch latency and staleness.
-        self._maybe_retrain(keys)
+        # batch latency and staleness.  Retraining is NOT fed here —
+        # the serving thread feeds the window for every observed block
+        # (see observe); refresh blocks are a thinned subset of it.
 
     # -- lifecycle ------------------------------------------------------
     def flush(self, timeout: float = 10.0) -> bool:
-        """Block until every submitted block is refreshed (test/bench
-        hook — serving code never calls this).  Returns False on
-        timeout."""
+        """Block until every submitted block is refreshed and any owed
+        retrain cycle has completed (test/bench hook — serving code
+        never calls this).  Returns False on timeout."""
         deadline = time.perf_counter() + timeout
         with self._idle:
-            while self.staleness_blocks() > 0:
+            while (self._staleness_locked() > 0 or self._retrain_due
+                   or self._retraining):
                 remaining = deadline - time.perf_counter()
                 if remaining <= 0:
                     return False
@@ -367,16 +610,22 @@ class AsyncModelProvider(_ModelProviderBase):
 
     def stats(self) -> Dict[str, float]:
         out = super().stats()
-        out.update(
-            observed_blocks=self.observed_blocks,
-            submitted_blocks=self.submitted_blocks,
-            refreshed_blocks=self.refreshed_blocks,
-            dropped_blocks=self.dropped_blocks,
-            staleness_blocks=self.staleness_blocks(),
-            worker_errors=self.worker_errors,
-            table_coverage=float(
-                np.count_nonzero(self._table >= 0) / self._table.size),
-        )
+        # One consistent counter snapshot (same lock as the worker's
+        # updates) — stats() racing a refresh must not report e.g.
+        # refreshed > submitted or a negative staleness.
+        with self._lock:
+            out.update(
+                observed_blocks=self.observed_blocks,
+                submitted_blocks=self.submitted_blocks,
+                refreshed_blocks=self.refreshed_blocks,
+                dropped_blocks=self.dropped_blocks,
+                staleness_blocks=self._staleness_locked(),
+                worker_errors=self.worker_errors,
+            )
+        # The table read stays outside the lock: racing a scatter is
+        # by-design (each int8 slot is atomic) and coverage is a gauge.
+        out.update(table_coverage=float(
+            np.count_nonzero(self._table >= 0) / self._table.size))
         return out
 
 

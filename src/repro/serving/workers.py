@@ -14,6 +14,13 @@ shard-wise loop:
   sub-segments execute in exactly the order they were submitted —
   the order the serial loop would serve them.
 
+The priority-provider sink rides the same two properties: the
+pipelined stream submits each block's per-shard
+``apply_caching_bits`` job (:meth:`RecMGManager._submit_sink`) right
+after that block's serve jobs, so every shard executes «serve block k
+→ apply block k's bits → serve block k+1» — the serial order — and a
+priority write never needs a cross-shard barrier.
+
 Workers are **persistent**: the pool is created once per manager and
 reused across every segment, so steady-state serving pays no thread
 start/stop cost.  ``num_workers`` may be smaller than the shard count

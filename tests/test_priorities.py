@@ -28,19 +28,27 @@ import pytest
 from repro.core.caching_model import CachingModel
 from repro.core.config import RecMGConfig
 from repro.core.features import FeatureEncoder
-from repro.core.labeling import build_labels, caching_targets, label_live_window
+from repro.core.labeling import (
+    build_labels,
+    caching_targets,
+    label_live_window,
+    window_targets,
+)
 from repro.core.manager import RecMGManager
 from repro.core.training import (
     OnlineCachingTrainer,
     clone_caching_model,
+    finetune_for_capacity,
     train_caching_model,
 )
 from repro.cache.optgen import run_optgen
 from repro.serving.priorities import (
     PRIORITY_MODES,
     AsyncModelProvider,
+    LiftGuard,
     NullProvider,
     SyncModelProvider,
+    apply_caching_bits,
     make_provider,
 )
 from repro.traces.access import Trace
@@ -117,6 +125,10 @@ def test_config_validates_priority_knobs():
         RecMGConfig(online_retrain_interval=-1)
     with pytest.raises(ValueError, match="window"):
         RecMGConfig(online_retrain_window=3)  # < input_len (15)
+    with pytest.raises(ValueError, match="lift_guard"):
+        RecMGConfig(priority_lift_guard=-1)
+    with pytest.raises(ValueError, match="lift_margin"):
+        RecMGConfig(priority_lift_margin=-0.1)
     assert "sync" in PRIORITY_MODES
 
 
@@ -516,3 +528,289 @@ def test_sync_provider_retrains_online(world, small_config):
     assert provider.retrainer.retrains >= 1
     assert provider.model is not original
     assert provider.stats()["retrains"] >= 1
+
+
+# ----------------------------------------------------------------------
+# PR 9 satellites: applier hardening, retraining-window thinning fix,
+# capacity-matched labels, and the lift guard.
+# ----------------------------------------------------------------------
+class _RecordingBuffer:
+    """Minimal bulk-protocol stub: everything is resident; records the
+    keys each priority call receives."""
+
+    def __init__(self):
+        self.promoted = []
+        self.demoted = []
+
+    def contains_batch(self, keys):
+        return np.ones(len(keys), dtype=bool)
+
+    def set_priority_batch(self, keys, priority):
+        self.promoted.extend(np.asarray(keys).tolist())
+
+    def demote_batch(self, keys):
+        self.demoted.extend(np.asarray(keys).tolist())
+
+
+def test_apply_caching_bits_masks_no_prediction_inline():
+    """The applier itself must drop ``-1`` ("no prediction") positions
+    — not rely on the manager's pre-filter.  Before the mask a direct
+    caller would have promoted every unpredicted key (``-1 != 0``)."""
+    buffer = _RecordingBuffer()
+    keys = np.array([10, 11, 12, 13, 14], dtype=np.int64)
+    bits = np.array([1, -1, 0, -1, 1], dtype=np.int8)
+    apply_caching_bits(buffer, keys, bits, speed=4)
+    assert buffer.promoted == [10, 14]
+    assert buffer.demoted == [12]
+
+
+def test_apply_caching_bits_all_unpredicted_is_noop():
+    buffer = _RecordingBuffer()
+    apply_caching_bits(buffer, np.array([1, 2, 3], dtype=np.int64),
+                       np.full(3, -1, dtype=np.int8), speed=4)
+    assert buffer.promoted == [] and buffer.demoted == []
+
+
+def test_async_retrainer_sees_every_block(world, small_config):
+    """Regression for the retraining-window thinning bug: with
+    ``refresh_blocks=k`` the refresh queue sheds inference, but the
+    retraining window must still be fed **every** observed block —
+    the old early-return starved it to a k-times-sparser stream."""
+    _, _, encoder, capacity, model = world
+    retrainer = OnlineCachingTrainer(encoder, small_config, capacity,
+                                     interval=10**9, window=1024)
+    provider = AsyncModelProvider(model, encoder, small_config,
+                                  key_space=encoder.vocab_size,
+                                  refresh_blocks=3, retrainer=retrainer)
+    try:
+        for i in range(6):
+            provider.observe(np.arange(i * 32, (i + 1) * 32,
+                                       dtype=np.int64))
+        assert provider.observed_blocks == 6
+        assert provider.submitted_blocks == 2  # blocks 1 and 4
+        assert retrainer.window_keys().size == 6 * 32
+    finally:
+        provider.close()
+
+
+def test_async_retrain_runs_on_worker(world, small_config):
+    """The serving thread only *arms* a retrain; the expensive
+    label/fine-tune/swap cycle runs on the refresh worker and
+    ``flush()`` waits it out."""
+    _, tail, encoder, capacity, model = world
+    config = RecMGConfig(hidden=16, hash_buckets=256, caching_epochs=1,
+                         buffer_impl="clock",
+                         priority_refresh_blocks=4,
+                         online_retrain_interval=1500,
+                         online_retrain_window=512,
+                         online_retrain_epochs=1)
+    provider = make_provider("async", model, encoder, config,
+                             capacity=capacity)
+    try:
+        original = provider.model
+        dense = encoder.dense_ids(tail)
+        for lo in range(0, 4096, 512):
+            provider.observe(dense[lo:lo + 512])
+        assert provider.flush(), "flush must drain refreshes + retrain"
+        assert provider.retrainer.retrains >= 1
+        assert provider.model is not original
+        assert provider.worker_errors == 0
+        assert provider.stats()["retrains"] >= 1
+    finally:
+        provider.close()
+
+
+def test_staleness_never_negative_under_concurrent_stats(world,
+                                                         small_config):
+    """stats()/staleness_blocks() snapshot the three queue counters
+    under the provider lock — hammer them against a live worker and
+    assert no torn (negative) snapshot ever surfaces."""
+    _, tail, encoder, _, model = world
+    provider = make_provider("async", model, encoder, small_config)
+    try:
+        dense = encoder.dense_ids(tail)
+        seen = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                seen.append(provider.staleness_blocks())
+                seen.append(provider.stats()["staleness_blocks"])
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        for lo in range(0, 16_384, 256):
+            provider.observe(dense[lo % dense.size:
+                                   lo % dense.size + 256])
+        provider.flush()
+        stop.set()
+        thread.join()
+        assert seen and min(seen) >= 0
+    finally:
+        provider.close()
+
+
+# ----------------------------------------------------------------------
+# Capacity-matched labels (tentpole 2a)
+# ----------------------------------------------------------------------
+def test_window_targets_matches_live_labels(world, small_config):
+    _, tail, encoder, capacity, _ = world
+    dense = encoder.dense_ids(tail)[:1000]
+    targets = window_targets(dense, capacity, small_config)
+    length = small_config.input_len
+    assert targets.shape == (-(-dense.size // length), length)
+    bits = label_live_window(dense, capacity, small_config)
+    # Head chunks are the raw labels; the tail chunk pads with its
+    # last labeled bit.
+    np.testing.assert_array_equal(targets.ravel()[:bits.size], bits)
+    assert set(np.unique(targets.ravel()[bits.size:])) <= {bits[-1]}
+    with pytest.raises(ValueError):
+        window_targets(np.array([], dtype=np.int64), capacity,
+                       small_config)
+
+
+def test_finetune_for_capacity_returns_tuned_clone(world, small_config):
+    """The offline-to-serving adapter: relabel a window at the
+    *serving* capacity and fine-tune a clone — the input model's
+    weights must never move."""
+    _, tail, encoder, capacity, model = world
+    serving_capacity = max(1, int(encoder.vocab_size * 0.05))
+    dense = encoder.dense_ids(tail)[:2048]
+    before = model.state_dict()
+    tuned, result = finetune_for_capacity(model, dense, serving_capacity,
+                                          small_config, encoder, epochs=1)
+    assert tuned is not model
+    for name, array in model.state_dict().items():
+        np.testing.assert_array_equal(array, before[name])
+    moved = any(not np.array_equal(array, before[name])
+                for name, array in tuned.state_dict().items())
+    assert moved
+    assert len(result.losses) >= 1
+    assert result.num_parameters > 0
+
+
+# ----------------------------------------------------------------------
+# LiftGuard (tentpole 2b)
+# ----------------------------------------------------------------------
+def test_lift_guard_validates_params():
+    with pytest.raises(ValueError, match="phase_blocks"):
+        LiftGuard(phase_blocks=0)
+    with pytest.raises(ValueError, match="window_phases"):
+        LiftGuard(window_phases=0)
+    with pytest.raises(ValueError, match="probe_every"):
+        LiftGuard(probe_every=1)
+    with pytest.raises(ValueError, match="margin"):
+        LiftGuard(margin=-0.01)
+    with pytest.raises(RuntimeError, match="begin_block"):
+        LiftGuard().record_block(1, 10)
+
+
+def _drive(guard, guided_rate, control_rate, blocks, size=100):
+    """Feed ``blocks`` begin/record pairs with per-arm synthetic hit
+    rates; returns how many were served guided."""
+    guided_blocks = 0
+    for _ in range(blocks):
+        arm = guard.begin_block()
+        guided_blocks += arm
+        rate = guided_rate if arm else control_rate
+        guard.record_block(int(rate * size), size)
+    return guided_blocks
+
+
+def test_lift_guard_trips_on_negative_lift_and_recovers():
+    guard = LiftGuard(phase_blocks=1, window_phases=2, probe_every=4)
+    # Healthy: 3-in-4 phases guided, 1-in-4 control.
+    assert [guard.begin_block() for _ in range(8)] == \
+        [True, True, True, False] * 2
+    for _ in range(8):
+        guard.record_block(0, 100)
+    assert guard._decided == type(guard._decided)()
+    # Guided clearly worse: both windows fill, then trip.
+    _drive(guard, guided_rate=0.2, control_rate=0.6, blocks=16)
+    assert guard.tripped and guard.trips == 1
+    # Tripped: roles invert — most blocks now run control.
+    guided = _drive(guard, guided_rate=0.2, control_rate=0.6, blocks=8)
+    assert guided <= 2
+    # Guidance recovers: the probe phases measure it beating control
+    # and the guard untrips (windows were cleared on the trip, so only
+    # post-trip samples vote).
+    _drive(guard, guided_rate=0.9, control_rate=0.3, blocks=64)
+    assert guard.untrips == 1 and not guard.tripped
+    stats = guard.stats()
+    assert stats["trips"] == 1 and stats["untrips"] == 1
+    assert stats["blocks_decided"] > 0
+
+
+def test_lift_guard_hysteresis_margin_holds_state():
+    guard = LiftGuard(phase_blocks=1, window_phases=2, probe_every=2,
+                      margin=0.2)
+    # A small negative lift (inside the margin) must not trip.
+    _drive(guard, guided_rate=0.50, control_rate=0.55, blocks=32)
+    assert not guard.tripped and guard.trips == 0
+    # A large one must.
+    _drive(guard, guided_rate=0.10, control_rate=0.60, blocks=32)
+    assert guard.tripped
+
+
+def test_manager_lift_guard_floors_adverse_guidance(world, small_config):
+    """The low-capacity inversion, forced: an adversarial provider
+    (demote the hot keys, pin the cold ones) at 5% capacity.  The
+    guard must trip and pull the run back to (near) model-free;
+    without it the same guidance craters the hit rate."""
+    _, tail, encoder, _, model = world
+    vocab = encoder.vocab_size
+    low_capacity = max(1, int(vocab * 0.05))
+    dense_tail = encoder.dense_ids(tail)
+    counts = np.bincount(dense_tail[dense_tail < vocab], minlength=vocab)
+    hot = np.zeros(vocab, dtype=bool)
+    hot[np.argsort(counts)[::-1][:max(1, vocab // 5)]] = True
+
+    def adversarial_bits(keys):
+        keys = np.asarray(keys, dtype=np.int64)
+        bits = np.full(keys.size, -1, dtype=np.int8)
+        local = keys < vocab
+        bits[local] = np.where(hot[keys[local]], 0, 1).astype(np.int8)
+        return bits
+
+    def run(priority_mode, guard, adversarial):
+        config = RecMGConfig(hidden=16, hash_buckets=256,
+                             buffer_impl="clock",
+                             priority_lift_guard=1 if guard else 0)
+        manager = RecMGManager(low_capacity, encoder, config,
+                               caching_model=(model if priority_mode
+                                              != "none" else None),
+                               priority_mode=priority_mode)
+        manager._SERVE_BLOCK = 256
+        if guard:
+            # Tighter windows than the config default so the ~8.4k
+            # access tail holds enough phases to trip.
+            manager.lift_guard = LiftGuard(phase_blocks=1,
+                                           window_phases=2,
+                                           probe_every=4)
+        if adversarial:
+            manager.priority_provider.bits_for = adversarial_bits
+        stats = manager.run(tail, fast_serve=True)
+        hits = (stats.breakdown.cache_hits
+                + stats.breakdown.prefetch_hits)
+        guard_obj = manager.lift_guard
+        manager.close()
+        return hits, guard_obj
+
+    model_free, _ = run("none", guard=False, adversarial=False)
+    unguarded, _ = run("sync", guard=False, adversarial=True)
+    guarded, guard = run("sync", guard=True, adversarial=True)
+
+    assert unguarded < model_free  # the inversion is real
+    assert guard is not None and guard.trips >= 1
+    assert guarded > unguarded
+    # Floor: the guarded run stays within the probe phases' cost of
+    # the model-free baseline.
+    assert guarded >= model_free * 0.95
+
+
+def test_manager_lift_guard_off_by_default(world, small_config):
+    _, _, encoder, capacity, model = world
+    manager = RecMGManager(capacity, encoder, small_config,
+                           caching_model=model, priority_mode="sync")
+    assert manager.lift_guard is None
+    manager.close()

@@ -344,6 +344,21 @@ def test_serving_metrics_empty_summary():
     assert summary["inflight_depth_mean"] == 0.0
 
 
+def test_serving_metrics_rejects_negative_staleness():
+    """A negative staleness sample can only come from a torn read of
+    the provider's queue counters (the bug the locked snapshot in
+    ``AsyncModelProvider.staleness_blocks`` fixes) — reject it loudly
+    instead of folding it into the mean."""
+    metrics = ServingMetrics()
+    metrics.record_staleness(0)
+    metrics.record_staleness(3)
+    with pytest.raises(ValueError, match="negative"):
+        metrics.record_staleness(-1)
+    # The rejected sample must not have perturbed the counters.
+    assert metrics.staleness_samples == 2
+    assert metrics.staleness_max == 3
+
+
 def test_serving_metrics_inflight_depth_is_distinct_stat():
     """Regression: the concurrent engine's pipeline depth used to be
     recorded as ``queue_depth``, silently mixing units with the

@@ -1,0 +1,176 @@
+"""Differential pins for the *pipelined* provider sink.
+
+PR 9's tentpole un-serializes the priority-provider sink: with
+``concurrency="threads"`` and an active provider, ``run()`` streams the
+tail through :meth:`RecMGManager._serve_stream` and splits each block's
+caching bits per shard onto the pinned workers
+(:meth:`RecMGManager._submit_sink`) instead of taking a per-block
+barrier.  The contract is **bit-identity**: per-shard FIFO («serve
+block k → apply block k's bits → serve block k+1» on every shard) plus
+submit-time bits (provider calls depend only on keys + provider state,
+never buffer state) mean the pipelined form must reproduce the barrier
+form — and the serial shard loop — decision for decision.
+
+Three axes are swept:
+
+* **backend** — ``"fast"`` (exact) and ``"clock"`` (approximate, the
+  serving choice); identity must hold per backend;
+* **workers** — 1/2/4 workers over 4 shards (shards time-share workers
+  but keep per-shard FIFO);
+* **mode** — ``"sync"`` (deterministic natively) and ``"async"`` made
+  deterministic by flushing the refresh worker after every observe, so
+  the bit table at ``bits_for`` time is a pure function of the observe
+  history (identical across engine forms).
+
+The barrier form is reached through the ``_pipeline_sink = False``
+escape hatch; a separate test proves the hatch works (no pipeline
+metrics recorded) and that the default path really pipelines
+(``inflight_depth_max >= 2`` with a provider active — the acceptance
+criterion of the un-serialization).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.caching_model import CachingModel
+from repro.core.config import RecMGConfig
+from repro.core.features import FeatureEncoder
+from repro.core.labeling import build_labels, caching_targets
+from repro.core.manager import RecMGManager
+from repro.core.training import train_caching_model
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+NUM_SHARDS = 4
+#: Small streaming block (x4 shards = 1024-access segments) so the
+#: ~8.4k-access tail spans enough blocks to fill the 8-deep pipeline.
+SERVE_BLOCK = 256
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return RecMGConfig(hidden=16, hash_buckets=256, caching_epochs=1,
+                       max_train_chunks=200, buffer_impl="clock")
+
+
+@pytest.fixture(scope="module")
+def world(small_config):
+    """(serve_tail, encoder, capacity, trained caching model)."""
+    trace = generate_trace(SyntheticTraceConfig(
+        num_tables=4, rows_per_table=512, num_accesses=12_000, seed=5))
+    head, tail = trace.split(0.3)
+    encoder = FeatureEncoder(small_config).fit(head)
+    capacity = max(1, int(encoder.vocab_size * 0.2))
+    labels = build_labels(head, capacity, small_config, encoder)
+    chunks = encoder.encode_chunks(head)
+    model = CachingModel(small_config, encoder.num_tables)
+    train_caching_model(model, chunks, caching_targets(chunks, labels),
+                        small_config)
+    return tail, encoder, capacity, model
+
+
+def _flush_after_observe(manager):
+    """Make an async provider deterministic: land every refresh before
+    the next provider call, so ``bits_for`` reads a table that is a
+    pure function of the observe history."""
+    provider = manager.priority_provider
+    original = provider.observe
+
+    def observe_then_flush(keys):
+        original(keys)
+        provider.flush()
+
+    provider.observe = observe_then_flush
+
+
+def _run(world, *, mode, buffer_impl, concurrency, num_workers=None,
+         pipeline=True, deterministic_async=False):
+    tail, encoder, capacity, model = world
+    config = RecMGConfig(hidden=16, hash_buckets=256,
+                         buffer_impl=buffer_impl, num_shards=NUM_SHARDS,
+                         concurrency=concurrency, num_workers=num_workers)
+    manager = RecMGManager(capacity, encoder, config,
+                           caching_model=model, priority_mode=mode)
+    manager._SERVE_BLOCK = SERVE_BLOCK
+    if not pipeline:
+        manager._pipeline_sink = False
+    if deterministic_async:
+        _flush_after_observe(manager)
+    stats = manager.run(tail, fast_serve=True, record_decisions=True)
+    decisions = manager.last_decisions.copy()
+    residents = sorted(manager.buffer.keys())
+    inflight_max = manager.serving_metrics.inflight_depth_max
+    inflight_samples = manager.serving_metrics.inflight_depth_samples
+    manager.close()
+    counters = (stats.breakdown.cache_hits, stats.breakdown.prefetch_hits,
+                stats.breakdown.on_demand, stats.evictions)
+    return counters, decisions, residents, inflight_max, inflight_samples
+
+
+# ----------------------------------------------------------------------
+# Tentpole pin: pipelined == barrier == serial, per backend, any
+# worker count, under the sync provider.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("buffer_impl", ["fast", "clock"])
+def test_pipelined_sink_equals_barrier_and_serial_sync(world, buffer_impl):
+    serial = _run(world, mode="sync", buffer_impl=buffer_impl,
+                  concurrency="serial")
+    for num_workers in (1, 2, 4):
+        barrier = _run(world, mode="sync", buffer_impl=buffer_impl,
+                       concurrency="threads", num_workers=num_workers,
+                       pipeline=False)
+        pipelined = _run(world, mode="sync", buffer_impl=buffer_impl,
+                         concurrency="threads", num_workers=num_workers)
+        for label, got in (("barrier", barrier), ("pipelined", pipelined)):
+            assert got[0] == serial[0], (buffer_impl, num_workers, label)
+            np.testing.assert_array_equal(
+                got[1], serial[1],
+                err_msg=f"{buffer_impl}/{num_workers}/{label}")
+            assert got[2] == serial[2], (buffer_impl, num_workers, label)
+        # The pipelined run really pipelined: blocks were dispatched
+        # ahead of the gather even with the provider sink active.
+        assert pipelined[3] >= 2, (buffer_impl, num_workers)
+
+
+# ----------------------------------------------------------------------
+# Same identity under the async provider, made deterministic by
+# flushing the refresh worker after every observe.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("num_workers", [1, 2])
+def test_pipelined_sink_equals_barrier_async_deterministic(world,
+                                                           num_workers):
+    barrier = _run(world, mode="async", buffer_impl="clock",
+                   concurrency="threads", num_workers=num_workers,
+                   pipeline=False, deterministic_async=True)
+    pipelined = _run(world, mode="async", buffer_impl="clock",
+                     concurrency="threads", num_workers=num_workers,
+                     deterministic_async=True)
+    assert pipelined[0] == barrier[0]
+    np.testing.assert_array_equal(pipelined[1], barrier[1])
+    assert pipelined[2] == barrier[2]
+    assert pipelined[3] >= 2
+
+
+# ----------------------------------------------------------------------
+# The acceptance pin: priority_mode="async" + concurrency="threads"
+# takes the pipelined stream path (the bug this PR fixes was the
+# provider forcing every block onto the barrier path).
+# ----------------------------------------------------------------------
+def test_async_provider_rides_the_pipelined_stream(world):
+    counters, decisions, _, inflight_max, inflight_samples = _run(
+        world, mode="async", buffer_impl="clock",
+        concurrency="threads", num_workers=2)
+    tail = world[0]
+    assert len(decisions) == len(tail)
+    assert counters[0] > 0  # served something from the buffer
+    assert inflight_samples > 0  # stream path engaged (records depth)
+    assert inflight_max >= 2  # and actually kept blocks in flight
+
+
+def test_pipeline_sink_hatch_forces_barrier(world):
+    """``_pipeline_sink = False`` must fall back to the per-block
+    barrier loop (no stream-path metrics) — the escape hatch the
+    differential and the bench lean on."""
+    *_, inflight_samples = _run(world, mode="sync", buffer_impl="clock",
+                                concurrency="threads", num_workers=2,
+                                pipeline=False)
+    assert inflight_samples == 0
