@@ -21,6 +21,14 @@ the stream itself and swaps it in atomically, all off the critical
 path.  The final report then adds the async provider's staleness and
 inference-latency lines next to the serving percentiles.
 
+With ``--rebalance N`` the static capacity split becomes elastic: the
+manager tracks per-shard traffic through an EWMA and, every ``N``
+served accesses, migrates buffer capacity (and the resident keys) to
+the shards actually absorbing the load — the multi-tenant stream
+time-shares the id space in phases, so the hot band moves and the
+daemon's report grows a rebalance line (count, migrated keys, and the
+serving pause each migration cost).
+
 Defaults drive ~2M keys (~64k requests).  Everything is a ``main()``
 keyword so the smoke test (``tests/test_examples.py``) can run the
 same daemon on a tiny trace with a small pool in well under a second.
@@ -56,7 +64,9 @@ def main(total_accesses: int = 2_000_000,
          report_every: int = 100,
          model: bool = False,
          train_fraction: float = 0.25,
-         online_retrain: bool = False) -> None:
+         online_retrain: bool = False,
+         rebalance_interval: int = 0,
+         rebalance_threshold: float = 0.05) -> None:
     trace_config = SyntheticTraceConfig(
         num_tables=8, rows_per_table=4096, num_accesses=total_accesses,
         num_clusters=32, cluster_block=8, seed=20260807)
@@ -67,7 +77,9 @@ def main(total_accesses: int = 2_000_000,
         concurrency="threads", num_workers=num_workers,
         priority_mode="async" if model else "none",
         online_retrain_interval=(max(max_batch_keys * 8, 4096)
-                                 if model and online_retrain else 0))
+                                 if model and online_retrain else 0),
+        rebalance_interval=rebalance_interval,
+        rebalance_threshold=rebalance_threshold)
     caching_model = None
     if model:
         # Train on the head of the stream, serve the remainder — the
@@ -160,6 +172,14 @@ def main(total_accesses: int = 2_000_000,
     if "shard_utilization" in summary:
         util = "  ".join(f"{u:.0%}" for u in summary["shard_utilization"])
         print(f"shard utilization: {util}")
+    if rebalance_interval:
+        caps = "/".join(str(c) for c in manager.buffer.shard_capacities)
+        print(f"elastic rebalancing: {summary['rebalance_count']} "
+              f"rebalances, {summary['rebalance_migrated_keys']:,} keys "
+              f"migrated, pause "
+              f"{summary['rebalance_pause_ms_total']:.2f} ms total "
+              f"(max {summary['rebalance_pause_ms_max']:.2f} ms); "
+              f"final split {caps}")
     if model:
         # Read after close(): the refresh worker drains its queue on
         # shutdown, so the pre-close summary can undercount inference.
@@ -193,7 +213,12 @@ if __name__ == "__main__":
     parser.add_argument("--retrain", action="store_true",
                         help="with --model: fine-tune the model online "
                              "from the live stream")
+    parser.add_argument("--rebalance", type=int, default=0,
+                        metavar="N",
+                        help="served accesses between elastic rebalance "
+                             "checks (0 = keep the static capacity split)")
     args = parser.parse_args()
     main(total_accesses=args.accesses, num_shards=args.shards,
          num_workers=args.workers, buffer_impl=args.buffer,
-         model=args.model, online_retrain=args.retrain)
+         model=args.model, online_retrain=args.retrain,
+         rebalance_interval=args.rebalance)

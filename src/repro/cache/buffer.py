@@ -129,6 +129,18 @@ shard) instead of uniformly, for skew-matched hot-shard serving.  See
 :mod:`repro.cache.sharding` for the full routing contract; a 1-shard
 wrapper is differential-tested identical to the bare backend in
 ``tests/test_sharding.py``.
+
+Each backend also speaks a two-method **state migration** protocol —
+``export_state()`` / ``import_state(...)`` — used by
+``ShardedBuffer.rebalance`` to move resident entries between shard
+backends when the capacity split (and, under the contiguous router,
+the partition itself) changes at runtime.  The exact backends carry
+``(key, effective_priority, seqno)`` triples (future victim choices
+depend only on the priorities and the *relative* seqno order, so
+re-ranked seqnos preserve eviction order); the clock backend carries
+``(key, priority)`` pairs in circular hand order (slot assignment on
+import preserves the sweep sequence).  See "Rebalancing" in
+:mod:`repro.cache.sharding` for the full migration contract.
 """
 
 from __future__ import annotations
@@ -435,6 +447,45 @@ class PriorityBuffer:
                 self.set_priority(key, priority)
             else:
                 self.insert(key, priority)
+
+    def export_state(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All resident entries as ``(keys, priority, seqno)`` arrays
+        (order unspecified) — the export half of the shard-rebalancing
+        migration protocol (see "Rebalancing" in
+        :mod:`repro.cache.sharding`)."""
+        count = len(self._priority)
+        keys = np.fromiter(self._priority, dtype=np.int64, count=count)
+        prio = np.fromiter((self._priority[k] for k in keys.tolist()),
+                           dtype=np.int64, count=count)
+        seq = np.fromiter((self._seqno[k] for k in keys.tolist()),
+                          dtype=np.int64, count=count)
+        return keys, prio, seq
+
+    def import_state(self, keys: Sequence[int], priorities: Sequence[int],
+                     seqnos: Sequence[int]) -> None:
+        """Load exported entries into an *empty* buffer verbatim.
+
+        Keys must be unique and fit the capacity; seqnos must be unique
+        per entry.  Future victim choices depend only on the priorities
+        and the relative seqno order, so a caller may re-rank seqnos
+        (e.g. to ``0..n-1``) without changing eviction behavior.
+        """
+        if len(self._priority):
+            raise RuntimeError("import_state requires an empty buffer")
+        keys_arr = np.asarray(keys, dtype=np.int64)
+        prio_arr = np.asarray(priorities, dtype=np.int64)
+        seq_arr = np.asarray(seqnos, dtype=np.int64)
+        if keys_arr.size > self.capacity:
+            raise RuntimeError("buffer full; evict first")
+        for key, p, s in zip(keys_arr.tolist(), prio_arr.tolist(),
+                             seq_arr.tolist()):
+            self._priority[key] = p
+            self._seqno[key] = s
+            if self.residency is not None:
+                self.residency.add(key)
+        if keys_arr.size:
+            self._next_seq = max(self._next_seq, int(seq_arr.max()) + 1)
+            self._min_seq = min(self._min_seq, int(seq_arr.min()))
 
     def evict_one(self) -> int:
         """Algorithm 2: evict min-(priority, seqno) entry, age the rest.
@@ -800,6 +851,62 @@ class FastPriorityBuffer:
             expiry = np.concatenate((expiry, oexp))
             seq = np.concatenate((seq, oseq))
         return ids, expiry, seq
+
+    def export_state(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All resident entries as ``(keys, effective_priority, seqno)``
+        arrays (order unspecified) — the export half of the
+        shard-rebalancing migration protocol (see "Rebalancing" in
+        :mod:`repro.cache.sharding`).  Priorities come out *effective*
+        (aging already applied, floored at 0), so an import into a
+        fresh backend reproduces the same future victim sequence."""
+        if self.residency is not None:
+            ids, expiry, seq = self._gather_entries()
+            return ids, np.maximum(0, expiry - self._age), seq
+        count = len(self._entries)
+        keys = np.fromiter(self._entries, dtype=np.int64, count=count)
+        expiry = np.fromiter((self._entries[k][0] for k in keys.tolist()),
+                             dtype=np.int64, count=count)
+        seq = np.fromiter((self._entries[k][1] for k in keys.tolist()),
+                          dtype=np.int64, count=count)
+        return keys, np.maximum(0, expiry - self._age), seq
+
+    def import_state(self, keys: Sequence[int], priorities: Sequence[int],
+                     seqnos: Sequence[int]) -> None:
+        """Load exported entries into an *empty* buffer.
+
+        Keys must be unique and fit the capacity; seqnos must be unique
+        per entry.  Future victim choices depend only on the priorities
+        and the relative seqno order, so a caller may re-rank seqnos
+        (e.g. to ``0..n-1``) without changing eviction behavior.
+        """
+        if len(self):
+            raise RuntimeError("import_state requires an empty buffer")
+        keys_arr = np.asarray(keys, dtype=np.int64)
+        prio_arr = np.asarray(priorities, dtype=np.int64)
+        seq_arr = np.asarray(seqnos, dtype=np.int64)
+        if keys_arr.size > self.capacity:
+            raise RuntimeError("buffer full; evict first")
+        if keys_arr.size == 0:
+            return
+        if self.residency is not None:
+            in_range = (keys_arr >= 0) & (keys_arr < self._key_space)
+            dense = keys_arr[in_range]
+            self._expiry_of[dense] = self._age + prio_arr[in_range]
+            self._seq_of[dense] = seq_arr[in_range]
+            # The full array: the index registers spillover ids in its
+            # overflow set (membership would miss them otherwise).
+            self.residency.add_batch(keys_arr)
+            for key, p, s in zip(keys_arr[~in_range].tolist(),
+                                 prio_arr[~in_range].tolist(),
+                                 seq_arr[~in_range].tolist()):
+                self._over[key] = (self._age + p, s)
+            self._size = int(keys_arr.size)
+        else:
+            for key, p, s in zip(keys_arr.tolist(), prio_arr.tolist(),
+                                 seq_arr.tolist()):
+                self._store(key, p, s)
+        self._next_seq = max(self._next_seq, int(seq_arr.max()) + 1)
+        self._min_seq = min(self._min_seq, int(seq_arr.min()))
 
     @staticmethod
     def _choose_zero_victims(expiry: np.ndarray, seq: np.ndarray,
@@ -1498,6 +1605,34 @@ class ClockBuffer:
             touched = slots
         self._prio[touched] = max(0, int(priority))
         self._valid[touched] = True
+
+    def export_state(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Resident ``(keys, priority)`` arrays in circular hand order
+        (starting at the slot the sweep would examine next) — the
+        export half of the shard-rebalancing migration protocol (see
+        "Rebalancing" in :mod:`repro.cache.sharding`).  An import in
+        this order into a fresh backend reproduces the same sweep
+        sequence."""
+        slots = np.flatnonzero(self._valid)
+        split = int(np.searchsorted(slots, self._hand))
+        ordered = np.concatenate((slots[split:], slots[:split]))
+        return self._key[ordered].copy(), self._prio[ordered].copy()
+
+    def import_state(self, keys: Sequence[int],
+                     priorities: Sequence[int]) -> None:
+        """Load exported ``(key, priority)`` pairs into an *empty*
+        buffer, preserving order: entry ``i`` takes slot ``i`` and the
+        hand starts at 0, so the sweep visits the entries in the order
+        given (hand-order tie-breaking is part of the migration
+        contract).  Keys must be unique and fit the capacity."""
+        if len(self):
+            raise RuntimeError("import_state requires an empty buffer")
+        keys_arr = np.asarray(keys, dtype=np.int64)
+        prio_arr = np.asarray(priorities, dtype=np.int64)
+        if keys_arr.size > self.capacity:
+            raise RuntimeError("buffer full; evict first")
+        for key, p in zip(keys_arr.tolist(), prio_arr.tolist()):
+            self.insert(key, p)
 
     def evict_one(self) -> int:
         if not len(self):

@@ -95,6 +95,43 @@ key order is preserved, and ops on distinct shards commute (disjoint
 key sets), so the batch forms keep the single-shard semantics per
 shard.
 
+**Rebalancing (live re-splitting).**  The split chosen at construction
+is not forever: :meth:`ShardedBuffer.rebalance` re-splits the capacity
+(largest-remainder over new weights) and — contiguous router only —
+re-draws the owned ranges by the same apportionment over ``key_space``,
+migrating resident keys between shards without a global rebuild.  The
+migration contract, executed by :class:`ShardRebalancer`:
+
+* residents are **exported** from each shard's compressed universe
+  under the old partition (backend ``export_state``: exact backends
+  carry ``(key, effective_priority, seqno)``, the clock backend
+  ``(key, priority)`` in hand order), decompressed to global ids,
+  **re-routed** under the new partition and **re-imported** into the
+  rebuilt destination backends — priorities carry over exactly, so no
+  key gains or loses standing by moving;
+* relative eviction order *within* a source shard is preserved
+  (seqnos re-rank monotonically; hand order re-packs in sweep order);
+  *across* source shards merged into one destination the order is the
+  deterministic (source shard asc, per-source order) concatenation —
+  the **eviction-order caveat across migration**: there is no global
+  recency clock to interleave two shards' histories by;
+* a destination whose new capacity undercuts its assembled population
+  (the donor-shrink path) evicts the overflow through a real
+  ``evict_batch`` on the merged population, so the victims are exactly
+  the backend's own choices, and reports them to the caller;
+* a rebalance whose target split equals the current state is a
+  **no-op** (bit-identical to not calling it), and spillover ids never
+  migrate (``key mod N`` routing is partition-invariant);
+* rebalancing is **not safe against in-flight serving** — the
+  manager's online driver runs it at block boundaries only, and under
+  ``concurrency="threads"`` drains and barriers the shard-pinned
+  workers first (see :mod:`repro.serving.workers`).
+
+All four migration invariants — partition disjointness, residency-union
+preservation, occupancy ≤ new capacity, compressed-universe round-trip
+— are fuzz-pinned across 200 random op/rebalance interleavings in
+``tests/test_rebalancing.py``.
+
 A 1-shard :class:`ShardedBuffer` is decision-for-decision identical to
 the bare backend (200-seed differential in ``tests/test_sharding.py``;
 both bijections degenerate to the identity at N=1);
@@ -122,27 +159,80 @@ class ContiguousRangeRouter:
     Compression (see module docstring) shifts a shard's owned range
     down to zero: ``compress(id) = id - range_lo`` — an order-preserving
     bijection onto ``[0, hi - lo)``.
+
+    The partition is *mutable*: :meth:`set_bounds` re-draws the owned
+    ranges (the repartition half of ``ShardedBuffer.rebalance``; see
+    "Rebalancing" in the module docstring).  Construction always uses
+    the default ceil split — weights never change the partition at
+    build time — and in-universe routing stays a pure arithmetic
+    expression while the bounds equal that default, falling back to a
+    vectorized ``searchsorted`` over the boundary array only after a
+    re-draw.  Out-of-universe keys route by ``key mod N`` under either
+    partition, so spillover routing is rebalance-invariant.
     """
 
     name = "contiguous"
 
+    #: ``set_bounds`` can re-draw this router's partition (the modulo
+    #: partition is fixed by arithmetic, so its rebalance is
+    #: capacity-only).
+    supports_repartition = True
+
     def __init__(self, num_shards: int, key_space: int) -> None:
         self.num_shards = int(num_shards)
         self.key_space = int(key_space)
-        self._range_lo = np.array(
-            [self.range_of(s)[0] for s in range(self.num_shards)],
-            dtype=np.int64)
+        self._bounds = self.default_bounds(self.num_shards, self.key_space)
+        self._uniform = True
+        self._range_lo = self._bounds[:-1].copy()
+
+    @staticmethod
+    def default_bounds(num_shards: int, key_space: int) -> np.ndarray:
+        """Boundary array ``[b_0..b_N]`` of the construction-time ceil
+        split: shard ``s`` owns ``[ceil(s*K/N), ceil((s+1)*K/N))``."""
+        return np.array([-((-s * key_space) // num_shards)
+                         for s in range(num_shards + 1)], dtype=np.int64)
+
+    def set_bounds(self, bounds: Sequence[int]) -> None:
+        """Re-draw the owned ranges: shard ``s`` now owns
+        ``[bounds[s], bounds[s+1])``.
+
+        Only ``ShardedBuffer.rebalance`` may call this, *after*
+        exporting every shard's residents under the old partition —
+        the compression bijections change with the ranges, so any
+        state still stored under the old ranges becomes unreadable.
+        """
+        arr = np.asarray(bounds, dtype=np.int64)
+        if arr.shape != (self.num_shards + 1,):
+            raise ValueError(
+                f"bounds must have {self.num_shards + 1} entries "
+                f"(got {arr.size})")
+        if int(arr[0]) != 0 or int(arr[-1]) != self.key_space:
+            raise ValueError("bounds must span [0, key_space]")
+        if (np.diff(arr) < 0).any():
+            raise ValueError("bounds must be nondecreasing")
+        self._bounds = arr.copy()
+        self._uniform = bool(np.array_equal(
+            self._bounds, self.default_bounds(self.num_shards,
+                                              self.key_space)))
+        self._range_lo = self._bounds[:-1].copy()
 
     def route(self, key: int) -> int:
         key = int(key)
         if 0 <= key < self.key_space:
-            return key * self.num_shards // self.key_space
+            if self._uniform:
+                return key * self.num_shards // self.key_space
+            return int(np.searchsorted(self._bounds, key,
+                                       side="right")) - 1
         return key % self.num_shards
 
     def route_batch(self, keys: Sequence[int]) -> np.ndarray:
         arr = np.asarray(keys, dtype=np.int64)
-        shards = np.clip(arr, 0, self.key_space - 1) \
-            * self.num_shards // self.key_space
+        clipped = np.clip(arr, 0, self.key_space - 1)
+        if self._uniform:
+            shards = clipped * self.num_shards // self.key_space
+        else:
+            shards = (np.searchsorted(self._bounds, clipped,
+                                      side="right") - 1).astype(np.int64)
         out = (arr < 0) | (arr >= self.key_space)
         if out.any():
             shards[out] = np.mod(arr[out], self.num_shards)
@@ -150,10 +240,7 @@ class ContiguousRangeRouter:
 
     def range_of(self, shard: int) -> Tuple[int, int]:
         """In-universe id range ``[lo, hi)`` owned by ``shard``."""
-        n, k = self.num_shards, self.key_space
-        lo = -((-shard * k) // n)        # ceil(shard * k / n)
-        hi = -((-(shard + 1) * k) // n)
-        return lo, hi
+        return int(self._bounds[shard]), int(self._bounds[shard + 1])
 
     # -- compression (exact bijection onto the local universe) ---------
     def shard_key_space(self, shard: int) -> int:
@@ -227,6 +314,10 @@ class ModuloRouter:
     + s``)."""
 
     name = "modulo"
+
+    #: ``key % N`` is fixed by arithmetic — a rebalance under this
+    #: router re-splits capacity only and never migrates keys.
+    supports_repartition = False
 
     def __init__(self, num_shards: int, key_space: int) -> None:
         self.num_shards = int(num_shards)
@@ -398,12 +489,38 @@ class CompressedShardView:
         self.backend = backend
         self.router = router
         self.shard_index = int(shard_index)
-        self.capacity = backend.capacity
         self.approximate = bool(getattr(backend, "approximate", False))
         self.residency = getattr(backend, "residency", None)
         self._c_memo: List[Tuple[object, np.ndarray]] = []
         if hasattr(backend, "serve_segment"):
             self.serve_segment = self._serve_segment
+
+    @property
+    def capacity(self) -> int:
+        """The backend's capacity, read through — never cached.
+
+        A snapshot taken at construction went stale the moment a
+        rebalance shrank the shard, which let ``put_batch``'s
+        raise-before-mutate pre-validation over-admit against the old
+        (larger) capacity in the donor-shrink path (regression-tested
+        in ``tests/test_rebalancing.py``).
+        """
+        return self.backend.capacity
+
+    def rebind(self, backend) -> None:
+        """Swap in a rebuilt backend (``ShardedBuffer.rebalance`` only).
+
+        The view object itself is stable — engines may hold references
+        across a rebalance — so everything derived from the backend is
+        refreshed here: the residency handle and the compression memo
+        (the bijection changes with the partition, so memoized
+        compressions are invalid).  The backend *type* never changes
+        across a rebalance, so the ``serve_segment`` feature surface
+        is already correct.
+        """
+        self.backend = backend
+        self.residency = getattr(backend, "residency", None)
+        del self._c_memo[:]
 
     # -- translation helpers -------------------------------------------
     def _c(self, keys) -> np.ndarray:
@@ -542,6 +659,158 @@ def _allocate_evictions(lengths: np.ndarray, count: int) -> np.ndarray:
             take[order[:k]] = base
             return take
     raise RuntimeError("eviction allocation failed")  # pragma: no cover
+
+
+class ShardRebalancer:
+    """Plans and executes one :meth:`ShardedBuffer.rebalance`.
+
+    The migration runs in four steps (see "Rebalancing" in the module
+    docstring for the contract):
+
+    1. **Plan** — the target capacity split (largest-remainder over the
+       new weights) and, when the router supports repartitioning, the
+       target range boundaries (the same largest-remainder apportionment
+       over ``key_space``; ``weights=None`` restores the construction
+       defaults).  If neither differs from the current state the
+       rebalance is a no-op and returns without touching any backend.
+    2. **Export** — every shard's residents leave through the backend
+       migration protocol (``export_state``) and are decompressed to
+       global ids under the *old* partition.
+    3. **Re-route** — the partition is re-drawn, every exported key is
+       routed under the new bounds, and each destination's population
+       is assembled: exact backends' entries ordered by (source shard
+       asc, seqno asc), the clock backend's in (source shard asc, hand
+       order) — relative eviction order *within* a source shard is
+       preserved exactly; *across* source shards it is this
+       deterministic merge (the eviction-order caveat).
+    4. **Import / shrink** — each shard's backend is rebuilt over its
+       new compressed universe and capacity.  A destination whose
+       assembled population overflows its new capacity (the donor-shrink
+       path) first imports into a population-sized scratch backend and
+       runs a real ``evict_batch`` — aging included, so the overflow
+       victims are exactly the ones the backend itself would choose —
+       then imports the survivors.  Victims are reported in the stats
+       so manager-level eviction accounting stays consistent.
+    """
+
+    def __init__(self, buffer: "ShardedBuffer") -> None:
+        self.buffer = buffer
+
+    def plan(self, shard_weights: Optional[Sequence[float]]
+             ) -> Tuple[List[int], Optional[np.ndarray]]:
+        """Target ``(shard_capacities, range_bounds)`` for the given
+        weights; ``range_bounds`` is None when the partition cannot
+        change (modulo router, or a universe smaller than the shard
+        count)."""
+        buf = self.buffer
+        new_caps = split_capacity(buf.capacity, buf.num_shards,
+                                  shard_weights)
+        new_bounds: Optional[np.ndarray] = None
+        if (buf.router.supports_repartition
+                and buf.key_space >= buf.num_shards):
+            if shard_weights is None:
+                new_bounds = ContiguousRangeRouter.default_bounds(
+                    buf.num_shards, buf.key_space)
+            else:
+                sizes = split_capacity(buf.key_space, buf.num_shards,
+                                       shard_weights)
+                new_bounds = np.concatenate(
+                    ([0], np.cumsum(sizes))).astype(np.int64)
+        return new_caps, new_bounds
+
+    def apply(self, shard_weights: Optional[Sequence[float]]) -> Dict:
+        buf = self.buffer
+        router = buf.router
+        new_caps, new_bounds = self.plan(shard_weights)
+        bounds_unchanged = (new_bounds is None
+                            or np.array_equal(new_bounds, router._bounds))
+        if new_caps == buf.shard_capacities and bounds_unchanged:
+            # No-op: the target state is the current state.  Returning
+            # here (before any export) is what makes a same-weights
+            # rebalance bit-identical to never calling it.
+            return {"changed": False, "migrated_keys": 0, "evicted": [],
+                    "shard_capacities": list(buf.shard_capacities)}
+        exact = not buf.approximate
+        # Step 2: export under the old partition (ids leave global).
+        exports = []
+        for view in buf.shards:
+            if exact:
+                local_keys, prio, seq = view.backend.export_state()
+                exports.append((view._d(local_keys), prio, seq))
+            else:
+                local_keys, prio = view.backend.export_state()
+                exports.append((view._d(local_keys), prio, None))
+        # Step 3: re-draw the partition, re-route, regroup.
+        if new_bounds is not None and not bounds_unchanged:
+            router.set_bounds(new_bounds)
+        empty = np.empty(0, dtype=np.int64)
+        grouped_keys: List[List[np.ndarray]] = [[] for _ in buf.shards]
+        grouped_prio: List[List[np.ndarray]] = [[] for _ in buf.shards]
+        migrated = 0
+        for source, (keys, prio, seq) in enumerate(exports):
+            if keys.size == 0:
+                continue
+            dest = router.route_batch(keys)
+            migrated += int(np.count_nonzero(dest != source))
+            for d in np.unique(dest).tolist():
+                mask = dest == d
+                sub_keys, sub_prio = keys[mask], prio[mask]
+                if exact:
+                    order = np.argsort(seq[mask], kind="stable")
+                    sub_keys, sub_prio = sub_keys[order], sub_prio[order]
+                grouped_keys[d].append(sub_keys)
+                grouped_prio[d].append(sub_prio)
+        # Step 4: rebuild every shard over its new universe/capacity.
+        evicted: List[int] = []
+        for d, view in enumerate(buf.shards):
+            keys = (np.concatenate(grouped_keys[d])
+                    if grouped_keys[d] else empty)
+            prio = (np.concatenate(grouped_prio[d])
+                    if grouped_prio[d] else empty)
+            local = router.compress(d, keys)
+            cap = new_caps[d]
+            if keys.size > cap:
+                # Donor shrink: a real evict_batch on the assembled
+                # population (scratch backend sized to hold it all)
+                # picks the overflow victims the backend itself would.
+                scratch = make_buffer(
+                    buf.impl, int(keys.size),
+                    key_space=router.shard_key_space(d))
+                self._import(scratch, local, prio, exact)
+                victims = np.asarray(
+                    scratch.evict_batch(int(keys.size) - cap),
+                    dtype=np.int64)
+                evicted.extend(
+                    router.decompress(d, victims).tolist())
+                if exact:
+                    local, prio, seq = scratch.export_state()
+                    order = np.argsort(seq, kind="stable")
+                    local, prio = local[order], prio[order]
+                else:
+                    local, prio = scratch.export_state()
+            backend = make_buffer(buf.impl, cap,
+                                  key_space=router.shard_key_space(d))
+            assert backend.key_space == router.shard_key_space(d)
+            self._import(backend, local, prio, exact)
+            view.rebind(backend)
+        buf.shard_capacities = list(new_caps)
+        buf.shard_weights = (None if shard_weights is None
+                             else tuple(float(w) for w in shard_weights))
+        return {"changed": True, "migrated_keys": migrated,
+                "evicted": evicted, "shard_capacities": list(new_caps)}
+
+    @staticmethod
+    def _import(backend, local_keys: np.ndarray, prio: np.ndarray,
+                exact: bool) -> None:
+        """Load an assembled population, re-ranking exact seqnos to
+        ``0..n-1`` (relative order — all that eviction behavior depends
+        on — is already encoded in the array order)."""
+        if exact:
+            backend.import_state(
+                local_keys, prio,
+                np.arange(local_keys.size, dtype=np.int64))
+        else:
+            backend.import_state(local_keys, prio)
 
 
 class ShardedBuffer:
@@ -779,3 +1048,45 @@ class ShardedBuffer:
             if share:
                 victims.extend(shard.evict_batch(share))
         return victims
+
+    # -- rebalancing ---------------------------------------------------
+    def rebalance(self, shard_weights: Optional[Sequence[float]] = None
+                  ) -> Dict:
+        """Re-split capacity (and, under the contiguous router, the
+        partition) to ``shard_weights``, migrating residents live.
+
+        See "Rebalancing" in the module docstring and
+        :class:`ShardRebalancer` for the migration contract.  In brief:
+
+        * ``shard_weights=None`` targets the construction defaults
+          (uniform capacity split, ceil-split ranges); weights target
+          the largest-remainder apportionment of both capacity and —
+          contiguous router only — the key range.
+        * A rebalance whose target equals the current state is a
+          **no-op**: it returns before touching any backend, so calling
+          it is bit-identical to not calling it.
+        * A real rebalance rebuilds *every* shard into canonical
+          packed state: residents keep their exact effective
+          priorities, relative eviction order within each source shard
+          is preserved, and populations merged from several source
+          shards are ordered (source shard asc, then per-source order)
+          — the **eviction-order caveat across migration**.  Serving
+          decisions afterwards match a fresh ``ShardedBuffer`` built
+          with the new weights (partition re-drawn) and pre-seeded
+          with the same residents in that canonical order (pinned in
+          ``tests/test_golden_backends.py``).
+        * Shards whose new capacity undercuts their assembled
+          population evict the overflow through their own backend's
+          eviction order; the victims come back in ``"evicted"`` so
+          callers can keep eviction accounting consistent.
+        * **Not thread-safe against in-flight serving.**  Under
+          ``concurrency="threads"`` the caller must drain and barrier
+          the shard-pinned workers first
+          (:meth:`repro.serving.workers.ShardWorkerPool.barrier`) —
+          the manager's online driver does exactly that.
+
+        Returns a stats dict: ``changed``, ``migrated_keys`` (keys
+        whose shard assignment changed), ``evicted`` (donor-shrink
+        victims, global ids), ``shard_capacities`` (the new split).
+        """
+        return ShardRebalancer(self).apply(shard_weights)

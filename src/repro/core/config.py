@@ -119,6 +119,18 @@ class RecMGConfig:
     online_retrain_window: int = 2048
     #: Fine-tune epochs per retrain cycle.
     online_retrain_epochs: int = 1
+    #: Elastic shard-rebalancing cadence in served accesses (0 = off;
+    #: requires ``num_shards > 1`` when on).  Every ``interval``
+    #: accesses the manager compares the per-shard traffic EWMAs it
+    #: accumulates at the gather against the current capacity split
+    #: and, past ``rebalance_threshold``, calls
+    #: :meth:`repro.cache.sharding.ShardedBuffer.rebalance` with the
+    #: EWMA weights — at a block boundary, after a full worker
+    #: drain/barrier under ``concurrency="threads"``.
+    rebalance_interval: int = 0
+    #: Imbalance trigger for the online rebalancer: rebalance only when
+    #: ``max_s |traffic_share_s - capacity_share_s|`` exceeds this.
+    rebalance_threshold: float = 0.1
 
     @property
     def eval_window(self) -> int:
@@ -197,3 +209,14 @@ class RecMGConfig:
                              "one input chunk")
         if self.online_retrain_epochs < 1:
             raise ValueError("online_retrain_epochs must be >= 1")
+        if self.rebalance_interval < 0:
+            raise ValueError("rebalance_interval must be >= 0 "
+                             "(0 disables online rebalancing)")
+        if self.rebalance_interval and self.num_shards < 2:
+            raise ValueError("rebalance_interval requires num_shards > 1 "
+                             "(there is nothing to rebalance on a "
+                             "single shard)")
+        if not (math.isfinite(self.rebalance_threshold)
+                and self.rebalance_threshold >= 0.0):
+            raise ValueError(
+                "rebalance_threshold must be finite and >= 0")

@@ -69,6 +69,25 @@ Per-batch wall latency, queue depth and per-shard utilization land in
 :meth:`RecMGManager.serve_batch` is the front door the admission
 queue/batcher stack (:mod:`repro.serving.admission`) drives.
 
+``rebalance_interval > 0`` (``config.rebalance_interval``) turns on
+**online elastic rebalancing**: the manager accumulates a per-shard
+traffic EWMA at the block gather (one route already scatters every
+block shard-wise, so the counts are free), and every ``interval``
+served accesses compares the traffic shares against the current
+capacity split.  When the worst shard's imbalance exceeds
+``rebalance_threshold`` it calls
+:meth:`repro.cache.sharding.ShardedBuffer.rebalance` with the EWMA
+weights — live key migration between the compressed shard universes,
+eviction state carried (see :mod:`repro.cache.sharding`).  The call
+always lands at a block boundary; under ``concurrency="threads"`` the
+manager first drains its pipeline and runs
+:meth:`repro.serving.workers.ShardWorkerPool.barrier`, so the
+migration never overlaps an in-flight per-shard job and the decision
+stream stays bit-identical to the serial engine rebalancing at the
+same block indices (pinned by ``tests/test_rebalancing.py``).
+Donor-shrink victims count as manager evictions; migrated-key counts
+and the serving pause land in :attr:`RecMGManager.serving_metrics`.
+
 Serving is backend-agnostic through the **bulk residency/priority
 protocol** (see :mod:`repro.cache.buffer`): every backend answers
 ``contains_batch(keys) -> bool[:]`` and accepts
@@ -146,6 +165,10 @@ class RecMGManager:
     #: engine pipelines a whole trace (bounds gather-buffer memory
     #: while keeping every shard worker fed across block boundaries).
     _MAX_INFLIGHT_BLOCKS = 8
+    #: EWMA smoothing factor for the per-shard traffic shares the
+    #: online rebalancer tracks (per gathered block/segment; higher =
+    #: reacts faster to a drifting hot band, lower = steadier split).
+    _REBALANCE_EWMA = 0.2
     #: Pipeline the streaming tail *through an active provider* (the
     #: per-shard sink).  True in production; differential tests and the
     #: pipelined-vs-barrier bench flip it per instance to reproduce the
@@ -164,7 +187,9 @@ class RecMGManager:
                  shard_weights=None,
                  concurrency: Optional[str] = None,
                  num_workers: Optional[int] = None,
-                 priority_mode: Optional[str] = None) -> None:
+                 priority_mode: Optional[str] = None,
+                 rebalance_interval: Optional[int] = None,
+                 rebalance_threshold: Optional[float] = None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -248,6 +273,26 @@ class RecMGManager:
             self.lift_guard = LiftGuard(
                 phase_blocks=config.priority_lift_guard,
                 margin=getattr(config, "priority_lift_margin", 0.0))
+        # Online elastic rebalancing (module docstring): traffic EWMAs
+        # accumulated at the gather, checked every ``interval`` served
+        # accesses, migration via ShardedBuffer.rebalance at a block
+        # boundary (after a pipeline drain + worker barrier under
+        # ``concurrency="threads"``).
+        self.rebalance_interval = (
+            rebalance_interval if rebalance_interval is not None
+            else getattr(config, "rebalance_interval", 0))
+        self.rebalance_threshold = (
+            rebalance_threshold if rebalance_threshold is not None
+            else getattr(config, "rebalance_threshold", 0.1))
+        if self.rebalance_interval and not isinstance(self.buffer,
+                                                      ShardedBuffer):
+            raise ValueError(
+                "rebalance_interval > 0 migrates keys between shards "
+                "and therefore requires num_shards > 1 (a "
+                f"ShardedBuffer); got num_shards={self.num_shards}")
+        self._shard_traffic = np.zeros(
+            getattr(self.buffer, "num_shards", 1), dtype=np.float64)
+        self._accesses_since_rebalance = 0
         self._prefetched: Set[int] = set()
         self.breakdown = AccessBreakdown()
         self.prefetches_issued = 0
@@ -772,12 +817,19 @@ class RecMGManager:
         miss_chunks: List[np.ndarray] = []
         pf_hits = 0
         evicted = 0
-        for _, shard, positions, sub in buffer.iter_shard_segments(segment):
+        counts = (np.zeros(buffer.num_shards, dtype=np.float64)
+                  if self.rebalance_interval else None)
+        for index, shard, positions, sub in buffer.iter_shard_segments(
+                segment):
             sub_miss, sub_pf, sub_ev = self._serve_subsegment(shard, sub)
             pf_hits += sub_pf
             evicted += sub_ev
             if sub_miss.size:
                 miss_chunks.append(positions[sub_miss])
+            if counts is not None:
+                counts[index] += positions.size
+        if counts is not None:
+            self._note_traffic(counts, int(segment.size))
         self.evictions += evicted
         first_miss_pos = (np.concatenate(miss_chunks) if miss_chunks
                           else np.zeros(0, dtype=np.int64))
@@ -788,14 +840,28 @@ class RecMGManager:
         """Route ``segment`` and dispatch one :meth:`_serve_subsegment`
         job per touched shard to the worker pool; returns the
         ``(positions, future)`` jobs **in shard order** — the order the
-        gather must consume them to reproduce the serial engine."""
+        gather must consume them to reproduce the serial engine.
+
+        The online rebalancer's traffic EWMA is noted here, on the
+        dispatcher thread in block order — the same per-shard counts
+        the serial gather sees at the same block boundary — so the
+        rebalance trigger fires at identical block indices under
+        ``concurrency="serial"`` and ``"threads"`` regardless of how
+        far the pipeline has gathered."""
         pool = self._ensure_pool()
-        return [
-            (positions, pool.submit(index, self._serve_subsegment,
-                                    shard, sub))
-            for index, shard, positions, sub
-            in self.buffer.iter_shard_segments(segment)
-        ]
+        jobs = []
+        counts = (np.zeros(self.buffer.num_shards, dtype=np.float64)
+                  if self.rebalance_interval else None)
+        for index, shard, positions, sub in \
+                self.buffer.iter_shard_segments(segment):
+            jobs.append((positions,
+                         pool.submit(index, self._serve_subsegment,
+                                     shard, sub)))
+            if counts is not None:
+                counts[index] += positions.size
+        if counts is not None:
+            self._note_traffic(counts, int(segment.size))
+        return jobs
 
     def _gather_block(self, segment: np.ndarray, jobs: List[Tuple]) -> None:
         """Join a dispatched block's shard jobs in shard order and run
@@ -816,6 +882,67 @@ class RecMGManager:
                           else np.zeros(0, dtype=np.int64))
         self._account_segment(segment, first_miss_pos, segment,
                               pf_hits=pf_hits)
+
+    def _note_traffic(self, counts: np.ndarray, accesses: int) -> None:
+        """Fold one served block's per-shard access counts into the
+        traffic EWMA and advance the rebalance-cadence counter.  Called
+        once per block, from the serial gather
+        (:meth:`_serve_demand_sharded`) or the concurrent dispatcher
+        (:meth:`_submit_block`) — both in block order, so the EWMA
+        state at any block boundary is identical across engines."""
+        traffic = self._shard_traffic
+        traffic *= 1.0 - self._REBALANCE_EWMA
+        traffic += self._REBALANCE_EWMA * counts
+        self._accesses_since_rebalance += accesses
+
+    def _maybe_rebalance(self, drain=None) -> None:
+        """The online rebalance driver — called at block boundaries by
+        :meth:`run`, :meth:`_serve_stream` and :meth:`serve_batch`.
+
+        Every :attr:`rebalance_interval` served accesses, compare the
+        traffic-EWMA shares against the current capacity split; when
+        the worst shard's absolute imbalance exceeds
+        :attr:`rebalance_threshold`, rebalance the buffer onto the
+        traffic weights.  The migration is a **barrier job**: ``drain``
+        (the pipelined stream's gather-everything hook) runs first,
+        then :meth:`ShardWorkerPool.barrier` joins every in-flight
+        per-shard job, and only then does the migration run on the
+        calling (dispatcher) thread — shard exclusivity is never
+        violated mid-flight.  Donor-shrink victims count as manager
+        evictions (their prefetch tags drop, same as any eviction);
+        migrated keys and the full pause (drain + barrier + migration)
+        land in :attr:`serving_metrics` via ``record_rebalance``.
+        """
+        interval = self.rebalance_interval
+        if not interval or self._accesses_since_rebalance < interval:
+            return
+        self._accesses_since_rebalance = 0
+        traffic = self._shard_traffic
+        total = float(traffic.sum())
+        if total <= 0.0:
+            return
+        shares = traffic / total
+        caps = np.asarray(self.buffer.shard_capacities, dtype=np.float64)
+        if float(np.abs(shares - caps / caps.sum()).max()) \
+                <= self.rebalance_threshold:
+            return
+        begin = time.perf_counter()
+        if drain is not None:
+            drain()
+        if self._pool is not None and not self._pool.closed:
+            self._pool.barrier()
+        # Floor the weights: a shard whose EWMA decayed to ~0 still
+        # needs a positive weight (split_capacity guarantees it one
+        # slot either way).
+        stats = self.buffer.rebalance(
+            tuple(float(w) for w in np.maximum(shares, 1e-9)))
+        if stats["changed"]:
+            victims = stats["evicted"]
+            self.evictions += len(victims)
+            if self._prefetched:
+                self._prefetched.difference_update(victims)
+            self.serving_metrics.record_rebalance(
+                stats["migrated_keys"], time.perf_counter() - begin)
 
     def _serve_demand_concurrent(self, segment: np.ndarray) -> None:
         """Concurrent shard-wise serving (``concurrency="threads"``).
@@ -891,6 +1018,10 @@ class RecMGManager:
                                  time.perf_counter() - submitted_at,
                                  inflight_depth=len(pending))
 
+        def drain_all() -> None:
+            while pending:
+                drain_one()
+
         for lo in range(start, len(dense), block):
             segment = np.asarray(dense[lo:lo + block], dtype=np.int64)
             jobs = self._submit_block(segment)
@@ -898,10 +1029,15 @@ class RecMGManager:
                          if sink else [])
             pending.append((segment, jobs, sink_jobs,
                             time.perf_counter()))
+            # Rebalance check at the same block boundary the serial
+            # tail checks (the EWMA was noted by _submit_block just
+            # above).  On trigger, every dispatched block — including
+            # this one — is gathered and its sink applied before the
+            # migration starts (drain_all + the worker barrier inside).
+            self._maybe_rebalance(drain=drain_all)
             if len(pending) >= self._MAX_INFLIGHT_BLOCKS:
                 drain_one()
-        while pending:
-            drain_one()
+        drain_all()
 
     def serve_batch(self, keys: np.ndarray,
                     queue_depth: Optional[int] = None) -> np.ndarray:
@@ -942,6 +1078,10 @@ class RecMGManager:
         self.serving_metrics.record_batch(
             int(keys.size), time.perf_counter() - begin,
             queue_depth=queue_depth)
+        # Rebalance after the batch's latency is recorded: the pause
+        # is accounted separately (rebalance_pause_ms) so a migration
+        # between batches does not distort the serving percentiles.
+        self._maybe_rebalance()
         return hits
 
     def _consume_prefetch_tags(self, keys) -> int:
@@ -1252,6 +1392,11 @@ class RecMGManager:
                             bits_all[chunk_idx])
                 if preds_all is not None:
                     self._apply_prefetches(preds_all[chunk_idx])
+                # Chunk boundaries are block boundaries too: the chunk
+                # engines are barriers (concurrent serves gather fully,
+                # sinks run inline), so a triggered migration overlaps
+                # nothing.
+                self._maybe_rebalance()
             tail = num_chunks * length
         # Sharded serving splits every block N ways, so scale the block
         # to keep the per-shard sub-segments at single-shard size (the
@@ -1283,6 +1428,7 @@ class RecMGManager:
                     self._sink_provider(segment, guided)
                 else:
                     serve(segment)
+                self._maybe_rebalance()
         if record_decisions:
             self.last_decisions = np.asarray(self._record_hits, dtype=bool)
             self._record_hits = None

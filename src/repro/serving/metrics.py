@@ -43,6 +43,16 @@ With a model-guided priority provider installed
   (:meth:`ServingMetrics.record_staleness`), sampled by the sink at
   each served block; bounded by the provider's pending queue.
 
+With online elastic rebalancing enabled (``rebalance_interval``) one
+more family appears:
+
+* **rebalances** — count, total migrated keys, and the serving pause
+  each rebalance cost (:meth:`ServingMetrics.record_rebalance`): the
+  wall time from deciding to rebalance to serving again, including the
+  worker drain/barrier under ``concurrency="threads"``.  Pause time is
+  the honesty metric of elastic rebalancing — the hit-rate win is
+  gated in the benches, the pause is recorded ungated next to it.
+
 Recording is **single-writer per field family**: one thread (the
 gather/drive loop) calls :meth:`ServingMetrics.record_batch` and
 :meth:`record_staleness`; inference counters are written by whichever
@@ -154,6 +164,10 @@ class ServingMetrics:
         self.staleness_samples = 0
         self.staleness_sum = 0
         self.staleness_max = 0
+        self.rebalances = 0
+        self.rebalance_migrated_keys = 0
+        self.rebalance_pause_seconds_total = 0.0
+        self.rebalance_pause_seconds_max = 0.0
         self._started = time.perf_counter()
 
     # -- recording (single consumer) -----------------------------------
@@ -214,6 +228,19 @@ class ServingMetrics:
         if blocks > self.staleness_max:
             self.staleness_max = blocks
 
+    def record_rebalance(self, migrated_keys: int,
+                         pause_seconds: float) -> None:
+        """Record one executed shard rebalance: how many resident keys
+        changed shards and how long serving paused for the migration
+        (drain/barrier + export/re-route/import).  Serving-thread only
+        — the rebalance itself runs with the workers quiesced, so the
+        recording thread is the only writer by construction."""
+        self.rebalances += 1
+        self.rebalance_migrated_keys += int(migrated_keys)
+        self.rebalance_pause_seconds_total += pause_seconds
+        if pause_seconds > self.rebalance_pause_seconds_max:
+            self.rebalance_pause_seconds_max = pause_seconds
+
     # -- reading -------------------------------------------------------
     @property
     def inference_mean_ms(self) -> float:
@@ -267,6 +294,12 @@ class ServingMetrics:
             "inference_max_ms": self.inference_seconds_max * 1e3,
             "staleness_mean": self.staleness_mean,
             "staleness_max": self.staleness_max,
+            "rebalance_count": self.rebalances,
+            "rebalance_migrated_keys": self.rebalance_migrated_keys,
+            "rebalance_pause_ms_total":
+                self.rebalance_pause_seconds_total * 1e3,
+            "rebalance_pause_ms_max":
+                self.rebalance_pause_seconds_max * 1e3,
             "batch_size_histogram": dict(sorted(
                 self.batch_size_histogram.items(),
                 key=lambda item: int(item[0].split("-")[0]))),

@@ -32,6 +32,19 @@ Each task execution is timed into a per-shard busy accumulator; a
 shard's accumulator is only written by the worker that owns the shard,
 so the counters are race-free by construction and feed the per-shard
 utilization row of :class:`repro.serving.metrics.ServingMetrics`.
+
+**The rebalance barrier.**  Shard exclusivity is a *steady-state*
+property: it protects one shard's state from concurrent access, but an
+elastic rebalance (:meth:`repro.cache.sharding.ShardedBuffer.rebalance`)
+touches *every* shard at once — it exports, re-routes and rebuilds all
+backends, so it must never overlap any in-flight per-shard job.  The
+manager therefore executes rebalances as a **barrier job**: it first
+drains its own pipeline (gathers every dispatched block), then calls
+:meth:`ShardWorkerPool.barrier` — which joins a sentinel task on every
+worker, so every previously submitted job on every worker has finished
+— and only then runs the migration on the dispatcher thread.  New work
+is submitted only after the migration returns, so shard exclusivity is
+never violated mid-flight.
 """
 
 from __future__ import annotations
@@ -92,6 +105,27 @@ class ShardWorkerPool:
         finally:
             # Only this shard's pinned worker writes this cell.
             self._busy_seconds[shard_index] += time.perf_counter() - start
+
+    def barrier(self) -> None:
+        """Block until every job submitted so far, on every worker, has
+        completed.
+
+        Submits one sentinel task per worker *first*, then joins them:
+        each worker is a single-thread FIFO executor, so its sentinel
+        cannot run before everything submitted ahead of it.  Submitting
+        all sentinels before joining any lets the workers drain
+        concurrently instead of serially.  This is the quiesce step of
+        the rebalance protocol (module docstring) — after ``barrier()``
+        returns, no task is running or queued anywhere in the pool
+        (assuming the single-dispatcher contract: nothing else submits
+        concurrently).
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        sentinels = [executor.submit(lambda: None)
+                     for executor in self._executors]
+        for future in sentinels:
+            future.result()
 
     # ------------------------------------------------------------------
     def busy_seconds(self) -> List[float]:

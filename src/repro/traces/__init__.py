@@ -7,6 +7,7 @@ from .synthetic import (
     skew_sweep_configs,
     generate_skew_sweep,
     generate_hot_shard_trace,
+    generate_drifting_hot_band_trace,
     generate_multi_tenant_trace,
     model_guided_scenarios,
 )
@@ -46,7 +47,8 @@ __all__ = [
     "Access", "Trace", "pack_key", "unpack_key", "remap_to_dense", "ROW_BITS",
     "SyntheticTraceConfig", "generate_trace",
     "skew_sweep_configs", "generate_skew_sweep",
-    "generate_hot_shard_trace", "generate_multi_tenant_trace",
+    "generate_hot_shard_trace", "generate_drifting_hot_band_trace",
+    "generate_multi_tenant_trace",
     "model_guided_scenarios",
     "DATASET_NAMES", "TABLE1_CONFIGS", "dataset_config", "load_dataset",
     "load_all_datasets", "table1_trace",

@@ -293,6 +293,59 @@ def generate_hot_shard_trace(config: SyntheticTraceConfig,
               f"-f{hot_fraction:g}-seed{config.seed}"))
 
 
+def generate_drifting_hot_band_trace(config: SyntheticTraceConfig,
+                                     num_shards: int = 4,
+                                     hot_fraction: float = 0.8,
+                                     num_phases: int = 4) -> Trace:
+    """Diurnal skew drift: the hot band *moves* across the id space.
+
+    The trace is ``num_phases`` equal phases; phase ``p`` concentrates
+    ``hot_fraction`` of its accesses (Zipf ``config.zipf_s``) on
+    contiguous band ``p % num_shards`` of the flat grid, the rest
+    Zipf-spread over the whole grid — each phase is one
+    :func:`generate_hot_shard_trace` regime, with the hot band walking
+    one shard to the right per phase.  This is the scenario static
+    weighted splits cannot win: any fixed ``shard_weights`` choice
+    matches at most one phase, so capacity is stranded on cold shards
+    for the rest of the trace, while the online rebalancer
+    (``rebalance_interval``) tracks the drift — the lift-gated
+    drifting-hot-band bench compares exactly those three operating
+    points (static / adaptive / per-phase oracle).
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if num_phases < 1:
+        raise ValueError("num_phases must be >= 1")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must lie in [0, 1]")
+    rng = np.random.default_rng(config.seed)
+    universe = config.num_tables * config.rows_per_table
+    if universe < num_shards:
+        raise ValueError("id universe smaller than num_shards")
+    n = config.num_accesses
+    phase_length = -(-n // num_phases)
+    flat = np.empty(num_phases * phase_length, dtype=np.int64)
+    for phase in range(num_phases):
+        band = phase % num_shards
+        lo = band * universe // num_shards
+        hi = (band + 1) * universe // num_shards
+        hot_mask = rng.random(phase_length) < hot_fraction
+        hot_count = int(hot_mask.sum())
+        segment = np.empty(phase_length, dtype=np.int64)
+        if hot_count:
+            segment[hot_mask] = _band_draw(rng, lo, hi, hot_count,
+                                           config.zipf_s)
+        if phase_length - hot_count:
+            segment[~hot_mask] = _band_draw(rng, 0, universe,
+                                            phase_length - hot_count,
+                                            config.zipf_s)
+        flat[phase * phase_length:(phase + 1) * phase_length] = segment
+    return _grid_to_trace(
+        flat[:n], config.rows_per_table,
+        name=(f"drifting-hot{num_shards}-f{hot_fraction:g}"
+              f"-p{num_phases}-seed{config.seed}"))
+
+
 def generate_multi_tenant_trace(config: SyntheticTraceConfig,
                                 num_tenants: int = 4,
                                 tenant_shares: Optional[Sequence[float]]

@@ -62,6 +62,20 @@ def test_serving_daemon_runs_on_tiny_stream(capsys):
     assert "shard utilization" in out
 
 
+def test_serving_daemon_elastic_rebalancing(capsys):
+    """``--rebalance N``: the daemon serves with the online elastic
+    rebalancer armed and reports migration stats (count, migrated
+    keys, pause) plus the final capacity split."""
+    module = _load_example("serving_daemon")
+    module.main(total_accesses=4000, num_shards=2, num_workers=2,
+                max_batch_keys=256, queue_size=16, report_every=0,
+                rebalance_interval=512)
+    out = capsys.readouterr().out
+    assert "elastic rebalancing" in out
+    assert "final split" in out
+    assert "hit rate" in out
+
+
 def test_serving_daemon_model_in_the_loop(capsys):
     """``--model --retrain``: the head of the stream trains a caching
     model, the async provider refreshes priorities off the critical

@@ -60,6 +60,25 @@ GOLDEN_SHARDED = {
     ("clock", 4, "modulo"): (8264, 3736, 3539),
 }
 
+#: (cache_hits, on_demand, evictions, rebalance_count, migrated_keys)
+#: per (buffer_impl, rebalance_interval) for the 4-shard contiguous
+#: manager on the *drifting-hot-band* trace below (20% capacity).
+#: ``interval=0`` is the static-split baseline; ``interval=1024`` runs
+#: the online elastic rebalancer (threshold 0.05).  These pin the
+#: whole migration path end to end — EWMA trigger, barrier, export/
+#: re-route/import, donor shrink — and the committed rows double as
+#: the decision-identity golden: any reordering of migrated entries'
+#: eviction state shifts the downstream victim stream and these
+#: counters with it.  The adaptive row must also *beat* its static
+#: sibling (the self-consistency test below), mirroring the gated
+#: drifting-hot-band bench in ``benchmarks/test_perf_hotpaths.py``.
+GOLDEN_REBALANCED = {
+    ("fast", 0): (8171, 3829, 3516, 0, 0),
+    ("fast", 1024): (9209, 2791, 2478, 1, 65),
+    ("clock", 0): (8621, 3379, 3066, 0, 0),
+    ("clock", 1024): (9493, 2507, 2194, 1, 65),
+}
+
 #: (cache_hits, on_demand) for the no-prefetcher LRU harness on the
 #: same trace/capacity: closed form == simulation (exact LRU), clock =
 #: second-chance approximation.
@@ -119,6 +138,58 @@ def test_sharded_manager_matches_golden(golden_trace, golden_capacity,
     assert stats.breakdown.prefetch_hits == 0  # no models deployed
     # Per-shard capacities partition the total exactly.
     assert sum(manager.buffer.shard_capacities) == golden_capacity
+
+
+@pytest.fixture(scope="module")
+def drifting_trace():
+    from repro.traces.synthetic import generate_drifting_hot_band_trace
+
+    config = SyntheticTraceConfig(
+        num_tables=4, rows_per_table=512, num_accesses=12_000,
+        seed=20260730,
+    )
+    return generate_drifting_hot_band_trace(config, num_shards=4)
+
+
+@pytest.mark.parametrize("impl,interval", sorted(GOLDEN_REBALANCED,
+                                                 key=repr))
+def test_rebalanced_manager_matches_golden(drifting_trace, impl,
+                                           interval):
+    config = RecMGConfig()
+    encoder = FeatureEncoder(config).fit(drifting_trace)
+    capacity = max(1, int(drifting_trace.num_unique * 0.2))
+    manager = RecMGManager(capacity, encoder, config, buffer_impl=impl,
+                           num_shards=4, shard_policy="contiguous",
+                           rebalance_interval=interval,
+                           rebalance_threshold=0.05)
+    stats = manager.run(drifting_trace)
+    summary = manager.serving_metrics.summary()
+    observed = (stats.breakdown.cache_hits, stats.breakdown.on_demand,
+                stats.evictions, summary["rebalance_count"],
+                summary["rebalance_migrated_keys"])
+    assert observed == GOLDEN_REBALANCED[(impl, interval)], (
+        f"{impl!r}/interval={interval} shifted rebalancing behavior: "
+        f"{observed} != committed golden")
+    # Capacity conservation survives migration; donor-shrink victims
+    # are accounted exactly once (hits + misses == accesses and the
+    # buffer never over-admits).
+    assert stats.breakdown.total == len(drifting_trace)
+    assert sum(manager.buffer.shard_capacities) == capacity
+    assert len(manager.buffer) <= capacity
+    manager.close()
+
+
+def test_rebalanced_goldens_are_self_consistent():
+    """The adaptive rows must trigger at least one migration and beat
+    their static siblings on the drifting workload — the committed
+    form of the bench's recovered-gap gate."""
+    for impl in ("fast", "clock"):
+        static = GOLDEN_REBALANCED[(impl, 0)]
+        adaptive = GOLDEN_REBALANCED[(impl, 1024)]
+        assert static[0] + static[1] == adaptive[0] + adaptive[1] == 12_000
+        assert static[3] == 0  # interval=0 never rebalances
+        assert adaptive[3] >= 1 and adaptive[4] > 0
+        assert adaptive[0] > static[0]
 
 
 def test_sharded_goldens_are_self_consistent():

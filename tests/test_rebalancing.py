@@ -1,0 +1,520 @@
+"""Online elastic rebalancing: the migration-invariant test battery.
+
+Four layers of checking for :meth:`repro.cache.sharding.ShardedBuffer.
+rebalance` and the manager's online driver:
+
+* **Migration-invariant fuzz (200 seeds)** — random op/rebalance
+  interleavings over fast and clock backends under both routers.  After
+  *every* rebalance: the partition invariants hold (disjoint per-shard
+  resident sets whose union is the global ``contains_batch``, every
+  resident routes to its shard, compressed residency bitmaps
+  decompress exactly onto the owned residents), the resident union is
+  preserved (``after ∪ evicted == before``, disjointly), every shard's
+  occupancy respects its *new* capacity, and — when no donor-shrink
+  eviction ran — every survivor keeps its exact effective priority.
+* **Decision identity** — a rebalance onto the current target is a
+  no-op, bit-identical to never calling it (checked by running an
+  identical op suffix over a rebalanced twin); a real rebalance leaves
+  the buffer decision-identical to a *fresh* :class:`ShardedBuffer`
+  rebalanced-empty onto the same weights and pre-seeded with the same
+  residents in canonical order (the module docstring's canonical-
+  rebuild contract; the committed end-to-end counters live in
+  ``tests/test_golden_backends.py``).
+* **Raise-before-mutate regression** — ``put_batch``'s per-shard
+  pre-validation must read the *post-rebalance* capacities.  The
+  original :class:`CompressedShardView` snapshotted ``capacity`` at
+  construction, so a donor shard shrunk by a rebalance kept validating
+  against its stale larger capacity and over-admitted; ``capacity`` is
+  now a delegating property and both directions (shrunk shard rejects,
+  grown shard accepts) are pinned here.
+* **Concurrency stress** — the manager's online driver under
+  ``concurrency="threads"`` at 1/2/4 workers (×3 repeats) must
+  reproduce the serial engine bit-for-bit — counters, per-access
+  decisions, final residents, and the rebalance firing at the same
+  block indices — and the pipelined stream must gather every in-flight
+  block and quiesce the worker pool *before* a migration starts.
+"""
+
+import random
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cache import ShardedBuffer, backend_for_key
+from repro.cache.sharding import split_capacity
+
+KEY_SPACE = 26
+#: Deliberately smaller than the fuzzed key range: keys >= DENSE_SPACE
+#: exercise spillover ids, which never migrate (they route mod N under
+#: both routers, independent of the range partition).
+DENSE_SPACE = KEY_SPACE - 7
+MAX_PRIORITY = 6
+NUM_SEQUENCES = 200
+OPS_PER_SEQUENCE = 60
+
+PROBE = np.arange(-4, KEY_SPACE + 9, dtype=np.int64)
+
+OP_WEIGHTS = [
+    ("insert", 6),
+    ("set_priority", 4),
+    ("demote", 2),
+    ("put_batch", 3),
+    ("set_priority_batch", 2),
+    ("demote_batch", 1),
+    ("evict_one", 4),
+    ("evict_batch", 3),
+]
+
+
+def _gen_ops(rng: random.Random, count=OPS_PER_SEQUENCE):
+    names = [name for name, _ in OP_WEIGHTS]
+    weights = [weight for _, weight in OP_WEIGHTS]
+    ops = []
+    for _ in range(count):
+        ops.append((rng.choices(names, weights=weights)[0],
+                    rng.randrange(KEY_SPACE),
+                    rng.randrange(MAX_PRIORITY + 1),
+                    [rng.randrange(KEY_SPACE)
+                     for _ in range(rng.randint(1, 10))],
+                    rng.randint(1, 6)))
+    return ops
+
+
+def _apply_op(buffer, op):
+    """Apply one op when locally valid (validity judged from the
+    buffer's own state, so two buffers in identical state make
+    identical decisions); returns eviction victims, if any."""
+    kind, key, priority, batch, count = op
+    if kind == "insert":
+        if key in buffer:
+            buffer.set_priority(key, priority)
+        elif not backend_for_key(buffer, key).is_full:
+            buffer.insert(key, priority)
+    elif kind == "set_priority":
+        if key in buffer:
+            buffer.set_priority(key, priority)
+    elif kind == "demote":
+        if key in buffer:
+            buffer.demote(key)
+    elif kind == "put_batch":
+        try:
+            buffer.put_batch(batch, priority)
+        except RuntimeError:
+            return "raised"
+    elif kind == "set_priority_batch":
+        buffer.set_priority_batch([k for k in batch if k in buffer],
+                                  priority)
+    elif kind == "demote_batch":
+        buffer.demote_batch([k for k in batch if k in buffer])
+    elif kind == "evict_one":
+        if len(buffer):
+            return [buffer.evict_one()]
+    elif kind == "evict_batch":
+        if len(buffer):
+            return buffer.evict_batch(min(count, len(buffer)))
+    return None
+
+
+def _random_weights(rng: random.Random, num_shards: int):
+    if rng.random() < 0.2:
+        return None
+    return tuple(rng.choice([0.5, 1.0, 2.0, 3.0, 5.0])
+                 for _ in range(num_shards))
+
+
+def _assert_partition_invariants(sharded: ShardedBuffer):
+    """Disjointness, routing coherence, bitmap round-trip — must hold
+    after any op and, in particular, after any rebalance (the routing
+    checks run under whatever partition is *currently* drawn)."""
+    gathered = np.zeros(PROBE.size, dtype=bool)
+    for _, shard, positions, sub in sharded.iter_shard_segments(PROBE):
+        gathered[positions] = shard.contains_batch(sub)
+    assert np.array_equal(gathered, sharded.contains_batch(PROBE))
+    seen = set()
+    for index, shard in enumerate(sharded.shards):
+        resident = list(shard.keys())
+        assert len(resident) <= shard.capacity
+        assert shard.capacity == shard.backend.capacity
+        for key in resident:
+            assert sharded.shard_id_of(key) == index
+            assert key not in seen
+            seen.add(key)
+        # Compressed-universe round-trip on every in-universe survivor:
+        # the residency bitmap covers the compressed ids; its set bits
+        # must decompress exactly onto the shard's owned residents.
+        bitmap_ids = np.flatnonzero(shard.residency.bitmap)
+        decompressed = sharded.router.decompress(index, bitmap_ids)
+        in_universe = sorted(key for key in resident
+                             if 0 <= key < sharded.key_space)
+        assert sorted(decompressed.tolist()) == in_universe
+    assert len(seen) == len(sharded)
+    assert len(sharded) <= sharded.capacity
+
+
+def _checked_rebalance(sharded: ShardedBuffer, weights):
+    """Rebalance and assert the full migration-invariant battery."""
+    before = {key: sharded.priority_of(key) for key in sharded.keys()}
+    stats = sharded.rebalance(weights)
+    after = set(sharded.keys())
+    evicted = set(stats["evicted"])
+    # Residency-union preservation: nothing appears, nothing silently
+    # vanishes — every departed key is reported as a shrink victim.
+    assert len(evicted) == len(stats["evicted"])  # no duplicate victims
+    assert after.isdisjoint(evicted)
+    assert after | evicted == set(before)
+    # The new split partitions total capacity; occupancy respects it.
+    assert stats["shard_capacities"] == sharded.shard_capacities
+    assert sum(sharded.shard_capacities) == sharded.capacity
+    assert all(cap >= 1 for cap in sharded.shard_capacities)
+    _assert_partition_invariants(sharded)
+    if not evicted and not sharded.approximate:
+        # No donor-shrink aging ran: exact survivors carry their
+        # effective priorities bit-for-bit across the migration.
+        for key in after:
+            assert sharded.priority_of(key) == before[key]
+    if not stats["changed"]:
+        assert stats["migrated_keys"] == 0 and not evicted
+    return stats
+
+
+@pytest.mark.parametrize("seed", range(NUM_SEQUENCES))
+def test_rebalance_fuzz_interleaved_ops(seed):
+    """200-seed fuzz: random op streams with rebalances interleaved at
+    random points, across fast+clock backends and both routers."""
+    rng = random.Random(9900 + seed)
+    policy = rng.choice(["contiguous", "modulo"])
+    num_shards = rng.choice([2, 3, 4])
+    capacity = rng.randint(num_shards, 16)
+    ops = _gen_ops(rng)
+
+    buffers = [
+        ShardedBuffer("fast", capacity, key_space=DENSE_SPACE,
+                      num_shards=num_shards, shard_policy=policy),
+        ShardedBuffer("clock", capacity, key_space=DENSE_SPACE,
+                      num_shards=num_shards, shard_policy=policy),
+    ]
+    for op in ops:
+        for sharded in buffers:
+            _apply_op(sharded, op)
+            if rng.random() < 0.15:
+                _checked_rebalance(sharded,
+                                   _random_weights(rng, num_shards))
+    for sharded in buffers:
+        # Always end on a rebalance, then prove the buffer still
+        # drains cleanly under the final partition.
+        _checked_rebalance(sharded, _random_weights(rng, num_shards))
+        remaining = len(sharded)
+        if remaining:
+            victims = sharded.evict_batch(remaining)
+            assert len(victims) == len(set(victims)) == remaining
+        assert len(sharded) == 0
+        _assert_partition_invariants(sharded)
+
+
+@pytest.mark.parametrize("impl", ["fast", "clock"])
+@pytest.mark.parametrize("policy", ["contiguous", "modulo"])
+def test_noop_rebalance_is_bit_identical(impl, policy):
+    """A rebalance whose target equals the current state returns
+    ``changed=False`` before touching any backend: a twin that calls
+    it stays decision-identical through an arbitrary op suffix."""
+    rng = random.Random(77)
+    prefix, suffix = _gen_ops(rng, 30), _gen_ops(rng, 40)
+
+    def build():
+        buf = ShardedBuffer(impl, 9, key_space=DENSE_SPACE,
+                            num_shards=3, shard_policy=policy)
+        for op in prefix:
+            _apply_op(buf, op)
+        return buf
+
+    plain, poked = build(), build()
+    # Same-target forms of the no-op: construction defaults on a
+    # never-rebalanced buffer, then the same weights twice in a row.
+    assert not poked.rebalance(None)["changed"]
+    weights = (2.0, 1.0, 1.0)
+    first = poked.rebalance(weights)
+    second = poked.rebalance(weights)
+    assert first["changed"] and not second["changed"]
+    plain.rebalance(weights)
+    for op in suffix:
+        assert _apply_op(plain, op) == _apply_op(poked, op)
+        assert sorted(plain.keys()) == sorted(poked.keys())
+        for key in plain.keys():
+            assert plain.priority_of(key) == poked.priority_of(key)
+    remaining = len(plain)
+    if remaining:
+        assert plain.evict_batch(remaining) == poked.evict_batch(remaining)
+
+
+@pytest.mark.parametrize("impl", ["fast", "clock"])
+@pytest.mark.parametrize("policy", ["contiguous", "modulo"])
+@pytest.mark.parametrize("seed", range(12))
+def test_rebalanced_matches_fresh_preseeded_buffer(impl, policy, seed):
+    """Canonical-rebuild contract: after ``rebalance(w)`` the buffer is
+    decision-identical to a *fresh* ShardedBuffer rebalanced-empty onto
+    ``w`` and pre-seeded with the same residents in canonical order
+    (shard asc, per-shard eviction order, exact priorities)."""
+    rng = random.Random(4400 + seed)
+    num_shards = rng.choice([2, 3, 4])
+    # Enough headroom that a skewed split actually moves capacity.
+    capacity = rng.randint(3 * num_shards, 24)
+    # Deliberately skewed: the contract under test is the canonical
+    # rebuild of a *real* rebalance (a no-op rebalance intentionally
+    # leaves the non-canonical layout alone, see the no-op test).
+    weights = tuple([3.0] + [1.0] * (num_shards - 1))
+
+    lived = ShardedBuffer(impl, capacity, key_space=DENSE_SPACE,
+                          num_shards=num_shards, shard_policy=policy)
+    for op in _gen_ops(rng, 50):
+        _apply_op(lived, op)
+    assert lived.rebalance(weights)["changed"]
+
+    fresh = ShardedBuffer(impl, capacity, key_space=DENSE_SPACE,
+                          num_shards=num_shards, shard_policy=policy)
+    fresh.rebalance(weights)
+    assert fresh.shard_capacities == lived.shard_capacities
+    # Pre-seed in canonical order.  export_state speaks the backend's
+    # own eviction-order encoding: exact backends carry explicit
+    # seqnos (rank = insertion order), the clock backend returns hand
+    # order directly — either way inserting in that order reproduces
+    # the post-migration packed state.
+    for index, view in enumerate(lived.shards):
+        state = view.backend.export_state()
+        if lived.approximate:
+            local, prio = state
+        else:
+            local, prio, seq = state
+            order = np.argsort(seq, kind="stable")
+            local, prio = local[order], prio[order]
+        for key, priority in zip(
+                lived.router.decompress(index, local).tolist(),
+                prio.tolist()):
+            fresh.insert(int(key), int(priority))
+
+    suffix = _gen_ops(rng, 40)
+    for op in suffix:
+        assert _apply_op(lived, op) == _apply_op(fresh, op)
+    assert sorted(lived.keys()) == sorted(fresh.keys())
+    for key in lived.keys():
+        assert lived.priority_of(key) == fresh.priority_of(key)
+    remaining = len(lived)
+    if remaining:
+        assert lived.evict_batch(remaining) == fresh.evict_batch(remaining)
+
+
+# ---------------------------------------------------------------------------
+# Satellite regression: put_batch pre-validation vs post-rebalance
+# capacities.
+
+
+def test_view_capacity_tracks_rebalanced_backend():
+    buf = ShardedBuffer("fast", 8, key_space=16, num_shards=2)
+    view = buf.shards[1]
+    assert view.capacity == 4
+    buf.rebalance((3.0, 1.0))
+    # The view must delegate, not replay its construction snapshot.
+    assert view.capacity == view.backend.capacity == 2
+    assert buf.shard_capacities == [6, 2]
+
+
+@pytest.mark.parametrize("impl", ["fast", "clock"])
+def test_put_batch_validates_against_rebalanced_capacities(impl):
+    """Raise-before-mutate must consult the *new* split: a shrunk
+    donor shard rejects batches its stale capacity would have
+    over-admitted, and a grown shard accepts batches the stale
+    capacity would have spuriously rejected."""
+    buf = ShardedBuffer(impl, 8, key_space=16, num_shards=2)
+    assert buf.shard_capacities == [4, 4]
+    buf.rebalance((3.0, 1.0))
+    # Contiguous ranges re-split with the weights: shard 0 now owns
+    # [0, 12) at capacity 6, shard 1 owns [12, 16) at capacity 2.
+    assert buf.shard_capacities == [6, 2]
+    before = sorted(buf.keys())
+    with pytest.raises(RuntimeError, match="full"):
+        buf.put_batch([12, 13, 14], 1)  # 3 distinct keys, capacity 2
+    assert sorted(buf.keys()) == before  # untouched on rejection
+    # The grown shard really has the headroom the new split grants.
+    buf.put_batch([0, 2, 4, 6, 8, 10], 1)
+    assert len(buf.shards[0]) == 6
+    # And the shrunk shard admits exactly its new capacity.
+    buf.put_batch([12, 15], 1)
+    assert len(buf.shards[1]) == 2
+
+
+def test_rebalance_shrink_reports_every_victim():
+    """Donor shrink picks overflow victims through the backend's own
+    eviction order and reports them all."""
+    buf = ShardedBuffer("fast", 8, key_space=16, num_shards=2)
+    seeded = [0, 1, 2, 3, 8, 9, 10, 11]  # both shards at capacity
+    buf.put_batch(seeded, 0)
+    assert len(buf.shards[0]) == 4 and len(buf.shards[1]) == 4
+    stats = buf.rebalance((1.0, 3.0))
+    # The shrunk donor's overflow left through evict_batch and the
+    # union is preserved.
+    assert stats["changed"]
+    assert set(buf.keys()) | set(stats["evicted"]) == set(seeded)
+    assert len(buf) + len(stats["evicted"]) == len(seeded)
+    for index, shard in enumerate(buf.shards):
+        assert len(shard) <= shard.capacity
+
+
+# ---------------------------------------------------------------------------
+# Manager-level: the online driver.
+
+
+def _drifting_setup(num_accesses=4000, seed=5):
+    from repro.core import RecMGConfig
+    from repro.core.features import FeatureEncoder
+    from repro.traces.synthetic import (
+        SyntheticTraceConfig,
+        generate_drifting_hot_band_trace,
+    )
+
+    trace_config = SyntheticTraceConfig(
+        num_accesses=num_accesses, num_tables=4, rows_per_table=100,
+        seed=seed)
+    trace = generate_drifting_hot_band_trace(trace_config, num_shards=4)
+    config = RecMGConfig(num_shards=4)
+    encoder = FeatureEncoder(config).fit(trace)
+    return trace, config, encoder
+
+
+def _run_manager(trace, config, encoder, *, concurrency="serial",
+                 num_workers=None, interval=512, impl="fast"):
+    from repro.core.manager import RecMGManager
+
+    manager = RecMGManager(
+        80, encoder, config, buffer_impl=impl, num_shards=4,
+        concurrency=concurrency, num_workers=num_workers,
+        rebalance_interval=interval, rebalance_threshold=0.05)
+    stats = manager.run(trace, record_decisions=True)
+    decisions = manager.last_decisions.copy()
+    residents = sorted(manager.buffer.keys())
+    summary = manager.serving_metrics.summary()
+    capacities = list(manager.buffer.shard_capacities)
+    manager.close()
+    return stats, decisions, residents, summary, capacities
+
+
+@pytest.mark.parametrize("repeat", range(3))
+@pytest.mark.parametrize("num_workers", [1, 2, 4])
+def test_threads_match_serial_under_rebalancing(num_workers, repeat):
+    """Mid-run rebalances fire at the same block indices under the
+    concurrent engine: counters, decisions, residents, final split and
+    rebalance count all match the serial engine, across worker counts
+    and repeats (scheduling nondeterminism must not leak through)."""
+    trace, config, encoder = _drifting_setup(seed=5 + repeat)
+    serial = _run_manager(trace, config, encoder)
+    threaded = _run_manager(trace, config, encoder,
+                            concurrency="threads",
+                            num_workers=num_workers)
+    s_stats, s_dec, s_res, s_sum, s_caps = serial
+    t_stats, t_dec, t_res, t_sum, t_caps = threaded
+    assert s_sum["rebalance_count"] >= 1  # the scenario must trigger
+    assert t_sum["rebalance_count"] == s_sum["rebalance_count"]
+    assert t_sum["rebalance_migrated_keys"] == \
+        s_sum["rebalance_migrated_keys"]
+    assert t_stats == s_stats
+    assert np.array_equal(t_dec, s_dec)
+    assert t_res == s_res
+    assert t_caps == s_caps
+
+
+def test_pipelined_stream_drains_before_migration():
+    """The pipelined no-model stream must gather every in-flight block
+    and quiesce the shard workers before a migration starts: no
+    per-shard serve may be running when ``rebalance`` executes."""
+    from repro.core.manager import RecMGManager
+
+    trace, config, encoder = _drifting_setup()
+    manager = RecMGManager(80, encoder, config, num_shards=4,
+                           concurrency="threads", num_workers=2,
+                           rebalance_interval=512,
+                           rebalance_threshold=0.05)
+    lock = threading.Lock()
+    state = {"inflight": 0, "max_seen": 0, "rebalances": 0}
+
+    inner_serve = manager._serve_subsegment
+
+    def tracked_serve(shard, sub):
+        with lock:
+            state["inflight"] += 1
+            state["max_seen"] = max(state["max_seen"], state["inflight"])
+        try:
+            return inner_serve(shard, sub)
+        finally:
+            with lock:
+                state["inflight"] -= 1
+    manager._serve_subsegment = tracked_serve
+
+    inner_rebalance = manager.buffer.rebalance
+
+    def guarded_rebalance(weights=None):
+        with lock:
+            assert state["inflight"] == 0, \
+                "migration overlapped an in-flight per-shard serve"
+            state["rebalances"] += 1
+        return inner_rebalance(weights)
+    manager.buffer.rebalance = guarded_rebalance
+
+    manager.run(trace)
+    manager.close()
+    assert state["rebalances"] >= 1
+    assert state["max_seen"] >= 1  # jobs really ran through the pool
+
+
+def test_serve_batch_drives_online_rebalancer():
+    """The admission front door participates: skewed batches through
+    serve_batch trigger a rebalance and tilt the split toward the hot
+    shard, with the pause accounted in the metrics."""
+    trace, config, encoder = _drifting_setup()
+    from repro.core.manager import RecMGManager
+
+    manager = RecMGManager(40, encoder, config, num_shards=4,
+                           rebalance_interval=256,
+                           rebalance_threshold=0.05)
+    quarter = encoder.vocab_size // 4
+    rng = np.random.default_rng(3)
+    for _ in range(12):
+        hot = rng.integers(0, quarter, size=256)  # all route to shard 0
+        hits = manager.serve_batch(hot)
+        assert hits.size == 256
+    summary = manager.serving_metrics.summary()
+    assert summary["rebalance_count"] >= 1
+    assert summary["rebalance_pause_ms_total"] > 0.0
+    assert summary["rebalance_pause_ms_max"] <= \
+        summary["rebalance_pause_ms_total"]
+    # Capacity followed the traffic: the hot shard outgrew the cold.
+    caps = manager.buffer.shard_capacities
+    assert caps[0] == max(caps) and caps[0] > caps[-1]
+    manager.close()
+
+
+def test_rebalance_knob_validation():
+    from repro.core import RecMGConfig
+    from repro.core.features import FeatureEncoder
+    from repro.core.manager import RecMGManager
+    from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+    with pytest.raises(ValueError, match="rebalance_interval"):
+        RecMGConfig(rebalance_interval=-1)
+    with pytest.raises(ValueError, match="num_shards"):
+        RecMGConfig(rebalance_interval=100)  # single shard
+    with pytest.raises(ValueError, match="rebalance_threshold"):
+        RecMGConfig(num_shards=2, rebalance_interval=100,
+                    rebalance_threshold=float("inf"))
+    config = RecMGConfig()
+    trace = generate_trace(SyntheticTraceConfig(num_accesses=200))
+    encoder = FeatureEncoder(config).fit(trace)
+    with pytest.raises(ValueError, match="ShardedBuffer"):
+        RecMGManager(10, encoder, config, rebalance_interval=64)
+
+
+def test_rebalance_weight_split_matches_largest_remainder():
+    """The driver hands the buffer EWMA-share weights; the resulting
+    split must be the documented largest-remainder apportionment."""
+    buf = ShardedBuffer("fast", 10, key_space=30, num_shards=3)
+    buf.rebalance((5.0, 3.0, 2.0))
+    assert buf.shard_capacities == split_capacity(10, 3, (5.0, 3.0, 2.0))
+    assert buf.shard_capacities == [5, 3, 2]
